@@ -1,0 +1,27 @@
+//! Criterion wrappers over the experiment harness: one tracked benchmark
+//! per table/figure so `cargo bench` regenerates every experiment (quick
+//! mode) under a stable performance baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pts_bench::registry;
+
+fn experiment_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reproduce");
+    // Experiment runners are minutes-scale; sample each once per iteration
+    // with a tiny sample count — criterion still tracks regressions.
+    group.sample_size(10);
+    for e in registry() {
+        // Heavy distribution experiments are exercised by the `reproduce`
+        // binary; here we keep the cheap structural ones under cargo bench.
+        if !matches!(e.id, "e2" | "e5" | "e6") {
+            continue;
+        }
+        group.bench_function(e.id, |b| {
+            b.iter(|| std::hint::black_box((e.run)(true)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, experiment_suite);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks: ingest and query cost of every sampler.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pts_core::{
+    ApproxLpParams, ApproxLpSampler, PerfectLpParams, PerfectLpSampler, RejectionGSampler,
+};
+use pts_samplers::{
+    L0Params, LpLe2Params, PerfectL0Sampler, PerfectLpLe2Sampler, TurnstileSampler,
+};
+use pts_stream::gen::zipf_vector;
+use pts_stream::FrequencyVector;
+
+const N: usize = 256;
+
+fn workload() -> FrequencyVector {
+    zipf_vector(N, 1.1, 200, 77)
+}
+
+fn bench_ingest<S: TurnstileSampler>(c: &mut Criterion, name: &str, mk: impl Fn() -> S) {
+    let x = workload();
+    c.bench_function(name, |b| {
+        b.iter_batched_ref(&mk, |s| s.ingest_vector(&x), BatchSize::SmallInput)
+    });
+}
+
+fn bench_query<S: TurnstileSampler>(c: &mut Criterion, name: &str, mk: impl Fn() -> S) {
+    let x = workload();
+    c.bench_function(name, |b| {
+        b.iter_batched_ref(
+            || {
+                let mut s = mk();
+                s.ingest_vector(&x);
+                s
+            },
+            |s| std::hint::black_box(s.sample()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn sampler_ingest(c: &mut Criterion) {
+    bench_ingest(c, "l0/ingest n=256", || {
+        PerfectL0Sampler::new(N, L0Params::default(), 1)
+    });
+    bench_ingest(c, "l2_perfect/ingest n=256", || {
+        PerfectLpLe2Sampler::new(N, LpLe2Params::for_universe(N, 2.0), 2)
+    });
+    bench_ingest(c, "approx_lp/ingest n=256", || {
+        ApproxLpSampler::new(N, ApproxLpParams::for_universe(N, 3.0, 0.3), 3)
+    });
+    bench_ingest(c, "g_log/ingest n=256", || {
+        RejectionGSampler::log_sampler(N, 1000, 4)
+    });
+    // The heavyweight: one full perfect Lp (p>2) sampler.
+    bench_ingest(c, "perfect_lp3/ingest n=256", || {
+        PerfectLpSampler::new(N, PerfectLpParams::for_universe(N, 3.0), 5)
+    });
+}
+
+fn sampler_query(c: &mut Criterion) {
+    bench_query(c, "l0/sample n=256", || {
+        PerfectL0Sampler::new(N, L0Params::default(), 11)
+    });
+    bench_query(c, "l2_perfect/sample n=256", || {
+        PerfectLpLe2Sampler::new(N, LpLe2Params::for_universe(N, 2.0), 12)
+    });
+    bench_query(c, "approx_lp/sample n=256", || {
+        ApproxLpSampler::new(N, ApproxLpParams::for_universe(N, 3.0, 0.3), 13)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = sampler_ingest, sampler_query
+}
+criterion_main!(benches);

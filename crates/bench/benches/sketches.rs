@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks: per-update and query cost of every sketch.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pts_sketch::{
+    AmsF2, CountSketch, CountSketchParams, DyadicHeavyHitters, FpMaxStab, FpMaxStabParams,
+    FpTaylor, FpTaylorParams, GaussianL2, LinearSketch, ModCountSketch, SparseRecovery,
+};
+use pts_util::Xoshiro256pp;
+
+const N: usize = 4096;
+
+fn updates(count: usize, seed: u64) -> Vec<(u64, f64)> {
+    let mut rng = Xoshiro256pp::new(seed);
+    (0..count)
+        .map(|_| {
+            (
+                rng.next_below(N as u64),
+                rng.next_sign() as f64 * (1 + rng.next_below(40)) as f64,
+            )
+        })
+        .collect()
+}
+
+fn bench_updates<S: LinearSketch>(c: &mut Criterion, name: &str, mk: impl Fn() -> S) {
+    let ups = updates(1024, 7);
+    c.bench_function(name, |b| {
+        b.iter_batched_ref(
+            &mk,
+            |s| {
+                for &(i, d) in &ups {
+                    s.update(i, d);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn sketch_updates(c: &mut Criterion) {
+    bench_updates(c, "countsketch/update x1024", || {
+        CountSketch::new(CountSketchParams { rows: 5, buckets: 256 }, 1)
+    });
+    bench_updates(c, "mod_countsketch/update x1024", || {
+        ModCountSketch::new(5, 256, 2)
+    });
+    bench_updates(c, "ams_f2/update x1024", || AmsF2::new(5, 8, 3));
+    bench_updates(c, "gaussian_l2/update x1024", || GaussianL2::new(15, 4));
+    bench_updates(c, "fp_maxstab/update x1024", || {
+        FpMaxStab::new(N, FpMaxStabParams::for_universe(N, 3.0), 5)
+    });
+    bench_updates(c, "fp_taylor/update x1024", || {
+        FpTaylor::new(N, FpTaylorParams::for_universe(N, 3.0), 6)
+    });
+    bench_updates(c, "dyadic_hh/update x1024", || {
+        DyadicHeavyHitters::new(N, CountSketchParams { rows: 5, buckets: 64 }, 7)
+    });
+    bench_updates(c, "sparse_recovery/update x1024", || {
+        SparseRecovery::new(12, 4, 8)
+    });
+}
+
+fn sketch_queries(c: &mut Criterion) {
+    let ups = updates(4096, 9);
+    let mut cs = CountSketch::new(CountSketchParams { rows: 5, buckets: 256 }, 10);
+    for &(i, d) in &ups {
+        cs.update(i, d);
+    }
+    c.bench_function("countsketch/decode_all n=4096", |b| {
+        b.iter(|| std::hint::black_box(cs.decode_all(N)))
+    });
+    let mut hh = DyadicHeavyHitters::new(N, CountSketchParams { rows: 5, buckets: 64 }, 11);
+    for &(i, d) in &ups {
+        hh.update(i, d);
+    }
+    c.bench_function("dyadic_hh/argmax n=4096", |b| {
+        b.iter(|| std::hint::black_box(hh.argmax(16)))
+    });
+    let mut sr = SparseRecovery::new(12, 4, 12);
+    for k in 0..8u64 {
+        sr.update_int(k * 37, (k + 1) as i64);
+    }
+    c.bench_function("sparse_recovery/recover s=8", |b| {
+        b.iter(|| std::hint::black_box(sr.recover()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = sketch_updates, sketch_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! `reproduce` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!   reproduce                # run every experiment in quick mode
+//!   reproduce e1 e4 a1       # run a subset
+//!   reproduce --full         # full trial counts (the EXPERIMENTS.md record)
+//!   reproduce --list         # list experiment ids
+
+use pts_bench::registry;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let list = args.iter().any(|a| a == "--list");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let experiments = registry();
+    if list {
+        for e in &experiments {
+            println!("{:>4}  {}", e.id, e.title);
+        }
+        return;
+    }
+
+    let mut stdout = std::io::stdout().lock();
+    let mode = if full { "full" } else { "quick" };
+    let _ = writeln!(stdout, "# reproduce — mode: {mode}\n");
+    for e in &experiments {
+        if !wanted.is_empty() && !wanted.contains(&e.id) {
+            continue;
+        }
+        let _ = writeln!(stdout, "## {} — {}\n", e.id, e.title);
+        let started = std::time::Instant::now();
+        let table = (e.run)(!full);
+        let _ = writeln!(
+            stdout,
+            "{}\n_({} rows in {:.1}s)_\n",
+            table.to_markdown(),
+            table.len(),
+            started.elapsed().as_secs_f64()
+        );
+        let _ = stdout.flush();
+    }
+}

@@ -1,0 +1,56 @@
+//! E7: the lower-bound phase transition (Theorems 1.4 / 4.2 / 4.3).
+//!
+//! Runs the two-sample distinguishing protocol on the hard pair of
+//! Definition 4.1 while sweeping the sampler's stage-1 width through and
+//! below the `n^{1−2/p}`-scale the bound protects. Accuracy ≥ 0.6 at the
+//! paper's dimension and decay under starvation is the observable content
+//! of the Ω(n^{1−2/p} log n) bound.
+
+use crate::runner::parallel_values;
+use pts_core::lower_bound::{classify, ProtocolConfig};
+use pts_stream::hard::{draw_alpha, draw_beta};
+use pts_util::stats::wilson_interval;
+use pts_util::table::fmt_sig;
+use pts_util::{derive_seed, Table, Xoshiro256pp};
+
+/// E7 runner.
+pub fn e7_phase_transition(quick: bool) -> Table {
+    let n = 256;
+    let p = 4.0;
+    let trials: u64 = if quick { 60 } else { 300 };
+    let base = ProtocolConfig::for_universe(n, p);
+    let native = base.sampler.cs1_buckets;
+    let mut table = Table::new([
+        "stage-1 buckets", "vs n^(1-2/p)", "accuracy", "95% CI", "verdict",
+    ]);
+    let n_pow = (n as f64).powf(1.0 - 2.0 / p);
+    for buckets in [native, native / 4, native / 16, native / 64, 4] {
+        let cfg = base.with_cs1_buckets(buckets);
+        let outcomes = parallel_values(trials, |t| {
+            let mut rng = Xoshiro256pp::new(derive_seed(0xE7_000, t));
+            let truth_beta = t % 2 == 1;
+            let draw = if truth_beta {
+                draw_beta(n, cfg.spike_c, p, &mut rng)
+            } else {
+                draw_alpha(n, &mut rng)
+            };
+            let got = classify(&draw, n, &cfg, derive_seed(0xE7_500, t));
+            if got == truth_beta {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let correct = outcomes.iter().filter(|&&o| o > 0.5).count() as u64;
+        let acc = correct as f64 / outcomes.len() as f64;
+        let (lo, hi) = wilson_interval(correct, outcomes.len() as u64);
+        table.push_row([
+            buckets.to_string(),
+            format!("{:.1}×", buckets as f64 / n_pow),
+            fmt_sig(acc, 3),
+            format!("[{}, {}]", fmt_sig(lo, 3), fmt_sig(hi, 3)),
+            if acc >= 0.6 { "distinguishes" } else { "starved" }.to_string(),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,110 @@
+//! E5: update time — the fast-update simulation of §3 versus literally
+//! materializing the `M = n^c` duplicated coordinates.
+//!
+//! The naive path scales every one of the `M` virtual copies by its own
+//! exponential and hashes it into the stage-1 table; the simulated path does
+//! O(grid support + rows·kept) work per update regardless of `M`
+//! (Lemma 3.17). The measured ratio is the figure's payoff.
+
+use pts_core::{ApproxLpParams, ApproxLpSampler};
+use pts_samplers::TurnstileSampler;
+use pts_sketch::{LinearSketch, ModCountSketch};
+use pts_stream::gen::zipf_vector;
+use pts_stream::Update;
+use pts_util::table::fmt_sig;
+use pts_util::variates::keyed_exponential2;
+use pts_util::{derive_seed, Table};
+use std::time::Instant;
+
+/// The naive comparator: per update, loop over all `M` duplicates.
+struct NaiveDuplicated {
+    p: f64,
+    copies: u64,
+    cs: ModCountSketch,
+    seed: u64,
+}
+
+impl NaiveDuplicated {
+    fn new(p: f64, copies: u64, buckets: usize, seed: u64) -> Self {
+        Self {
+            p,
+            copies,
+            cs: ModCountSketch::new(5, buckets, derive_seed(seed, 1)),
+            seed,
+        }
+    }
+
+    fn process(&mut self, u: Update) {
+        // One CountSketch write per virtual copy — the cost the paper's
+        // simulation removes.
+        for j in 0..self.copies {
+            let e = keyed_exponential2(self.seed, u.index, j);
+            let scaled = u.delta as f64 / e.powf(1.0 / self.p);
+            self.cs.update(u.index * self.copies + j, scaled);
+        }
+    }
+}
+
+/// Times `updates` stream updates through `f`, returning ns/update.
+fn time_updates<F: FnMut(Update)>(updates: &[Update], mut f: F) -> f64 {
+    let start = Instant::now();
+    for &u in updates {
+        f(u);
+    }
+    start.elapsed().as_nanos() as f64 / updates.len() as f64
+}
+
+/// E5 runner.
+pub fn e5_update_time(quick: bool) -> Table {
+    let n = 1024;
+    let p = 4.0;
+    let m_updates = if quick { 2_000 } else { 20_000 };
+    let x = zipf_vector(n, 1.0, 500, 501);
+    let mut rng = pts_util::Xoshiro256pp::new(502);
+    let stream =
+        pts_stream::Stream::from_target(&x, pts_stream::StreamStyle::Turnstile { churn: 1.0 }, &mut rng);
+    let updates: Vec<Update> = stream.updates().iter().copied().take(m_updates).collect();
+
+    let mut table = Table::new([
+        "path", "virtual copies M", "ns/update", "speedup", "space",
+    ]);
+
+    // Simulated path (the paper's algorithm) at increasing duplication —
+    // cost must stay flat.
+    let mut sim_ns = Vec::new();
+    for dup_c in [1.0f64, 2.0, 3.0] {
+        let mut params = ApproxLpParams::for_universe(n, p, 0.2);
+        params.dup_c = dup_c;
+        let mut s = ApproxLpSampler::new(n, params, 503);
+        // Warm the per-index constant cache separately so steady-state
+        // update cost is what we time.
+        for &u in &updates {
+            s.process(u);
+        }
+        let ns = time_updates(&updates, |u| s.process(u));
+        sim_ns.push(ns);
+        table.push_row([
+            "simulated (Alg 4)".to_string(),
+            format!("n^{dup_c} = {:.0}", (n as f64).powf(dup_c)),
+            fmt_sig(ns, 3),
+            String::new(),
+            pts_util::table::fmt_bits(s.space_bits()),
+        ]);
+    }
+
+    // Naive materialized duplication — cost grows linearly in M.
+    for copies in [64u64, 1024, if quick { 4_096 } else { 16_384 }] {
+        let mut naive = NaiveDuplicated::new(p, copies, 4096, 504);
+        let sample: Vec<Update> = updates.iter().copied().take(m_updates / 10).collect();
+        let ns = time_updates(&sample, |u| naive.process(u));
+        let speedup = ns / sim_ns[1];
+        table.push_row([
+            "naive duplication".to_string(),
+            copies.to_string(),
+            fmt_sig(ns, 3),
+            format!("{}× slower", fmt_sig(speedup, 3)),
+            pts_util::table::fmt_bits(naive.cs.space_bits()),
+        ]);
+    }
+    table
+}

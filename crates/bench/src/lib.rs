@@ -1,0 +1,14 @@
+//! # pts-bench
+//!
+//! The experiment harness regenerating every table and figure of the paper
+//! (DESIGN.md §5 / EXPERIMENTS.md): parallel trial runners, the experiment
+//! registry, and the `reproduce` binary that prints each experiment as a
+//! markdown table. Criterion micro-benchmarks live in `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod runner;
+
+pub use experiments::{registry, Experiment};

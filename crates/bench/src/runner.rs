@@ -1,0 +1,116 @@
+//! Parallel trial machinery for the experiment harness.
+//!
+//! Every distribution experiment repeats "build a fresh sampler, ingest the
+//! workload, query once" thousands of times with independent seeds; trials
+//! are embarrassingly parallel, so we shard the seed range across threads
+//! with `std::thread::scope` (no extra dependencies needed).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of worker threads to use.
+pub fn worker_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(24)
+}
+
+/// Runs `trials` independent trials of `f` (seeded `0..trials`) in
+/// parallel; `f` returns `Some(index)` for a sample landing on `index` or
+/// `None` for a FAIL. Returns per-index counts plus the FAIL count.
+pub fn parallel_counts<F>(universe: usize, trials: u64, f: F) -> (Vec<u64>, u64)
+where
+    F: Fn(u64) -> Option<usize> + Sync,
+{
+    let threads = worker_threads() as u64;
+    let fails = AtomicU64::new(0);
+    let counts: Vec<AtomicU64> = (0..universe).map(|_| AtomicU64::new(0)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let f = &f;
+            let fails = &fails;
+            let counts = &counts;
+            scope.spawn(move || {
+                let mut t = w;
+                while t < trials {
+                    match f(t) {
+                        Some(i) => {
+                            counts[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            fails.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    t += threads;
+                }
+            });
+        }
+    });
+    (
+        counts.into_iter().map(|c| c.into_inner()).collect(),
+        fails.into_inner(),
+    )
+}
+
+/// Runs `trials` independent trials of `f` returning one `f64` per trial
+/// (NaN marks a failed trial and is dropped).
+pub fn parallel_values<F>(trials: u64, f: F) -> Vec<f64>
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    let threads = worker_threads() as u64;
+    let mut shards: Vec<Vec<f64>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut t = w;
+                    while t < trials {
+                        let v = f(t);
+                        if !v.is_nan() {
+                            out.push(v);
+                        }
+                        t += threads;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            shards.push(h.join().expect("worker panicked"));
+        }
+    });
+    shards.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_counts_accumulate_everything() {
+        // Trial t lands on index t % 5, failing when t % 7 == 0.
+        let (counts, fails) = parallel_counts(5, 700, |t| {
+            if t % 7 == 0 {
+                None
+            } else {
+                Some((t % 5) as usize)
+            }
+        });
+        assert_eq!(counts.iter().sum::<u64>() + fails, 700);
+        assert_eq!(fails, 100);
+    }
+
+    #[test]
+    fn parallel_values_drop_nan() {
+        let vals = parallel_values(100, |t| if t % 2 == 0 { t as f64 } else { f64::NAN });
+        assert_eq!(vals.len(), 50);
+    }
+
+    #[test]
+    fn worker_threads_positive() {
+        assert!(worker_threads() >= 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! **Subset-norm estimation with post-stream query sets** (Theorem 1.6,
+//! §5.1, Algorithm 5) — the "right to be forgotten" application.
+//!
+//! Estimate `‖x_Q‖_p^p = Σ_{i∈Q} |x_i|^p` where the query set `Q` is only
+//! revealed *after* the stream (a range query, or the survivors after
+//! forget-requests expunge `n∖Q`). Per repetition: draw an L_p sample `i_r`
+//! and an independent near-unbiased moment estimate `C_r ≈ F_p`; the
+//! estimator `Z = (1/R) Σ_{r: i_r∈Q} C_r` satisfies
+//! `E[Z] ≈ ‖x_Q‖_p^p` with `Var ≲ ‖x_Q‖_p^p F_p / R`, so
+//! `R = O(1/(αε²))` repetitions give a `(1+ε)`-approximation whenever
+//! `‖x_Q‖_p^p ≥ α F_p` — the `1/α` factor better than CountSketch that
+//! experiment E9 measures.
+
+use crate::approximate::{ApproxLpParams, ApproxLpSampler};
+use pts_samplers::TurnstileSampler;
+use pts_sketch::{FpTaylor, FpTaylorParams, LinearSketch};
+use pts_stream::Update;
+use pts_util::derive_seed;
+
+/// Parameters for [`SubsetNormEstimator`].
+#[derive(Debug, Clone, Copy)]
+pub struct SubsetNormParams {
+    /// Moment order `p > 2`.
+    pub p: f64,
+    /// Target relative accuracy ε.
+    pub epsilon: f64,
+    /// Assumed mass fraction `α ≤ ‖x_Q‖_p^p / F_p` (drives repetitions).
+    pub alpha: f64,
+    /// Repetition count `R` (defaults to `⌈4/(α ε²)⌉` via `for_universe`).
+    pub repetitions: usize,
+}
+
+impl SubsetNormParams {
+    /// Defaults: `R = ⌈4/(αε²)⌉` repetitions, each an approximate L_p
+    /// sampler at distortion `ε/4` (Algorithm 5 line 3).
+    ///
+    /// # Panics
+    /// Panics on out-of-range `p`, `ε` or `α`.
+    pub fn for_universe(_n: usize, p: f64, epsilon: f64, alpha: f64) -> Self {
+        assert!(p > 2.0, "subset-norm estimation here targets p > 2");
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
+        let repetitions = ((4.0 / (alpha * epsilon * epsilon)).ceil() as usize).clamp(8, 4096);
+        Self {
+            p,
+            epsilon,
+            alpha,
+            repetitions,
+        }
+    }
+}
+
+/// One repetition: an independent sampler + moment estimator pair.
+#[derive(Debug, Clone)]
+struct Repetition {
+    sampler: ApproxLpSampler,
+    moment: FpTaylor,
+}
+
+/// The subset-norm estimator (Algorithm 5).
+#[derive(Debug, Clone)]
+pub struct SubsetNormEstimator {
+    params: SubsetNormParams,
+    reps: Vec<Repetition>,
+}
+
+impl SubsetNormEstimator {
+    /// Builds the estimator over universe `[0, n)`.
+    pub fn new(n: usize, params: SubsetNormParams, seed: u64) -> Self {
+        assert!(params.repetitions >= 1);
+        let sampler_params = ApproxLpParams::for_universe(n, params.p, params.epsilon / 4.0);
+        let moment_params = FpTaylorParams::for_universe(n, params.p);
+        let reps = (0..params.repetitions)
+            .map(|r| Repetition {
+                sampler: ApproxLpSampler::new(n, sampler_params, derive_seed(seed, 2 * r as u64)),
+                moment: FpTaylor::new(n, moment_params, derive_seed(seed, 2 * r as u64 + 1)),
+            })
+            .collect();
+        Self { params, reps }
+    }
+
+    /// Processes one turnstile update into every repetition.
+    pub fn process(&mut self, u: Update) {
+        for rep in &mut self.reps {
+            rep.sampler.process(u);
+            rep.moment.update(u.index, u.delta as f64);
+        }
+    }
+
+    /// Answers the post-stream query: a `(1+ε)`-approximation of
+    /// `‖x_Q‖_p^p` (Algorithm 5 line 6), assuming `‖x_Q‖_p^p ≥ α F_p`.
+    ///
+    /// Repetitions whose sampler FAILed contribute zero — with the FAIL
+    /// probability bounded and independent of `Q`, this only rescales the
+    /// estimate by the measured success rate, which we divide back out.
+    pub fn query(&mut self, q: &[u64]) -> f64 {
+        let q_set: std::collections::HashSet<u64> = q.iter().copied().collect();
+        let mut total = 0.0;
+        let mut successes = 0u64;
+        for rep in &mut self.reps {
+            let Some(sample) = rep.sampler.sample() else {
+                continue;
+            };
+            successes += 1;
+            if q_set.contains(&sample.index) {
+                total += rep.moment.estimate();
+            }
+        }
+        if successes == 0 {
+            return 0.0;
+        }
+        total / successes as f64
+    }
+
+    /// The configured repetition count.
+    pub fn repetitions(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Total sketch size in bits.
+    pub fn space_bits(&self) -> usize {
+        self.reps
+            .iter()
+            .map(|r| r.sampler.space_bits() + r.moment.space_bits())
+            .sum()
+    }
+
+    /// Ingests a whole frequency vector.
+    pub fn ingest_vector(&mut self, x: &pts_stream::FrequencyVector) {
+        for (i, v) in x.iter_nonzero() {
+            self.process(Update::new(i, v));
+        }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> SubsetNormParams {
+        self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pts_stream::gen::{rfds_split, zipf_vector};
+    use pts_util::stats::{mean, quantile};
+
+    #[test]
+    fn full_universe_query_recovers_fp() {
+        let x = zipf_vector(64, 1.0, 100, 5);
+        let truth = x.fp_moment(3.0);
+        let q: Vec<u64> = (0..64u64).collect();
+        let errs: Vec<f64> = (0..6u64)
+            .map(|t| {
+                let mut est = SubsetNormEstimator::new(
+                    64,
+                    SubsetNormParams {
+                        p: 3.0,
+                        epsilon: 0.25,
+                        alpha: 1.0,
+                        repetitions: 64,
+                    },
+                    1_000 + t,
+                );
+                est.ingest_vector(&x);
+                (est.query(&q) - truth).abs() / truth
+            })
+            .collect();
+        let med = quantile(&errs, 0.5);
+        assert!(med < 0.3, "median rel err {med} (errs {errs:?})");
+    }
+
+    #[test]
+    fn heavy_subset_is_epsilon_accurate() {
+        // Q holds the heavy half of a skewed vector: α is large, few reps.
+        let x = zipf_vector(64, 1.1, 200, 9);
+        let p = 3.0;
+        // Heaviest 16 coordinates by |x| form Q.
+        let mut idx: Vec<u64> = (0..64u64).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(x.value(i).abs()));
+        let q: Vec<u64> = idx[..16].to_vec();
+        let truth = x.subset_fp(&q, p);
+        let alpha = truth / x.fp_moment(p);
+        assert!(alpha > 0.9, "alpha {alpha}");
+        let errs: Vec<f64> = (0..6u64)
+            .map(|t| {
+                let mut est = SubsetNormEstimator::new(
+                    64,
+                    SubsetNormParams {
+                        p,
+                        epsilon: 0.25,
+                        alpha: 0.9,
+                        repetitions: 64,
+                    },
+                    9_000 + t,
+                );
+                est.ingest_vector(&x);
+                (est.query(&q) - truth).abs() / truth
+            })
+            .collect();
+        assert!(mean(&errs) < 0.3, "mean rel err {} ({errs:?})", mean(&errs));
+    }
+
+    #[test]
+    fn empty_query_estimates_zero_mass() {
+        let x = zipf_vector(32, 1.0, 50, 3);
+        let mut est = SubsetNormEstimator::new(
+            32,
+            SubsetNormParams {
+                p: 3.0,
+                epsilon: 0.3,
+                alpha: 0.5,
+                repetitions: 32,
+            },
+            77,
+        );
+        est.ingest_vector(&x);
+        assert_eq!(est.query(&[]), 0.0);
+    }
+
+    #[test]
+    fn rfds_forget_workflow() {
+        // Forget 75% of entities post-stream; the kept set's moment must be
+        // recovered from sketches built before Q was known.
+        let x = zipf_vector(64, 0.9, 80, 21);
+        let p = 3.0;
+        let (kept, _) = rfds_split(64, 0.25, 22);
+        let truth = x.subset_fp(&kept, p);
+        let alpha = truth / x.fp_moment(p);
+        let reps = ((4.0 / (alpha * 0.3 * 0.3)).ceil() as usize).min(256);
+        let mut est = SubsetNormEstimator::new(
+            64,
+            SubsetNormParams {
+                p,
+                epsilon: 0.3,
+                alpha,
+                repetitions: reps,
+            },
+            23,
+        );
+        est.ingest_vector(&x);
+        let got = est.query(&kept);
+        let rel = (got - truth).abs() / truth;
+        assert!(rel < 0.5, "rel err {rel} (alpha {alpha}, reps {reps})");
+    }
+
+    #[test]
+    fn params_scale_reps_inversely_with_alpha_eps2() {
+        let a = SubsetNormParams::for_universe(64, 3.0, 0.2, 0.5);
+        let b = SubsetNormParams::for_universe(64, 3.0, 0.2, 0.25);
+        let c = SubsetNormParams::for_universe(64, 3.0, 0.1, 0.5);
+        assert_eq!(a.repetitions * 2, b.repetitions);
+        assert_eq!(a.repetitions * 4, c.repetitions);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = SubsetNormParams::for_universe(64, 3.0, 0.2, 0.0);
+    }
+}

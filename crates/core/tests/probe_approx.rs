@@ -1,0 +1,19 @@
+use pts_core::approximate::{ApproxLpParams, ApproxLpSampler};
+use pts_samplers::TurnstileSampler;
+use pts_stream::FrequencyVector;
+
+#[test]
+#[ignore]
+fn probe_approx_internals() {
+    let x = FrequencyVector::from_values(vec![4, -8, 12, 2, 0, 6, -10, 3]);
+    let n = 8;
+    let params = ApproxLpParams::for_universe(n, 3.0, 0.3);
+    println!("params: {params:?}");
+    for t in 0..5u64 {
+        let mut s = ApproxLpSampler::new(n, params, 1000 + t);
+        s.ingest_vector(&x);
+        // reach into internals via debug of sample steps: replicate logic
+        let out = s.sample();
+        println!("t={t} out={out:?} copies={} ", s.copies());
+    }
+}

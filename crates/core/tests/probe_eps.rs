@@ -1,0 +1,31 @@
+use pts_core::approximate::{ApproxLpParams, ApproxLpSampler};
+use pts_samplers::TurnstileSampler;
+use pts_stream::gen::zipf_vector;
+use pts_util::stats::{tv_distance, max_relative_bias};
+
+#[test]
+#[ignore]
+fn probe_eps_scaling() {
+    let n = 32;
+    let p = 3.0;
+    let x = zipf_vector(n, 1.1, 60, 101);
+    let weights = x.lp_weights(p);
+    for eps in [0.4f64, 0.2, 0.1, 0.05] {
+        let params = ApproxLpParams::for_universe(n, p, eps);
+        let trials = 12_000u64;
+        let mut counts = vec![0u64; n];
+        let mut fails = 0u64;
+        for t in 0..trials {
+            let mut s = ApproxLpSampler::new(n, params, 0xFC_000 + t * 11);
+            s.ingest_vector(&x);
+            match s.sample() {
+                Some(smp) => counts[smp.index as usize] += 1,
+                None => fails += 1,
+            }
+        }
+        println!("eps={eps}: fail={:.3} tv={:.4} maxbias={:.3}",
+            fails as f64 / trials as f64,
+            tv_distance(&counts, &weights),
+            max_relative_bias(&counts, &weights, 0.02));
+    }
+}

@@ -1,0 +1,35 @@
+use pts_core::approximate::{ApproxLpParams, ApproxLpSampler};
+use pts_samplers::TurnstileSampler;
+use pts_stream::gen::zipf_vector;
+use pts_util::stats::{tv_distance, max_relative_bias, chi_square_test};
+
+#[test]
+#[ignore]
+fn probe_threshold_factor() {
+    let n = 32;
+    let p = 3.0;
+    let x = zipf_vector(n, 1.1, 60, 101);
+    let weights = x.lp_weights(p);
+    let mass: f64 = weights.iter().sum();
+    let probs: Vec<f64> = weights.iter().map(|w| w / mass).collect();
+    for factor in [0.5f64, 1.0, 1.5, 2.0] {
+        let mut params = ApproxLpParams::for_universe(n, p, 0.3);
+        params.threshold_factor = factor;
+        let trials = 6000u64;
+        let mut counts = vec![0u64; n];
+        let mut fails = 0u64;
+        for t in 0..trials {
+            let mut s = ApproxLpSampler::new(n, params, 0xFA_000 + t * 131);
+            s.ingest_vector(&x);
+            match s.sample() {
+                Some(smp) => counts[smp.index as usize] += 1,
+                None => fails += 1,
+            }
+        }
+        let tv = tv_distance(&counts, &weights);
+        let bias = max_relative_bias(&counts, &weights, 0.02);
+        let chi = chi_square_test(&counts, &probs, 5.0);
+        println!("factor={factor}: fail={:.3} tv={tv:.4} bias={bias:.3} chi2p={:.2e}",
+            fails as f64 / trials as f64, chi.p_value);
+    }
+}

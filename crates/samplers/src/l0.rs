@@ -1,0 +1,217 @@
+//! Perfect L₀ sampling on turnstile streams (JST11, Theorem 5.4).
+//!
+//! Outputs a uniformly random non-zero coordinate, **with its exact value**,
+//! using `O(log² n)` space — the substrate for every G-sampler in §5
+//! (log, cap, and the general rejection framework).
+//!
+//! Construction: geometric subsampling levels (level `l` keeps each index
+//! with probability `2^{−l}`, nested) each feeding an exact
+//! [`SparseRecovery`] structure. At query time the deepest level whose
+//! subsampled vector is recoverable and non-empty reveals its full support
+//! exactly; a keyed min-hash picks one member. Exchangeability of the
+//! subsampling hash over non-zero indices makes the pick uniform.
+
+use crate::traits::{Sample, TurnstileSampler};
+use pts_sketch::{LinearSketch, SparseRecovery};
+use pts_stream::Update;
+use pts_util::{derive_seed, keyed_u64};
+
+/// Parameters for [`PerfectL0Sampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct L0Params {
+    /// Sparsity budget per level (recovery succeeds when the subsampled
+    /// support is at most this).
+    pub sparsity: usize,
+    /// Rows per sparse-recovery structure.
+    pub rows: usize,
+}
+
+impl Default for L0Params {
+    fn default() -> Self {
+        Self {
+            sparsity: 12,
+            rows: 4,
+        }
+    }
+}
+
+/// The perfect L₀ sampler.
+#[derive(Debug, Clone)]
+pub struct PerfectL0Sampler {
+    levels: Vec<SparseRecovery>,
+    subsample_seed: u64,
+    choice_seed: u64,
+}
+
+impl PerfectL0Sampler {
+    /// Builds the sampler for universe `[0, n)`.
+    pub fn new(n: usize, params: L0Params, seed: u64) -> Self {
+        let level_count = ((n.max(2) as f64).log2().ceil() as usize) + 2;
+        let levels = (0..level_count)
+            .map(|l| SparseRecovery::new(params.sparsity, params.rows, derive_seed(seed, l as u64)))
+            .collect();
+        Self {
+            levels,
+            subsample_seed: derive_seed(seed, 0x5AB5),
+            choice_seed: derive_seed(seed, 0xC01C),
+        }
+    }
+
+    /// Whether index `i` survives subsampling at level `l` (nested: the
+    /// survivor sets shrink as `l` grows).
+    #[inline]
+    fn survives(&self, i: u64, l: usize) -> bool {
+        keyed_u64(self.subsample_seed, i) <= (u64::MAX >> l)
+    }
+
+    /// The deepest-to-shallowest scan: the first level (from the sparsest
+    /// end) whose recovery succeeds with a non-empty support.
+    fn recover_some_level(&self) -> Option<Vec<(u64, i64)>> {
+        for sr in self.levels.iter().rev() {
+            match sr.recover() {
+                Some(support) if !support.is_empty() => return Some(support),
+                _ => continue,
+            }
+        }
+        None
+    }
+}
+
+impl TurnstileSampler for PerfectL0Sampler {
+    fn process(&mut self, u: Update) {
+        if u.delta == 0 {
+            return;
+        }
+        for l in 0..self.levels.len() {
+            if self.survives(u.index, l) {
+                self.levels[l].update_int(u.index, u.delta);
+            } else {
+                // Nested subsampling: once an index misses a level it misses
+                // all deeper ones.
+                break;
+            }
+        }
+    }
+
+    fn sample(&mut self) -> Option<Sample> {
+        let support = self.recover_some_level()?;
+        // Keyed min-hash pick: symmetric in the support, hence uniform over
+        // non-zeros; deterministic given the construction randomness.
+        let (&(index, value), _) = support
+            .iter()
+            .map(|entry| (entry, keyed_u64(self.choice_seed, entry.0)))
+            .min_by_key(|&(_, h)| h)?;
+        Some(Sample {
+            index,
+            estimate: value as f64,
+        })
+    }
+
+    fn space_bits(&self) -> usize {
+        self.levels.iter().map(LinearSketch::space_bits).sum::<usize>() + 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pts_stream::gen::zipf_vector;
+    use pts_stream::{FrequencyVector, Stream, StreamStyle};
+    use pts_util::stats::tv_distance;
+
+    #[test]
+    fn returns_exact_values() {
+        let x = FrequencyVector::from_values(vec![0, 7, 0, -3, 0, 0, 11, 0]);
+        for t in 0..50 {
+            let mut s = PerfectL0Sampler::new(8, L0Params::default(), t);
+            s.ingest_vector(&x);
+            let got = s.sample().expect("sparse vector must sample");
+            assert_eq!(got.estimate, x.value(got.index) as f64, "trial {t}");
+            assert_ne!(x.value(got.index), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_over_support() {
+        let mut values = vec![0i64; 64];
+        // 8 non-zeros with wildly different magnitudes: L0 must ignore them.
+        for (k, &i) in [3usize, 7, 12, 20, 33, 41, 50, 63].iter().enumerate() {
+            values[i] = if k % 2 == 0 { 1 } else { -(1 << k as i64) };
+        }
+        let x = FrequencyVector::from_values(values);
+        let uniform: Vec<f64> = x
+            .values()
+            .iter()
+            .map(|&v| if v != 0 { 1.0 } else { 0.0 })
+            .collect();
+        let mut counts = vec![0u64; 64];
+        let trials = 20_000;
+        for t in 0..trials {
+            let mut s = PerfectL0Sampler::new(64, L0Params::default(), 1000 + t);
+            s.ingest_vector(&x);
+            if let Some(sample) = s.sample() {
+                counts[sample.index as usize] += 1;
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        assert!(total > trials * 95 / 100, "failure rate too high: {total}");
+        let tv = tv_distance(&counts, &uniform);
+        assert!(tv < 0.02, "tv {tv}");
+    }
+
+    #[test]
+    fn survives_cancellation() {
+        let mut s = PerfectL0Sampler::new(16, L0Params::default(), 5);
+        // Insert then fully delete index 3; only index 9 remains.
+        s.process(Update::new(3, 100));
+        s.process(Update::new(9, 4));
+        s.process(Update::new(3, -100));
+        let got = s.sample().expect("must sample the survivor");
+        assert_eq!(got.index, 9);
+        assert_eq!(got.estimate, 4.0);
+    }
+
+    #[test]
+    fn zero_vector_fails() {
+        let mut s = PerfectL0Sampler::new(16, L0Params::default(), 6);
+        s.process(Update::new(3, 5));
+        s.process(Update::new(3, -5));
+        assert!(s.sample().is_none());
+    }
+
+    #[test]
+    fn dense_vectors_still_sample_via_deep_levels() {
+        let x = zipf_vector(512, 0.5, 100, 9);
+        assert_eq!(x.f0(), 512);
+        let mut ok = 0;
+        for t in 0..100 {
+            let mut s = PerfectL0Sampler::new(512, L0Params::default(), 700 + t);
+            s.ingest_vector(&x);
+            if let Some(sample) = s.sample() {
+                assert_eq!(sample.estimate, x.value(sample.index) as f64);
+                ok += 1;
+            }
+        }
+        assert!(ok >= 97, "success {ok}/100");
+    }
+
+    #[test]
+    fn stream_vs_vector_agree() {
+        let x = zipf_vector(64, 1.0, 60, 10);
+        let mut rng = pts_util::Xoshiro256pp::new(11);
+        let stream = Stream::from_target(&x, StreamStyle::Turnstile { churn: 1.0 }, &mut rng);
+        let mut a = PerfectL0Sampler::new(64, L0Params::default(), 12);
+        a.ingest_stream(&stream);
+        let mut b = PerfectL0Sampler::new(64, L0Params::default(), 12);
+        b.ingest_vector(&x);
+        assert_eq!(a.sample(), b.sample());
+    }
+
+    #[test]
+    fn space_is_polylog_for_large_universe() {
+        let s = PerfectL0Sampler::new(1 << 20, L0Params::default(), 13);
+        // 22 levels × (4 rows × 24 cells × ~317 bits) ≈ 670 Kib — minuscule
+        // against the 64 Mib of the raw vector.
+        assert!(s.space_bits() < (1 << 20) * 64 / 50);
+    }
+}

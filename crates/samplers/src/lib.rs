@@ -1,0 +1,27 @@
+//! # pts-samplers
+//!
+//! Substrate samplers consumed by the paper's algorithms and the baselines
+//! they are compared against (DESIGN.md S15–S18):
+//!
+//! * [`PerfectL0Sampler`] — JST11 perfect L₀ sampling with exact values
+//!   (Theorem 5.4); feeds every G-sampler in §5.
+//! * [`PerfectLpLe2Sampler`] / [`LpLe2Batch`] — the JW18-style perfect L_p
+//!   sampler for `p ∈ (0, 2]` (Theorem 1.10); the black box inside
+//!   Algorithms 1–3.
+//! * [`PrecisionSampler`] — the approximate `(1±ε)` baseline (\[JST11\]).
+//! * [`ReservoirSampler`] — insertion-only truly perfect L₁ (\[Vit85\]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod l0;
+pub mod l2_perfect;
+pub mod precision;
+pub mod reservoir;
+pub mod traits;
+
+pub use l0::{L0Params, PerfectL0Sampler};
+pub use l2_perfect::{LpLe2Batch, LpLe2Params, PerfectLpLe2Sampler};
+pub use precision::{PrecisionParams, PrecisionSampler};
+pub use reservoir::{ReservoirK, ReservoirSampler};
+pub use traits::{Sample, TurnstileSampler};

@@ -1,0 +1,48 @@
+//! The sampler contract shared by every sampler in the stack.
+
+use pts_stream::{FrequencyVector, Stream, Update};
+
+/// A sample drawn from a stream: the index and (when the sampler provides
+/// one) an estimate of its frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// The sampled coordinate.
+    pub index: u64,
+    /// The sampler's estimate of `x_index` (exact for L₀ samplers, `(1+ε)`
+    /// for the L_p family, `NaN`-free always).
+    pub estimate: f64,
+}
+
+/// A one-shot sampler over a turnstile stream.
+///
+/// Lifecycle: construct with a seed → feed every update → call
+/// [`TurnstileSampler::sample`] once at the end of the stream. The outcome
+/// is `Some(sample)` or `None` (the paper's FAIL symbol ⊥ — failing is part
+/// of the contract, with bounded probability). Independent samples require
+/// independent sampler instances (fresh seeds); the experiment harness runs
+/// thousands of instances to measure the output law.
+pub trait TurnstileSampler {
+    /// Processes one turnstile update.
+    fn process(&mut self, u: Update);
+
+    /// Draws the sample (or FAIL) from the current state.
+    fn sample(&mut self) -> Option<Sample>;
+
+    /// Information-theoretic sketch size in bits (see
+    /// `pts_sketch::LinearSketch::space_bits` for the accounting rules).
+    fn space_bits(&self) -> usize;
+
+    /// Feeds a whole frequency vector (one bulk update per non-zero).
+    fn ingest_vector(&mut self, x: &FrequencyVector) {
+        for (i, v) in x.iter_nonzero() {
+            self.process(Update::new(i, v));
+        }
+    }
+
+    /// Replays a stream update-by-update.
+    fn ingest_stream(&mut self, s: &Stream) {
+        for u in s.iter() {
+            self.process(*u);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+// temporary probe appended as integration test
+use pts_samplers::{LpLe2Batch, LpLe2Params, TurnstileSampler};
+use pts_stream::FrequencyVector;
+
+#[test]
+#[ignore]
+fn probe_l2_bias() {
+    let x = FrequencyVector::from_values(vec![10, -20, 30, 5, 0, 15]);
+    let weights = x.lp_weights(2.0);
+    let total: f64 = weights.iter().sum();
+    let trials = 40_000u64;
+    let mut counts = [0u64; 6];
+    let mut fails = 0u64;
+    // Also: condition fail on true argmax identity
+    let mut fail_by_winner = [0u64; 6];
+    let mut trials_by_winner = [0u64; 6];
+    for t in 0..trials {
+        let mut b = LpLe2Batch::new(6, LpLe2Params::for_universe(6, 2.0), 1, 555_000 + t);
+        b.ingest_vector(&x);
+        // true argmax of instance 0's scaled vector
+        let inst = b.instance(0);
+        let mut best = (0usize, f64::MIN);
+        for i in 0..6u64 {
+            let z = (x.value(i) as f64 * inst.scale(i)).abs();
+            if z > best.1 { best = (i as usize, z); }
+        }
+        trials_by_winner[best.0] += 1;
+        match b.sample() {
+            Some(s) => counts[s.index as usize] += 1,
+            None => { fails += 1; fail_by_winner[best.0] += 1; }
+        }
+    }
+    println!("fail rate overall: {:.4}", fails as f64 / trials as f64);
+    let got: u64 = counts.iter().sum();
+    for i in 0..6 {
+        let ideal = weights[i] / total;
+        let emp = counts[i] as f64 / got as f64;
+        let failr = if trials_by_winner[i] > 0 { fail_by_winner[i] as f64 / trials_by_winner[i] as f64 } else { f64::NAN };
+        println!("i={} ideal={:.4} emp={:.4} rel={:+.3} winner_trials={} cond_fail={:.3}",
+            i, ideal, emp, (emp-ideal)/ideal.max(1e-12), trials_by_winner[i], failr);
+    }
+}

@@ -1,0 +1,264 @@
+//! AMS F₂ estimation \[AMS99\] and the Gaussian (2-stable) L₂ estimator.
+//!
+//! `AmsF2` is the classic median-of-means tug-of-war sketch: each counter
+//! holds `Σ σ_i x_i` for 4-wise independent signs; squaring is unbiased for
+//! `F₂` with variance `2F₂²`, means over columns shrink the variance,
+//! medians over rows boost confidence. Algorithm 1 uses it for `F̂₂`.
+//!
+//! `GaussianL2` is the 2-stable variant of §3 (line 14 of Algorithm 4):
+//! each counter holds `Σ φ_i x_i` with i.i.d. Gaussians, so each counter is
+//! distributed `N(0, ‖x‖₂²)` and `median_j |counter_j| / Φ^{-1}(3/4)` is a
+//! consistent estimate of `‖x‖₂`.
+
+use crate::countsketch::median_in_place;
+use crate::traits::LinearSketch;
+use pts_util::variates::keyed_gaussian;
+use pts_util::{derive_seed, KWiseHash, Xoshiro256pp};
+
+/// Median of `|N(0,1)|`, i.e. `Φ^{-1}(3/4)` — the normalizer for
+/// median-based Gaussian norm estimation.
+pub const GAUSSIAN_ABS_MEDIAN: f64 = 0.674_489_750_196_081_7;
+
+/// AMS tug-of-war sketch for `F₂ = ‖x‖₂²`.
+#[derive(Debug, Clone)]
+pub struct AmsF2 {
+    rows: usize,
+    cols: usize,
+    counters: Vec<f64>,
+    signs: Vec<KWiseHash>,
+}
+
+impl AmsF2 {
+    /// `rows × cols` counters: relative error `O(1/√cols)` with failure
+    /// probability `2^{−Ω(rows)}`.
+    ///
+    /// # Panics
+    /// Panics on a degenerate configuration.
+    pub fn new(rows: usize, cols: usize, seed: u64) -> Self {
+        assert!(rows > 0 && cols > 0, "degenerate AMS configuration");
+        let mut rng = Xoshiro256pp::new(derive_seed(seed, 0xA352));
+        let signs = (0..rows * cols)
+            .map(|_| KWiseHash::new(4, &mut rng))
+            .collect();
+        Self {
+            rows,
+            cols,
+            counters: vec![0.0; rows * cols],
+            signs,
+        }
+    }
+
+    /// Standard configuration for a 2-approximation w.h.p. at universe `n`.
+    pub fn for_2_approx(n: usize, seed: u64) -> Self {
+        let rows = ((n.max(2) as f64).ln().ceil() as usize).clamp(5, 9) | 1;
+        Self::new(rows, 24, seed)
+    }
+
+    /// The `F₂` estimate: median over rows of the mean over columns of the
+    /// squared counters.
+    pub fn estimate(&self) -> f64 {
+        let mut row_means: Vec<f64> = (0..self.rows)
+            .map(|r| {
+                let row = &self.counters[r * self.cols..(r + 1) * self.cols];
+                row.iter().map(|c| c * c).sum::<f64>() / self.cols as f64
+            })
+            .collect();
+        median_in_place(&mut row_means)
+    }
+
+    /// `‖x‖₂` estimate.
+    pub fn l2_estimate(&self) -> f64 {
+        self.estimate().max(0.0).sqrt()
+    }
+
+    /// Merges a compatible sketch (same seed/shape).
+    ///
+    /// # Panics
+    /// Panics if shapes differ (seed compatibility is the caller's
+    /// responsibility and is checked indirectly via shape).
+    pub fn merge(&mut self, other: &AmsF2) {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "col mismatch");
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+    }
+}
+
+impl LinearSketch for AmsF2 {
+    #[inline]
+    fn update(&mut self, index: u64, delta: f64) {
+        for (c, h) in self.counters.iter_mut().zip(&self.signs) {
+            *c += h.sign(index) as f64 * delta;
+        }
+    }
+
+    fn space_bits(&self) -> usize {
+        self.counters.len() * 64 + self.signs.iter().map(KWiseHash::space_bits).sum::<usize>()
+    }
+}
+
+/// Gaussian 2-stable L₂ estimator (`R` in Algorithm 4).
+#[derive(Debug, Clone)]
+pub struct GaussianL2 {
+    counters: Vec<f64>,
+    seed: u64,
+}
+
+impl GaussianL2 {
+    /// `reps` independent Gaussian projections.
+    ///
+    /// # Panics
+    /// Panics if `reps == 0`.
+    pub fn new(reps: usize, seed: u64) -> Self {
+        assert!(reps > 0, "need at least one repetition");
+        Self {
+            counters: vec![0.0; reps],
+            seed,
+        }
+    }
+
+    /// Number of independent projections.
+    pub fn reps(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// The consistent `‖x‖₂` estimate `median_j |counter_j| / Φ^{-1}(3/4)`.
+    pub fn estimate(&self) -> f64 {
+        let mut mags: Vec<f64> = self.counters.iter().map(|c| c.abs()).collect();
+        median_in_place(&mut mags) / GAUSSIAN_ABS_MEDIAN
+    }
+
+    /// The paper's convention: an over-estimate `R ∈ [‖x‖₂/2, 2‖x‖₂]`
+    /// obtained by inflating the median estimate by 5/4 (line 14, §3).
+    pub fn conservative_estimate(&self) -> f64 {
+        1.25 * self.estimate()
+    }
+}
+
+impl LinearSketch for GaussianL2 {
+    #[inline]
+    fn update(&mut self, index: u64, delta: f64) {
+        for (j, c) in self.counters.iter_mut().enumerate() {
+            *c += keyed_gaussian(derive_seed(self.seed, j as u64), index) * delta;
+        }
+    }
+
+    fn space_bits(&self) -> usize {
+        // Counters plus one 64-bit seed (Gaussians are keyed, not stored).
+        self.counters.len() * 64 + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pts_stream::gen::{uniform_vector, zipf_vector};
+    use pts_stream::{Stream, StreamStyle};
+
+    #[test]
+    fn ams_is_2_approx_on_batteries() {
+        for (seed, x) in [
+            (1u64, zipf_vector(256, 1.1, 400, 21)),
+            (2, uniform_vector(256, 30, 22)),
+        ] {
+            let truth = x.f2();
+            let mut ok = 0;
+            let trials = 30;
+            for t in 0..trials {
+                let mut ams = AmsF2::for_2_approx(256, seed * 1000 + t);
+                ams.ingest_vector(&x);
+                let est = ams.estimate();
+                if est >= truth / 2.0 && est <= truth * 2.0 {
+                    ok += 1;
+                }
+            }
+            assert!(ok >= trials - 1, "2-approx held {ok}/{trials}");
+        }
+    }
+
+    #[test]
+    fn ams_estimate_is_unbiased_in_expectation() {
+        let x = zipf_vector(128, 1.0, 200, 23);
+        let truth = x.f2();
+        let reps = 300;
+        // Single counter per sketch isolates the raw estimator.
+        let mean: f64 = (0..reps)
+            .map(|r| {
+                let mut a = AmsF2::new(1, 1, 5000 + r);
+                a.ingest_vector(&x);
+                a.estimate()
+            })
+            .sum::<f64>()
+            / reps as f64;
+        // Var = 2 F2²; standard error = sqrt(2/reps)·F2.
+        let tol = 3.0 * (2.0 / reps as f64).sqrt() * truth;
+        assert!((mean - truth).abs() < tol, "mean {mean} vs truth {truth}");
+    }
+
+    #[test]
+    fn ams_stream_vs_vector_agree() {
+        let x = zipf_vector(64, 1.2, 100, 24);
+        let mut rng = pts_util::Xoshiro256pp::new(25);
+        let s = Stream::from_target(&x, StreamStyle::Turnstile { churn: 1.0 }, &mut rng);
+        let mut a = AmsF2::new(5, 8, 7);
+        a.ingest_stream(&s);
+        let mut b = AmsF2::new(5, 8, 7);
+        b.ingest_vector(&x);
+        assert!((a.estimate() - b.estimate()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ams_merge_linearity() {
+        let x = uniform_vector(64, 10, 26);
+        let y = uniform_vector(64, 10, 27);
+        let mut sx = AmsF2::new(5, 8, 9);
+        sx.ingest_vector(&x);
+        let mut sy = AmsF2::new(5, 8, 9);
+        sy.ingest_vector(&y);
+        sx.merge(&sy);
+        let mut sxy = AmsF2::new(5, 8, 9);
+        sxy.ingest_vector(&x.add(&y));
+        assert!((sx.estimate() - sxy.estimate()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gaussian_l2_concentrates() {
+        let x = zipf_vector(256, 1.0, 100, 28);
+        let truth = x.f2().sqrt();
+        let mut g = GaussianL2::new(101, 3);
+        g.ingest_vector(&x);
+        let est = g.estimate();
+        assert!(
+            (est - truth).abs() / truth < 0.35,
+            "est {est} vs truth {truth}"
+        );
+        let cons = g.conservative_estimate();
+        assert!(cons >= truth * 0.5 && cons <= truth * 2.0, "cons {cons}");
+    }
+
+    #[test]
+    fn gaussian_l2_median_normalizer_is_calibrated() {
+        // Average many independent estimates: should land on ‖x‖₂.
+        let x = uniform_vector(64, 5, 29);
+        let truth = x.f2().sqrt();
+        let reps = 200;
+        let mean: f64 = (0..reps)
+            .map(|r| {
+                let mut g = GaussianL2::new(15, 9000 + r);
+                g.ingest_vector(&x);
+                g.estimate()
+            })
+            .sum::<f64>()
+            / reps as f64;
+        assert!((mean - truth).abs() / truth < 0.05, "mean {mean} vs {truth}");
+    }
+
+    #[test]
+    fn space_bits_accounting() {
+        let a = AmsF2::new(2, 3, 1);
+        assert_eq!(a.space_bits(), 6 * 64 + 6 * 4 * 61);
+        let g = GaussianL2::new(4, 1);
+        assert_eq!(g.space_bits(), 4 * 64 + 64);
+    }
+}

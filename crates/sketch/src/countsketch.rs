@@ -1,0 +1,332 @@
+//! Classic CountSketch \[CCF04\]: `d` rows × `b` buckets, per-row bucket and
+//! sign hashes, median-of-rows decoding.
+//!
+//! Guarantee: for each `i`, `|x̂_i − x_i| ≤ O(‖x_tail‖₂ / √b)` with
+//! probability `1 − 2^{−Ω(d)}`. The perfect L_p samplers lean on this twice:
+//! to find the maximum of the scaled vector (Lemma 1.17 makes it a heavy
+//! hitter) and to extract near-unbiased estimates `x̂_j^{(a)}` for the
+//! rejection step (Corollary 2.2/2.3).
+//!
+//! Hashing: rows use keyed splitmix finalizers (`pts_util::keyed_u64`) —
+//! the same random-oracle-style keyed randomness that drives the samplers'
+//! per-index exponentials, chosen because CountSketch evaluation is the hot
+//! path of every experiment (the formally pairwise/4-wise polynomial family
+//! over 2^61−1 costs ~10× more per update; it remains in use where k-wise
+//! independence is load-bearing for an estimator's variance analysis — AMS
+//! and sparse recovery). The unbiasedness and error-bound tests below
+//! validate the behaviour empirically.
+
+use crate::traits::LinearSketch;
+use pts_util::{derive_seed, keyed_u64};
+
+/// Configuration for a [`CountSketch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountSketchParams {
+    /// Number of rows `d` (the median is taken across rows).
+    pub rows: usize,
+    /// Number of buckets per row `b`.
+    pub buckets: usize,
+}
+
+impl CountSketchParams {
+    /// Standard parameters: `rows = Θ(log n)` rows for failure probability
+    /// `1/poly(n)` and the requested bucket count.
+    pub fn for_universe(n: usize, buckets: usize) -> Self {
+        let rows = ((n.max(2) as f64).ln().ceil() as usize).clamp(3, 9) | 1;
+        Self { rows, buckets }
+    }
+}
+
+/// The classic CountSketch table.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    rows: usize,
+    buckets: usize,
+    table: Vec<f64>,
+    row_seeds: Vec<u64>,
+    seed: u64,
+}
+
+impl CountSketch {
+    /// Creates an empty sketch with the given parameters and seed.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `buckets == 0`.
+    pub fn new(params: CountSketchParams, seed: u64) -> Self {
+        assert!(params.rows > 0 && params.buckets > 0, "degenerate table");
+        let base = derive_seed(seed, 0x6353);
+        let row_seeds = (0..params.rows)
+            .map(|r| derive_seed(base, r as u64))
+            .collect();
+        Self {
+            rows: params.rows,
+            buckets: params.buckets,
+            table: vec![0.0; params.rows * params.buckets],
+            row_seeds,
+            seed,
+        }
+    }
+
+    /// The (bucket, sign) pair of index `i` in row `r`: one keyed-hash
+    /// evaluation supplies 63 bits for the bucket and 1 bit for the sign.
+    #[inline]
+    fn slot(&self, r: usize, i: u64) -> (usize, f64) {
+        let h = keyed_u64(self.row_seeds[r], i);
+        let bucket = (((h >> 1) as u128 * self.buckets as u128) >> 63) as usize;
+        let sign = if h & 1 == 0 { 1.0 } else { -1.0 };
+        (bucket, sign)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Buckets per row.
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// The seed this sketch was built with (two sketches merge iff equal).
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, bucket: usize) -> usize {
+        row * self.buckets + bucket
+    }
+
+    /// Point estimate `x̂_i`: median over rows of `sign · bucket`.
+    pub fn estimate(&self, i: u64) -> f64 {
+        let mut vals: Vec<f64> = (0..self.rows)
+            .map(|r| {
+                let (b, s) = self.slot(r, i);
+                s * self.table[self.cell(r, b)]
+            })
+            .collect();
+        median_in_place(&mut vals)
+    }
+
+    /// Decodes estimates for the whole universe `[0, n)`.
+    ///
+    /// O(n·rows) *query* work — the space stays sublinear; see DESIGN.md §4
+    /// on recovery modes.
+    pub fn decode_all(&self, n: usize) -> Vec<f64> {
+        (0..n as u64).map(|i| self.estimate(i)).collect()
+    }
+
+    /// The index with the largest estimated magnitude over `[0, n)`,
+    /// together with its estimate.
+    pub fn argmax(&self, n: usize) -> (u64, f64) {
+        let mut best = (0u64, f64::NEG_INFINITY);
+        for i in 0..n as u64 {
+            let e = self.estimate(i);
+            if e.abs() > best.1.abs() || best.1 == f64::NEG_INFINITY {
+                best = (i, e);
+            }
+        }
+        best
+    }
+
+    /// Merges another sketch built with the same parameters and seed
+    /// (linearity across distributed shards).
+    ///
+    /// # Panics
+    /// Panics if the sketches are incompatible.
+    pub fn merge(&mut self, other: &CountSketch) {
+        assert_eq!(self.seed, other.seed, "seed mismatch");
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.buckets, other.buckets, "bucket mismatch");
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += b;
+        }
+    }
+
+    /// Raw table access for white-box tests.
+    #[doc(hidden)]
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+}
+
+impl LinearSketch for CountSketch {
+    #[inline]
+    fn update(&mut self, index: u64, delta: f64) {
+        for r in 0..self.rows {
+            let (b, s) = self.slot(r, index);
+            let cell = self.cell(r, b);
+            self.table[cell] += s * delta;
+        }
+    }
+
+    fn space_bits(&self) -> usize {
+        // Counters plus one 64-bit seed per row.
+        self.table.len() * 64 + self.row_seeds.len() * 64
+    }
+}
+
+/// Median of a mutable slice (averages the middle pair on even length).
+pub(crate) fn median_in_place(vals: &mut [f64]) -> f64 {
+    assert!(!vals.is_empty(), "median of empty slice");
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = vals.len();
+    if n % 2 == 1 {
+        vals[n / 2]
+    } else {
+        0.5 * (vals[n / 2 - 1] + vals[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pts_stream::gen::zipf_vector;
+    use pts_stream::{FrequencyVector, Stream, StreamStyle};
+
+    fn params() -> CountSketchParams {
+        CountSketchParams { rows: 5, buckets: 64 }
+    }
+
+    #[test]
+    fn exact_recovery_when_sparse() {
+        // With far fewer non-zeros than buckets, collisions are rare and the
+        // median across 5 rows recovers values exactly.
+        let mut cs = CountSketch::new(params(), 1);
+        cs.update(3, 10.0);
+        cs.update(47, -6.0);
+        assert!((cs.estimate(3) - 10.0).abs() < 1e-9);
+        assert!((cs.estimate(47) + 6.0).abs() < 1e-9);
+        assert!(cs.estimate(12).abs() < 1e-9 + 16.0); // untouched index: noise only
+    }
+
+    #[test]
+    fn update_is_linear_in_delta() {
+        let mut a = CountSketch::new(params(), 2);
+        let mut b = CountSketch::new(params(), 2);
+        a.update(9, 7.5);
+        b.update(9, 5.0);
+        b.update(9, 2.5);
+        assert_eq!(a.table(), b.table());
+    }
+
+    #[test]
+    fn stream_and_vector_ingest_agree() {
+        let target = zipf_vector(128, 1.1, 500, 3);
+        let mut rng = pts_util::Xoshiro256pp::new(4);
+        let stream = Stream::from_target(&target, StreamStyle::Turnstile { churn: 1.0 }, &mut rng);
+        let mut via_stream = CountSketch::new(params(), 5);
+        via_stream.ingest_stream(&stream);
+        let mut via_vector = CountSketch::new(params(), 5);
+        via_vector.ingest_vector(&target);
+        for (a, b) in via_stream.table().iter().zip(via_vector.table()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_ingesting_sum() {
+        let x = zipf_vector(64, 1.0, 100, 6);
+        let y = zipf_vector(64, 1.0, 100, 7);
+        let mut sx = CountSketch::new(params(), 8);
+        sx.ingest_vector(&x);
+        let mut sy = CountSketch::new(params(), 8);
+        sy.ingest_vector(&y);
+        sx.merge(&sy);
+        let mut sxy = CountSketch::new(params(), 8);
+        sxy.ingest_vector(&x.add(&y));
+        for (a, b) in sx.table().iter().zip(sxy.table()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seed mismatch")]
+    fn merge_rejects_different_seeds() {
+        let mut a = CountSketch::new(params(), 1);
+        let b = CountSketch::new(params(), 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn error_bounded_by_l2_over_sqrt_buckets() {
+        // Textbook guarantee: per-index error ≲ ‖x‖₂/√b w.h.p.
+        let n = 512;
+        let x = zipf_vector(n, 0.8, 200, 9);
+        let l2 = x.f2().sqrt();
+        let cs_params = CountSketchParams { rows: 7, buckets: 128 };
+        let mut cs = CountSketch::new(cs_params, 10);
+        cs.ingest_vector(&x);
+        let bound = 4.0 * l2 / (cs_params.buckets as f64).sqrt();
+        let mut violations = 0;
+        for i in 0..n as u64 {
+            if (cs.estimate(i) - x.value(i) as f64).abs() > bound {
+                violations += 1;
+            }
+        }
+        assert!(violations <= n / 100, "violations {violations}");
+    }
+
+    #[test]
+    fn estimate_is_empirically_unbiased() {
+        // Average the estimate of one fixed index over many independent
+        // sketches: the signed collision noise cancels.
+        let x = zipf_vector(256, 1.0, 300, 11);
+        let i = 17u64;
+        let truth = x.value(i) as f64;
+        let reps = 400;
+        let mean_est: f64 = (0..reps)
+            .map(|r| {
+                let mut cs =
+                    CountSketch::new(CountSketchParams { rows: 1, buckets: 32 }, 1000 + r);
+                cs.ingest_vector(&x);
+                cs.estimate(i)
+            })
+            .sum::<f64>()
+            / reps as f64;
+        let l2 = x.f2().sqrt();
+        let standard_err = l2 / 32f64.sqrt() / (reps as f64).sqrt() * 3.0;
+        assert!(
+            (mean_est - truth).abs() < standard_err.max(1.0),
+            "mean {mean_est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn argmax_finds_planted_heavy_hitter() {
+        let mut values = vec![1i64; 256];
+        values[99] = 10_000;
+        let x = FrequencyVector::from_values(values);
+        let mut cs = CountSketch::new(params(), 12);
+        cs.ingest_vector(&x);
+        let (i, est) = cs.argmax(256);
+        assert_eq!(i, 99);
+        assert!((est - 10_000.0).abs() / 10_000.0 < 0.05);
+    }
+
+    #[test]
+    fn space_bits_counts_table_and_seeds() {
+        let cs = CountSketch::new(CountSketchParams { rows: 3, buckets: 16 }, 1);
+        // 48 counters * 64 bits + 3 row seeds * 64 bits.
+        assert_eq!(cs.space_bits(), 48 * 64 + 3 * 64);
+    }
+
+    #[test]
+    fn median_in_place_both_parities() {
+        let mut odd = [3.0, 1.0, 2.0];
+        assert_eq!(median_in_place(&mut odd), 2.0);
+        let mut even = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median_in_place(&mut even), 2.5);
+    }
+
+    #[test]
+    fn for_universe_picks_odd_row_count() {
+        for n in [2usize, 100, 10_000, 1_000_000] {
+            let p = CountSketchParams::for_universe(n, 8);
+            assert!(p.rows % 2 == 1 && (3..=9).contains(&p.rows), "n={n}");
+        }
+    }
+}

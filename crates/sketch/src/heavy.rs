@@ -1,0 +1,176 @@
+//! Dyadic CountSketch heavy hitters: identify large coordinates with
+//! polylogarithmic *query* work instead of a full-universe decode.
+//!
+//! One CountSketch per dyadic level; level `l` sketches the vector of
+//! block sums over blocks of size `2^l`. A query walks down the tree with a
+//! beam of the most promising blocks. This is the "fast recovery" mode
+//! referenced in DESIGN.md §4 — the experiments verify it agrees with the
+//! exhaustive decode.
+//!
+//! Caveat (documented, standard for signed dyadic trees): block sums can
+//! cancel adversarially; with random signs this loses heavy coordinates with
+//! negligible probability, and the beam width gives additional slack.
+
+use crate::countsketch::{CountSketch, CountSketchParams};
+use crate::traits::LinearSketch;
+use pts_util::derive_seed;
+
+/// Dyadic tree of CountSketches over `[0, 2^levels)`.
+#[derive(Debug, Clone)]
+pub struct DyadicHeavyHitters {
+    /// `sketches[l]` sketches block sums at granularity `2^l` (level 0 =
+    /// individual coordinates).
+    sketches: Vec<CountSketch>,
+    levels: usize,
+}
+
+impl DyadicHeavyHitters {
+    /// Builds the tree for a universe of size `≤ 2^ceil(log2 n)`.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, params: CountSketchParams, seed: u64) -> Self {
+        assert!(n >= 2, "universe too small");
+        let levels = (n as f64).log2().ceil() as usize;
+        let sketches = (0..=levels)
+            .map(|l| CountSketch::new(params, derive_seed(seed, l as u64)))
+            .collect();
+        Self { sketches, levels }
+    }
+
+    /// The padded universe size `2^levels`.
+    pub fn padded_universe(&self) -> usize {
+        1 << self.levels
+    }
+
+    /// Returns up to `k` candidate heavy coordinates, sorted by decreasing
+    /// estimated magnitude, each with its level-0 estimate.
+    ///
+    /// `beam` controls the number of blocks kept alive per level
+    /// (`beam ≥ k` recommended).
+    pub fn top_candidates(&self, k: usize, beam: usize) -> Vec<(u64, f64)> {
+        assert!(k >= 1 && beam >= k, "beam must be at least k");
+        // Start at the coarsest level with blocks of size 2^levels: a single
+        // root block (index 0).
+        let mut frontier: Vec<u64> = vec![0];
+        for l in (0..self.levels).rev() {
+            let mut next: Vec<(u64, f64)> = Vec::with_capacity(frontier.len() * 2);
+            for &block in &frontier {
+                for child in [2 * block, 2 * block + 1] {
+                    let est = self.sketches[l].estimate(child);
+                    next.push((child, est.abs()));
+                }
+            }
+            next.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            next.truncate(beam);
+            frontier = next.into_iter().map(|(b, _)| b).collect();
+        }
+        let mut leaves: Vec<(u64, f64)> = frontier
+            .into_iter()
+            .map(|i| (i, self.sketches[0].estimate(i)))
+            .collect();
+        leaves.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        leaves.truncate(k);
+        leaves
+    }
+
+    /// The estimated-argmax coordinate and its estimate.
+    pub fn argmax(&self, beam: usize) -> (u64, f64) {
+        self.top_candidates(1, beam.max(1))[0]
+    }
+
+    /// Point estimate at level 0 (same contract as `CountSketch::estimate`).
+    pub fn estimate(&self, i: u64) -> f64 {
+        self.sketches[0].estimate(i)
+    }
+}
+
+impl LinearSketch for DyadicHeavyHitters {
+    #[inline]
+    fn update(&mut self, index: u64, delta: f64) {
+        for (l, sk) in self.sketches.iter_mut().enumerate() {
+            sk.update(index >> l, delta);
+        }
+    }
+
+    fn space_bits(&self) -> usize {
+        self.sketches.iter().map(LinearSketch::space_bits).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pts_stream::gen::planted_vector;
+    use pts_stream::FrequencyVector;
+
+    fn params() -> CountSketchParams {
+        CountSketchParams { rows: 5, buckets: 64 }
+    }
+
+    #[test]
+    fn finds_single_planted_heavy() {
+        let mut values = vec![0i64; 200];
+        values[123] = 5_000;
+        for (i, v) in values.iter_mut().enumerate() {
+            if *v == 0 {
+                *v = if i % 2 == 0 { 3 } else { -3 };
+            }
+        }
+        let x = FrequencyVector::from_values(values);
+        let mut hh = DyadicHeavyHitters::new(200, params(), 1);
+        hh.ingest_vector(&x);
+        let (i, est) = hh.argmax(8);
+        assert_eq!(i, 123);
+        assert!((est - 5_000.0).abs() / 5_000.0 < 0.1);
+    }
+
+    #[test]
+    fn top_k_matches_planted_set() {
+        let x = planted_vector(256, 4, 2_000, 5, 71);
+        let mut hh = DyadicHeavyHitters::new(256, params(), 2);
+        hh.ingest_vector(&x);
+        let top = hh.top_candidates(4, 16);
+        let mut got: Vec<u64> = top.iter().map(|&(i, _)| i).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = x
+            .values()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.abs() == 2_000)
+            .map(|(i, _)| i as u64)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_decode() {
+        let x = planted_vector(128, 1, 3_000, 20, 72);
+        let mut hh = DyadicHeavyHitters::new(128, params(), 3);
+        hh.ingest_vector(&x);
+        let mut flat = CountSketch::new(params(), 999);
+        flat.ingest_vector(&x);
+        let (tree_i, _) = hh.argmax(8);
+        let (flat_i, _) = flat.argmax(128);
+        // Both must land on the planted coordinate.
+        assert_eq!(tree_i, flat_i);
+    }
+
+    #[test]
+    fn non_power_of_two_universe_is_padded() {
+        let hh = DyadicHeavyHitters::new(100, params(), 4);
+        assert_eq!(hh.padded_universe(), 128);
+    }
+
+    #[test]
+    fn space_is_levels_times_table() {
+        let hh = DyadicHeavyHitters::new(64, params(), 5);
+        let single = CountSketch::new(params(), 0).space_bits();
+        assert_eq!(hh.space_bits(), 7 * single); // levels 0..=6
+    }
+}

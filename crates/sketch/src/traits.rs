@@ -1,0 +1,35 @@
+//! The linear-sketch contract shared by every structure in this crate.
+
+use pts_stream::{FrequencyVector, Stream};
+
+/// A linear sketch of a real-valued vector indexed by `[0, n)`.
+///
+/// Linearity is the load-bearing property: `sketch(x + y) = sketch(x) ⊕
+/// sketch(y)`, so processing a stream update-by-update and ingesting the
+/// final vector produce identical states (property-tested per
+/// implementation). Values are `f64` because the paper's algorithms sketch
+/// *exponentially scaled* vectors `x_i / e_i^{1/p}`, not just integers.
+pub trait LinearSketch {
+    /// Applies a single turnstile update: coordinate `index` changes by
+    /// `delta`.
+    fn update(&mut self, index: u64, delta: f64);
+
+    /// Information-theoretic size of the sketch state in bits: counters at
+    /// 64 bits plus hash-seed material. Rust object overhead is deliberately
+    /// excluded — this is the quantity the paper's space bounds talk about.
+    fn space_bits(&self) -> usize;
+
+    /// Ingests a whole frequency vector (one bulk update per non-zero).
+    fn ingest_vector(&mut self, x: &FrequencyVector) {
+        for (i, v) in x.iter_nonzero() {
+            self.update(i, v as f64);
+        }
+    }
+
+    /// Replays a stream update-by-update.
+    fn ingest_stream(&mut self, s: &Stream) {
+        for u in s.iter() {
+            self.update(u.index, u.delta as f64);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Workload generators.
+//!
+//! Every experiment in DESIGN.md §5 names one of these synthetic workloads.
+//! All generators are deterministic in their seed and return exact
+//! [`FrequencyVector`]s; `Stream::from_target` turns them into update
+//! sequences in the desired stream style.
+
+use crate::model::{Stream, StreamStyle};
+use crate::vector::FrequencyVector;
+use pts_util::Xoshiro256pp;
+
+/// Zipf-distributed magnitudes: the rank-`r` coordinate has magnitude
+/// `round(top / r^s)` (minimum 1), ranks assigned to random indices, random
+/// signs. The classic skewed frequency workload.
+///
+/// # Panics
+/// Panics if `n == 0` or `top < 1`.
+pub fn zipf_vector(n: usize, s: f64, top: i64, seed: u64) -> FrequencyVector {
+    assert!(n > 0, "empty universe");
+    assert!(top >= 1, "top magnitude must be >= 1");
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut perm);
+    let mut values = vec![0i64; n];
+    for (rank, &idx) in perm.iter().enumerate() {
+        let mag = ((top as f64) / ((rank + 1) as f64).powf(s)).round() as i64;
+        values[idx] = rng.next_sign() * mag.max(1);
+    }
+    FrequencyVector::from_values(values)
+}
+
+/// Uniform magnitudes in `[1, max_mag]` with random signs on every
+/// coordinate (a flat, heavy-support workload).
+pub fn uniform_vector(n: usize, max_mag: i64, seed: u64) -> FrequencyVector {
+    assert!(n > 0 && max_mag >= 1);
+    let mut rng = Xoshiro256pp::new(seed);
+    let values = (0..n)
+        .map(|_| rng.next_sign() * (1 + rng.next_below(max_mag as u64) as i64))
+        .collect();
+    FrequencyVector::from_values(values)
+}
+
+/// `n_heavy` planted heavy coordinates of magnitude `heavy` on a noise floor
+/// of magnitude ≤ `noise` — the regime where L_p sampling for large `p`
+/// should concentrate on the planted set.
+pub fn planted_vector(
+    n: usize,
+    n_heavy: usize,
+    heavy: i64,
+    noise: i64,
+    seed: u64,
+) -> FrequencyVector {
+    assert!(n_heavy <= n, "more heavy coordinates than universe");
+    assert!(heavy > noise, "heavy magnitude must exceed the noise floor");
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut values: Vec<i64> = (0..n)
+        .map(|_| {
+            if noise == 0 {
+                0
+            } else {
+                rng.next_sign() * rng.next_below(noise as u64 + 1) as i64
+            }
+        })
+        .collect();
+    let heavy_at = rng.sample_indices(n, n_heavy);
+    for &i in &heavy_at {
+        values[i] = rng.next_sign() * heavy;
+    }
+    FrequencyVector::from_values(values)
+}
+
+/// The adversarial instance from §3's motivation of duplication:
+/// `x = (factor·n, 1, 1, …, 1)` — one overwhelming coordinate whose
+/// conditional failure probability exposes non-duplicated samplers.
+pub fn adversarial_vector(n: usize, factor: i64) -> FrequencyVector {
+    assert!(n >= 2);
+    let mut values = vec![1i64; n];
+    values[0] = factor * n as i64;
+    FrequencyVector::from_values(values)
+}
+
+/// Geometric ladder `(base^0, base^1, …)` truncated at `n` coordinates, with
+/// alternating signs — a workload with mass at every scale, useful for the
+/// non-scale-invariant polynomial sampler (E8).
+pub fn ladder_vector(n: usize, base: f64, seed: u64) -> FrequencyVector {
+    assert!(n > 0 && base > 1.0);
+    let mut rng = Xoshiro256pp::new(seed);
+    let values = (0..n)
+        .map(|i| {
+            let mag = base.powi((i % 24) as i32).round() as i64;
+            rng.next_sign() * mag.max(1)
+        })
+        .collect();
+    FrequencyVector::from_values(values)
+}
+
+/// Splits the universe into a kept query set `Q` and a forgotten complement
+/// for the RFDS workload (§5.1): `frac_kept` of the coordinates are kept.
+pub fn rfds_split(n: usize, frac_kept: f64, seed: u64) -> (Vec<u64>, Vec<u64>) {
+    assert!((0.0..=1.0).contains(&frac_kept));
+    let mut rng = Xoshiro256pp::new(seed);
+    let k = ((n as f64) * frac_kept).round() as usize;
+    let kept: Vec<u64> = rng.sample_indices(n, k).into_iter().map(|i| i as u64).collect();
+    let kept_set: std::collections::HashSet<u64> = kept.iter().copied().collect();
+    let forgotten = (0..n as u64).filter(|i| !kept_set.contains(i)).collect();
+    (kept, forgotten)
+}
+
+/// A named workload bundle used by the experiment harness.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name used in experiment tables.
+    pub name: &'static str,
+    /// The target vector.
+    pub vector: FrequencyVector,
+}
+
+impl Workload {
+    /// The standard battery of workloads used across experiments
+    /// (T1, E1, E4, E8, …).
+    pub fn standard_battery(n: usize, seed: u64) -> Vec<Workload> {
+        vec![
+            Workload {
+                name: "zipf(1.1)",
+                vector: zipf_vector(n, 1.1, 1000, pts_util::derive_seed(seed, 1)),
+            },
+            Workload {
+                name: "uniform",
+                vector: uniform_vector(n, 50, pts_util::derive_seed(seed, 2)),
+            },
+            Workload {
+                name: "planted",
+                vector: planted_vector(n, 3, 500, 10, pts_util::derive_seed(seed, 3)),
+            },
+            Workload {
+                name: "adversarial",
+                vector: adversarial_vector(n, 100),
+            },
+        ]
+    }
+
+    /// Materializes the workload as a turnstile stream with moderate churn.
+    pub fn to_stream(&self, seed: u64) -> Stream {
+        let mut rng = Xoshiro256pp::new(pts_util::derive_seed(seed, 0xC0FFEE));
+        Stream::from_target(&self.vector, StreamStyle::Turnstile { churn: 0.5 }, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_and_skewed() {
+        let a = zipf_vector(100, 1.2, 1000, 7);
+        let b = zipf_vector(100, 1.2, 1000, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.f0(), 100, "every coordinate non-zero (min magnitude 1)");
+        assert_eq!(a.linf(), 1000);
+        // Skew: the top coordinate dominates F_4.
+        let top_share = (a.linf() as f64).powi(4) / a.fp_moment(4.0);
+        assert!(top_share > 0.9, "top share {top_share}");
+    }
+
+    #[test]
+    fn zipf_seed_sensitivity() {
+        assert_ne!(zipf_vector(50, 1.0, 100, 1), zipf_vector(50, 1.0, 100, 2));
+    }
+
+    #[test]
+    fn uniform_values_in_range() {
+        let x = uniform_vector(200, 9, 3);
+        assert!(x.values().iter().all(|&v| v != 0 && v.abs() <= 9));
+    }
+
+    #[test]
+    fn planted_has_exactly_k_heavy() {
+        let x = planted_vector(300, 5, 1000, 10, 11);
+        let heavy = x.values().iter().filter(|v| v.abs() == 1000).count();
+        assert_eq!(heavy, 5);
+        assert!(x.values().iter().all(|&v| v.abs() == 1000 || v.abs() <= 10));
+    }
+
+    #[test]
+    fn planted_zero_noise() {
+        let x = planted_vector(50, 2, 100, 0, 1);
+        assert_eq!(x.f0(), 2);
+    }
+
+    #[test]
+    fn adversarial_shape() {
+        let x = adversarial_vector(10, 100);
+        assert_eq!(x.value(0), 1000);
+        assert!(x.values()[1..].iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn ladder_spans_scales() {
+        let x = ladder_vector(24, 2.0, 5);
+        assert_eq!(x.linf(), 1 << 23);
+        assert_eq!(x.values()[0].abs(), 1);
+    }
+
+    #[test]
+    fn rfds_split_partitions_universe() {
+        let (kept, forgotten) = rfds_split(100, 0.3, 9);
+        assert_eq!(kept.len(), 30);
+        assert_eq!(forgotten.len(), 70);
+        let mut all: Vec<u64> = kept.iter().chain(forgotten.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn standard_battery_covers_named_workloads() {
+        let battery = Workload::standard_battery(64, 1);
+        assert_eq!(battery.len(), 4);
+        for w in &battery {
+            assert_eq!(w.vector.n(), 64, "{}", w.name);
+            let s = w.to_stream(2);
+            assert_eq!(s.final_vector(), w.vector, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The hard distribution pair of Definition 4.1 (lower-bound experiment).
+//!
+//! * `α = N(0, I_n)` — a standard Gaussian vector.
+//! * `β = x + C·E_{n−1}·e_i` — a Gaussian vector plus one planted spike of
+//!   magnitude `C · E[‖x‖_p]` at a uniformly random coordinate.
+//!
+//! Theorem 4.2/4.3: distinguishing the two from a linear sketch with
+//! probability 0.6 requires sketching dimension `Ω(n^{1−2/p} log n)`, and an
+//! approximate L_p sampler distinguishes them by checking whether two
+//! independent samples collide. Experiment E7 measures that protocol's
+//! success rate as the sketch shrinks.
+
+use crate::vector::FrequencyVector;
+use pts_util::stats::ln_gamma;
+use pts_util::variates::gaussian_from;
+use pts_util::Xoshiro256pp;
+
+/// `E[|g|^p]` for `g ~ N(0,1)`: `2^{p/2} · Γ((p+1)/2) / √π`.
+pub fn gaussian_abs_moment(p: f64) -> f64 {
+    assert!(p > 0.0, "moment order must be positive");
+    ((p / 2.0) * std::f64::consts::LN_2 + ln_gamma((p + 1.0) / 2.0)
+        - 0.5 * std::f64::consts::PI.ln())
+    .exp()
+}
+
+/// The deterministic proxy for `E_n = E[‖x‖_p]` used when planting the
+/// spike: `(n · E|g|^p)^{1/p} = Θ(n^{1/p})` (§4 notes `E_n = Θ(n^{1/p})`).
+pub fn expected_lp_norm(n: usize, p: f64) -> f64 {
+    ((n as f64) * gaussian_abs_moment(p)).powf(1.0 / p)
+}
+
+/// A draw from the hard pair: the real-valued vector plus, for β, the
+/// planted coordinate.
+#[derive(Debug, Clone)]
+pub struct HardDraw {
+    /// The drawn vector.
+    pub values: Vec<f64>,
+    /// `Some(i)` iff the draw came from β with spike at `i`.
+    pub planted: Option<usize>,
+}
+
+/// Draws from `α = N(0, I_n)`.
+pub fn draw_alpha(n: usize, rng: &mut Xoshiro256pp) -> HardDraw {
+    HardDraw {
+        values: (0..n).map(|_| gaussian_from(rng)).collect(),
+        planted: None,
+    }
+}
+
+/// Draws from `β`: Gaussian plus `C · E_{n−1}` planted on a uniform
+/// coordinate.
+pub fn draw_beta(n: usize, c_mult: f64, p: f64, rng: &mut Xoshiro256pp) -> HardDraw {
+    assert!(n >= 2);
+    let mut values: Vec<f64> = (0..n).map(|_| gaussian_from(rng)).collect();
+    let i = rng.next_index(n);
+    values[i] += c_mult * expected_lp_norm(n - 1, p);
+    HardDraw {
+        values,
+        planted: Some(i),
+    }
+}
+
+/// Quantizes a real-valued draw onto the integer grid (scale then round) so
+/// the integer-stream machinery can process it. `scale` controls the
+/// resolution; relative quantization error is `O(1/scale)` on unit-variance
+/// entries, far below the constants in Theorem 4.3's protocol.
+pub fn quantize(values: &[f64], scale: f64) -> FrequencyVector {
+    assert!(scale > 0.0);
+    FrequencyVector::from_values(values.iter().map(|v| (v * scale).round() as i64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_abs_moment_known_values() {
+        // E|g| = sqrt(2/π); E g² = 1; E|g|³ = 2·sqrt(2/π); E g⁴ = 3.
+        let root_2_pi = (2.0 / std::f64::consts::PI).sqrt();
+        assert!((gaussian_abs_moment(1.0) - root_2_pi).abs() < 1e-12);
+        assert!((gaussian_abs_moment(2.0) - 1.0).abs() < 1e-12);
+        assert!((gaussian_abs_moment(3.0) - 2.0 * root_2_pi).abs() < 1e-12);
+        assert!((gaussian_abs_moment(4.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_lp_norm_matches_simulation() {
+        let (n, p) = (256usize, 4.0);
+        let mut rng = Xoshiro256pp::new(17);
+        let trials = 400;
+        let mut norms = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let d = draw_alpha(n, &mut rng);
+            let fp: f64 = d.values.iter().map(|v| v.abs().powf(p)).sum();
+            norms.push(fp.powf(1.0 / p));
+        }
+        let sim = pts_util::stats::mean(&norms);
+        let analytic = expected_lp_norm(n, p);
+        // (E F_p)^{1/p} upper-bounds E ‖x‖_p (Jensen) but they agree to a few
+        // percent at this n.
+        assert!(
+            (sim - analytic).abs() / analytic < 0.05,
+            "sim {sim} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn beta_spike_dominates_fp() {
+        let (n, p) = (512usize, 4.0);
+        let mut rng = Xoshiro256pp::new(18);
+        for _ in 0..20 {
+            let d = draw_beta(n, 8.0, p, &mut rng);
+            let i = d.planted.unwrap();
+            let fp: f64 = d.values.iter().map(|v| v.abs().powf(p)).sum();
+            let share = d.values[i].abs().powf(p) / fp;
+            assert!(share > 0.9, "spike share {share}");
+        }
+    }
+
+    #[test]
+    fn alpha_has_no_dominant_coordinate() {
+        let (n, p) = (512usize, 4.0);
+        let mut rng = Xoshiro256pp::new(19);
+        for _ in 0..20 {
+            let d = draw_alpha(n, &mut rng);
+            let fp: f64 = d.values.iter().map(|v| v.abs().powf(p)).sum();
+            let max_share = d
+                .values
+                .iter()
+                .map(|v| v.abs().powf(p) / fp)
+                .fold(0.0, f64::max);
+            assert!(max_share < 0.9, "max share {max_share}");
+            assert!(d.planted.is_none());
+        }
+    }
+
+    #[test]
+    fn quantize_preserves_shape() {
+        let values = [0.5, -1.25, 3.0];
+        let q = quantize(&values, 100.0);
+        assert_eq!(q.values(), &[50, -125, 300]);
+    }
+}

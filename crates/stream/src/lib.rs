@@ -1,0 +1,23 @@
+//! # pts-stream
+//!
+//! The turnstile streaming model: updates, materialized streams, the exact
+//! frequency-vector ground truth, and the synthetic workload generators the
+//! experiments run on (DESIGN.md S6–S7).
+//!
+//! A stream `S` of updates `(i_t, Δ_t)` induces `x_i = Σ_{t: i_t=i} Δ_t`
+//! (Definition 1.1 of the paper). [`Stream::from_target`] decomposes any
+//! target vector into insertion-only / turnstile / bulk update sequences so
+//! the same workload can exercise every model variant.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod hard;
+pub mod model;
+pub mod update;
+pub mod vector;
+
+pub use model::{Stream, StreamStyle};
+pub use update::Update;
+pub use vector::FrequencyVector;

@@ -1,0 +1,252 @@
+//! Materialized streams and the decomposition of a target vector into a
+//! turnstile update sequence.
+//!
+//! Linear sketches are insensitive to update order and grouping, but the
+//! *algorithms* must work one update at a time; representing streams
+//! explicitly lets the tests assert that the streaming path and the
+//! ingest-final-vector path agree (the linearity invariant of DESIGN.md §6).
+
+use crate::update::Update;
+use crate::vector::FrequencyVector;
+use pts_util::Xoshiro256pp;
+
+/// How a target vector is decomposed into updates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamStyle {
+    /// Only non-negative deltas, each coordinate delivered in unit steps
+    /// (classic insertion-only stream). Negative targets are rejected.
+    InsertionOnly,
+    /// Turnstile: each coordinate is overshot by a factor and the excess is
+    /// deleted again, interleaved at random — exercises cancellation.
+    /// `churn` is the overshoot fraction (0.0 = direct, 1.0 = write twice
+    /// the mass and delete half of it back).
+    Turnstile {
+        /// Extra cancelled mass as a fraction of the target magnitude.
+        churn: f64,
+    },
+    /// One bulk update per non-zero coordinate (fast path for experiments).
+    Bulk,
+}
+
+/// A finite stream over universe `[0, n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stream {
+    universe: usize,
+    updates: Vec<Update>,
+}
+
+impl Stream {
+    /// Creates a stream from explicit updates.
+    ///
+    /// # Panics
+    /// Panics if any update addresses a coordinate outside the universe.
+    pub fn new(universe: usize, updates: Vec<Update>) -> Self {
+        assert!(
+            updates.iter().all(|u| (u.index as usize) < universe),
+            "update outside universe"
+        );
+        Self { universe, updates }
+    }
+
+    /// Universe size `n`.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Stream length `m`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the stream has no updates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The updates in order.
+    #[inline]
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// Iterates over the updates.
+    pub fn iter(&self) -> impl Iterator<Item = &Update> {
+        self.updates.iter()
+    }
+
+    /// Whether every update is an insertion.
+    pub fn is_insertion_only(&self) -> bool {
+        self.updates.iter().all(Update::is_insertion)
+    }
+
+    /// Total gross update mass `Σ_t |Δ_t|` (the paper's stream length `m`
+    /// when updates are ±1).
+    pub fn gross_mass(&self) -> u64 {
+        self.updates.iter().map(|u| u.delta.unsigned_abs()).sum()
+    }
+
+    /// Replays the stream into the exact frequency vector.
+    pub fn final_vector(&self) -> FrequencyVector {
+        let mut x = FrequencyVector::zeros(self.universe);
+        x.apply_all(self.iter());
+        x
+    }
+
+    /// Decomposes `target` into a stream in the given style, shuffled by
+    /// `rng` so coordinates interleave (linear sketches don't care, but the
+    /// per-update code paths get exercised realistically).
+    ///
+    /// Unit-step styles cap the per-coordinate step count at `max_steps`
+    /// per coordinate, switching to chunked deltas beyond it so pathological
+    /// magnitudes don't explode the stream length.
+    pub fn from_target(
+        target: &FrequencyVector,
+        style: StreamStyle,
+        rng: &mut Xoshiro256pp,
+    ) -> Self {
+        const MAX_STEPS: i64 = 64;
+        let mut updates = Vec::new();
+        let emit = |index: u64, amount: i64, updates: &mut Vec<Update>| {
+            if amount == 0 {
+                return;
+            }
+            let steps = amount.abs().min(MAX_STEPS);
+            let chunk = amount / steps;
+            let mut remaining = amount;
+            for _ in 0..steps - 1 {
+                updates.push(Update::new(index, chunk));
+                remaining -= chunk;
+            }
+            updates.push(Update::new(index, remaining));
+        };
+        for (i, &v) in target.values().iter().enumerate() {
+            let i = i as u64;
+            match style {
+                StreamStyle::InsertionOnly => {
+                    assert!(v >= 0, "insertion-only stream cannot reach negative value");
+                    emit(i, v, &mut updates);
+                }
+                StreamStyle::Turnstile { churn } => {
+                    assert!((0.0..=8.0).contains(&churn), "unreasonable churn {churn}");
+                    let extra = ((v.abs() as f64) * churn).round() as i64;
+                    if extra > 0 {
+                        let sign = if v >= 0 { 1 } else { -1 };
+                        emit(i, v + sign * extra, &mut updates);
+                        emit(i, -sign * extra, &mut updates);
+                    } else {
+                        emit(i, v, &mut updates);
+                    }
+                }
+                StreamStyle::Bulk => {
+                    if v != 0 {
+                        updates.push(Update::new(i, v));
+                    }
+                }
+            }
+        }
+        // Shuffle, but keep the (overshoot, cancel) pairs valid: a shuffle
+        // can reorder them freely — turnstile semantics allow transiently
+        // negative values, and insertion-only streams contain no deletes.
+        rng.shuffle(&mut updates);
+        Self::new(target.n(), updates)
+    }
+
+    /// Concatenates two streams over the same universe.
+    ///
+    /// # Panics
+    /// Panics on universe mismatch.
+    pub fn concat(&self, other: &Stream) -> Stream {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut updates = self.updates.clone();
+        updates.extend_from_slice(&other.updates);
+        Stream::new(self.universe, updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(vals: &[i64]) -> FrequencyVector {
+        FrequencyVector::from_values(vals.to_vec())
+    }
+
+    #[test]
+    fn replay_reconstructs_target_all_styles() {
+        let target = vec_of(&[5, -3, 0, 120, -999, 7]);
+        let mut rng = Xoshiro256pp::new(1);
+        for style in [
+            StreamStyle::Turnstile { churn: 0.0 },
+            StreamStyle::Turnstile { churn: 1.5 },
+            StreamStyle::Bulk,
+        ] {
+            let s = Stream::from_target(&target, style, &mut rng);
+            assert_eq!(s.final_vector(), target, "style {style:?}");
+        }
+    }
+
+    #[test]
+    fn insertion_only_replay_and_flag() {
+        let target = vec_of(&[4, 0, 17, 1]);
+        let mut rng = Xoshiro256pp::new(2);
+        let s = Stream::from_target(&target, StreamStyle::InsertionOnly, &mut rng);
+        assert!(s.is_insertion_only());
+        assert_eq!(s.final_vector(), target);
+    }
+
+    #[test]
+    #[should_panic(expected = "insertion-only")]
+    fn insertion_only_rejects_negative_target() {
+        let target = vec_of(&[-1]);
+        let mut rng = Xoshiro256pp::new(3);
+        let _ = Stream::from_target(&target, StreamStyle::InsertionOnly, &mut rng);
+    }
+
+    #[test]
+    fn churn_inflates_gross_mass_but_not_net() {
+        let target = vec_of(&[100, -100]);
+        let mut rng = Xoshiro256pp::new(4);
+        let direct = Stream::from_target(&target, StreamStyle::Turnstile { churn: 0.0 }, &mut rng);
+        let churned = Stream::from_target(&target, StreamStyle::Turnstile { churn: 2.0 }, &mut rng);
+        assert!(churned.gross_mass() > 2 * direct.gross_mass());
+        assert_eq!(churned.final_vector(), target);
+        assert!(!churned.is_insertion_only());
+    }
+
+    #[test]
+    fn bulk_uses_one_update_per_nonzero() {
+        let target = vec_of(&[0, 5, 0, -2]);
+        let mut rng = Xoshiro256pp::new(5);
+        let s = Stream::from_target(&target, StreamStyle::Bulk, &mut rng);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn concat_streams_add_vectors() {
+        let a = vec_of(&[1, 2, 3]);
+        let b = vec_of(&[10, -2, 0]);
+        let mut rng = Xoshiro256pp::new(6);
+        let sa = Stream::from_target(&a, StreamStyle::Bulk, &mut rng);
+        let sb = Stream::from_target(&b, StreamStyle::Bulk, &mut rng);
+        assert_eq!(sa.concat(&sb).final_vector(), a.add(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn rejects_out_of_universe_updates() {
+        let _ = Stream::new(2, vec![Update::new(5, 1)]);
+    }
+
+    #[test]
+    fn chunked_emission_caps_stream_length() {
+        // A coordinate of magnitude 10^6 must not emit 10^6 updates.
+        let target = vec_of(&[1_000_000]);
+        let mut rng = Xoshiro256pp::new(7);
+        let s = Stream::from_target(&target, StreamStyle::Turnstile { churn: 0.0 }, &mut rng);
+        assert!(s.len() <= 64);
+        assert_eq!(s.final_vector(), target);
+    }
+}

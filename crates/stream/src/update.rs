@@ -1,0 +1,51 @@
+//! The atomic unit of the turnstile model: a signed coordinate update.
+
+/// A single turnstile update `(i_t, Δ_t)`: coordinate `index` changes by
+/// `delta ∈ {−M, …, M}` (Δ may be negative — that is what "turnstile" means).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Update {
+    /// The coordinate being updated, in `[0, n)`.
+    pub index: u64,
+    /// The signed change applied to the coordinate.
+    pub delta: i64,
+}
+
+impl Update {
+    /// Creates an update.
+    #[inline]
+    pub fn new(index: u64, delta: i64) -> Self {
+        Self { index, delta }
+    }
+
+    /// An insertion (`delta = +1`).
+    #[inline]
+    pub fn insert(index: u64) -> Self {
+        Self { index, delta: 1 }
+    }
+
+    /// A deletion (`delta = −1`).
+    #[inline]
+    pub fn delete(index: u64) -> Self {
+        Self { index, delta: -1 }
+    }
+
+    /// Whether this update is legal in the insertion-only model.
+    #[inline]
+    pub fn is_insertion(&self) -> bool {
+        self.delta >= 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Update::insert(3), Update::new(3, 1));
+        assert_eq!(Update::delete(3), Update::new(3, -1));
+        assert!(Update::insert(0).is_insertion());
+        assert!(!Update::delete(0).is_insertion());
+        assert!(Update::new(1, 0).is_insertion());
+    }
+}

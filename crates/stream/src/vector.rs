@@ -1,0 +1,229 @@
+//! Exact ground truth: the frequency vector induced by a stream.
+//!
+//! Every experiment compares a sketch/sampler output against quantities
+//! computed here exactly (norms, moments, G-masses, subset moments). The
+//! vector is dense `i64` — experiments run at laptop-scale universes where
+//! exactness matters more than memory.
+
+use crate::update::Update;
+
+/// The frequency vector `x ∈ Z^n` defined by `x_i = Σ_{t: i_t = i} Δ_t`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequencyVector {
+    values: Vec<i64>,
+}
+
+impl FrequencyVector {
+    /// The zero vector over universe size `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self { values: vec![0; n] }
+    }
+
+    /// Wraps explicit values.
+    pub fn from_values(values: Vec<i64>) -> Self {
+        Self { values }
+    }
+
+    /// Universe size `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value of coordinate `i`.
+    ///
+    /// # Panics
+    /// Panics if `i ≥ n`.
+    #[inline]
+    pub fn value(&self, i: u64) -> i64 {
+        self.values[i as usize]
+    }
+
+    /// All values as a slice.
+    #[inline]
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Applies one turnstile update.
+    #[inline]
+    pub fn apply(&mut self, u: Update) {
+        self.values[u.index as usize] += u.delta;
+    }
+
+    /// Applies a sequence of updates.
+    pub fn apply_all<'a, I: IntoIterator<Item = &'a Update>>(&mut self, updates: I) {
+        for u in updates {
+            self.apply(*u);
+        }
+    }
+
+    /// Iterator over `(index, value)` pairs with `value != 0`.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(i, &v)| (i as u64, v))
+    }
+
+    /// `F_0 = |{i : x_i ≠ 0}|`, the number of non-zero coordinates.
+    pub fn f0(&self) -> usize {
+        self.values.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// `F_p(x) = Σ |x_i|^p`, the `p`-th frequency moment.
+    pub fn fp_moment(&self, p: f64) -> f64 {
+        assert!(p > 0.0, "fp_moment: p must be positive");
+        self.values
+            .iter()
+            .map(|&v| (v.abs() as f64).powf(p))
+            .sum()
+    }
+
+    /// `‖x‖_p = F_p(x)^{1/p}`.
+    pub fn lp_norm(&self, p: f64) -> f64 {
+        self.fp_moment(p).powf(1.0 / p)
+    }
+
+    /// `F_2(x)` as an exact integer-backed sum (no `powf` rounding).
+    pub fn f2(&self) -> f64 {
+        self.values.iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+
+    /// `‖x‖_1` (sum of magnitudes).
+    pub fn l1(&self) -> f64 {
+        self.values.iter().map(|&v| v.abs() as f64).sum()
+    }
+
+    /// `max_i |x_i|`.
+    pub fn linf(&self) -> i64 {
+        self.values.iter().map(|&v| v.abs()).max().unwrap_or(0)
+    }
+
+    /// The per-coordinate sampling weights `|x_i|^p` (the ideal L_p law,
+    /// unnormalized).
+    pub fn lp_weights(&self, p: f64) -> Vec<f64> {
+        self.values
+            .iter()
+            .map(|&v| (v.abs() as f64).powf(p))
+            .collect()
+    }
+
+    /// The per-coordinate weights `G(x_i)` for an arbitrary non-negative `G`
+    /// (the ideal G-sampling law, unnormalized).
+    pub fn g_weights<G: Fn(f64) -> f64>(&self, g: G) -> Vec<f64> {
+        self.values.iter().map(|&v| g(v as f64)).collect()
+    }
+
+    /// `Σ_i G(x_i)`.
+    pub fn g_mass<G: Fn(f64) -> f64>(&self, g: G) -> f64 {
+        self.values.iter().map(|&v| g(v as f64)).sum()
+    }
+
+    /// `‖x_Q‖_p^p = Σ_{i∈Q} |x_i|^p` for a query subset `Q` (Theorem 1.6).
+    pub fn subset_fp(&self, q: &[u64], p: f64) -> f64 {
+        q.iter()
+            .map(|&i| (self.values[i as usize].abs() as f64).powf(p))
+            .sum()
+    }
+
+    /// Coordinate-wise sum (turnstile linearity ground truth).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn add(&self, other: &FrequencyVector) -> FrequencyVector {
+        assert_eq!(self.n(), other.n(), "dimension mismatch");
+        FrequencyVector::from_values(
+            self.values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
+    }
+
+    /// Zeroes the coordinates *not* in `keep` — the RFDS "forget" operation
+    /// applied at the end of the stream (§5.1).
+    pub fn restricted_to(&self, keep: &[u64]) -> FrequencyVector {
+        let mut out = vec![0i64; self.n()];
+        for &i in keep {
+            out[i as usize] = self.values[i as usize];
+        }
+        FrequencyVector::from_values(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(vals: &[i64]) -> FrequencyVector {
+        FrequencyVector::from_values(vals.to_vec())
+    }
+
+    #[test]
+    fn apply_accumulates() {
+        let mut x = FrequencyVector::zeros(4);
+        x.apply(Update::new(1, 5));
+        x.apply(Update::new(1, -2));
+        x.apply(Update::new(3, -7));
+        assert_eq!(x.values(), &[0, 3, 0, -7]);
+    }
+
+    #[test]
+    fn moments_match_hand_computation() {
+        let x = v(&[3, -4, 0, 1]);
+        assert_eq!(x.f0(), 3);
+        assert_eq!(x.f2(), 26.0);
+        assert_eq!(x.l1(), 8.0);
+        assert_eq!(x.linf(), 4);
+        assert!((x.fp_moment(3.0) - (27.0 + 64.0 + 1.0)).abs() < 1e-12);
+        assert!((x.lp_norm(2.0) - 26f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_weights_are_magnitude_powers() {
+        let x = v(&[2, -3]);
+        let w = x.lp_weights(3.0);
+        assert!((w[0] - 8.0).abs() < 1e-12);
+        assert!((w[1] - 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn g_mass_and_weights_agree() {
+        let x = v(&[1, -2, 5]);
+        let g = |z: f64| (1.0 + z.abs()).ln();
+        let weights = x.g_weights(g);
+        let total: f64 = weights.iter().sum();
+        assert!((x.g_mass(g) - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_fp_sums_only_query_set() {
+        let x = v(&[1, 2, 3, 4]);
+        assert!((x.subset_fp(&[1, 3], 2.0) - (4.0 + 16.0)).abs() < 1e-12);
+        assert_eq!(x.subset_fp(&[], 2.0), 0.0);
+    }
+
+    #[test]
+    fn add_is_coordinatewise() {
+        let a = v(&[1, -2, 3]);
+        let b = v(&[4, 5, -6]);
+        assert_eq!(a.add(&b).values(), &[5, 3, -3]);
+    }
+
+    #[test]
+    fn restricted_to_zeroes_forgotten() {
+        let x = v(&[9, 8, 7, 6]);
+        let kept = x.restricted_to(&[0, 2]);
+        assert_eq!(kept.values(), &[9, 0, 7, 0]);
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeros() {
+        let x = v(&[0, 5, 0, -1]);
+        let nz: Vec<(u64, i64)> = x.iter_nonzero().collect();
+        assert_eq!(nz, vec![(1, 5), (3, -1)]);
+    }
+}

@@ -1,0 +1,184 @@
+//! The `rnd_η` discretization of §3.
+//!
+//! The fast-update sampler never materializes a scaled value `x_i / e^{1/p}`
+//! exactly; instead the inverse-exponential factor is rounded **down** to the
+//! nearest power of `(1+η)`. The support of the rounded factor over the
+//! dynamic range `[1/poly(n), poly(n)]` then has only `O(log(n)/η)` distinct
+//! values `I_q = (1+η)^q`, which is what allows all `n^c` virtual duplicates
+//! of a coordinate to be summarized by one binomial count per support point.
+
+/// Discretization grid: powers `I_q = (1+η)^q` for `q ∈ [−q_max, q_max]`.
+#[derive(Debug, Clone)]
+pub struct EtaGrid {
+    eta: f64,
+    log1p_eta: f64,
+    q_max: i64,
+}
+
+impl EtaGrid {
+    /// Builds a grid with resolution `η` covering `[base^{-range}, base^{range}]`
+    /// where the dynamic range is expressed as `range_pow10` decades.
+    ///
+    /// # Panics
+    /// Panics unless `0 < η < 1` and `range_pow10 ≥ 1`.
+    pub fn new(eta: f64, range_pow10: u32) -> Self {
+        assert!(eta > 0.0 && eta < 1.0, "eta must be in (0,1), got {eta}");
+        assert!(range_pow10 >= 1, "dynamic range must be at least one decade");
+        let log1p_eta = (1.0 + eta).ln();
+        let q_max = ((range_pow10 as f64) * std::f64::consts::LN_10 / log1p_eta).ceil() as i64;
+        Self {
+            eta,
+            log1p_eta,
+            q_max,
+        }
+    }
+
+    /// The resolution parameter `η`.
+    #[inline]
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Number of support points `2·q_max + 1`.
+    #[inline]
+    pub fn support_size(&self) -> usize {
+        (2 * self.q_max + 1) as usize
+    }
+
+    /// The exponent range `q ∈ [−q_max, q_max]`.
+    #[inline]
+    pub fn q_range(&self) -> std::ops::RangeInclusive<i64> {
+        -self.q_max..=self.q_max
+    }
+
+    /// The grid value `I_q = (1+η)^q`.
+    #[inline]
+    pub fn value(&self, q: i64) -> f64 {
+        (q as f64 * self.log1p_eta).exp()
+    }
+
+    /// Rounds `x > 0` **down** to the grid: the largest `I_q ≤ x`
+    /// (clamped to the grid boundary).
+    #[inline]
+    pub fn round_down(&self, x: f64) -> f64 {
+        self.value(self.exponent_of(x))
+    }
+
+    /// The exponent `q` such that `I_q ≤ x < I_{q+1}` (clamped).
+    #[inline]
+    pub fn exponent_of(&self, x: f64) -> i64 {
+        assert!(x > 0.0, "rnd_eta is defined for positive values, got {x}");
+        let q = (x.ln() / self.log1p_eta).floor() as i64;
+        q.clamp(-self.q_max, self.q_max)
+    }
+
+    /// Probability that the rounded inverse-`p`-th-power of a standard
+    /// exponential lands exactly on `I_q`:
+    /// `Pr[rnd_η(1/e^{1/p}) = I_q] = φ(I_{q+1}) − φ(I_q)` where
+    /// `φ(t) = Pr[1/e^{1/p} ≤ t] = Pr[e ≥ t^{-p}] = exp(−t^{-p})`.
+    ///
+    /// At the grid boundaries the leftover tail mass is folded in so the
+    /// probabilities over the full support sum to exactly 1.
+    pub fn cell_probability(&self, q: i64, p: f64) -> f64 {
+        assert!(p > 0.0, "moment parameter p must be positive");
+        let cdf = |t: f64| (-(t.powf(-p))).exp();
+        let lo = if q == -self.q_max {
+            0.0
+        } else {
+            cdf(self.value(q))
+        };
+        let hi = if q == self.q_max {
+            1.0
+        } else {
+            cdf(self.value(q + 1))
+        };
+        (hi - lo).max(0.0)
+    }
+
+    /// All cell probabilities in `q_range` order (sums to 1).
+    pub fn cell_probabilities(&self, p: f64) -> Vec<f64> {
+        self.q_range().map(|q| self.cell_probability(q, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::variates::exponential_from;
+
+    #[test]
+    fn round_down_is_within_eta() {
+        let grid = EtaGrid::new(0.1, 6);
+        for &x in &[0.001, 0.5, 1.0, 2.75, 1234.5] {
+            let r = grid.round_down(x);
+            assert!(r <= x * 1.000_000_1, "rounded {r} above {x}");
+            assert!(r * (1.0 + grid.eta()) >= x * 0.999_999, "rounded {r} too far below {x}");
+        }
+    }
+
+    #[test]
+    fn grid_values_are_powers() {
+        let grid = EtaGrid::new(0.5, 3);
+        assert!((grid.value(0) - 1.0).abs() < 1e-12);
+        assert!((grid.value(2) - 2.25).abs() < 1e-12);
+        assert!((grid.value(-1) - 1.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponent_of_is_inverse_of_value() {
+        let grid = EtaGrid::new(0.2, 6);
+        for q in grid.q_range().step_by(5) {
+            // A point just above I_q rounds to q.
+            let x = grid.value(q) * 1.0001;
+            assert_eq!(grid.exponent_of(x), q, "q={q}");
+        }
+    }
+
+    #[test]
+    fn support_size_scales_inversely_with_eta() {
+        let coarse = EtaGrid::new(0.5, 6);
+        let fine = EtaGrid::new(0.05, 6);
+        assert!(fine.support_size() > 5 * coarse.support_size());
+    }
+
+    #[test]
+    fn cell_probabilities_sum_to_one() {
+        for p in [2.0f64, 3.0, 4.5] {
+            let grid = EtaGrid::new(0.1, 8);
+            let total: f64 = grid.cell_probabilities(p).iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "p={p}: total {total}");
+        }
+    }
+
+    #[test]
+    fn cell_probabilities_match_simulation() {
+        // Draw many exponentials, round 1/e^{1/p}, compare the histogram to
+        // the analytic cell masses.
+        let p = 3.0;
+        let grid = EtaGrid::new(0.25, 4);
+        let probs = grid.cell_probabilities(p);
+        let offset = *grid.q_range().start();
+        let mut counts = vec![0u64; grid.support_size()];
+        let mut rng = Xoshiro256pp::new(33);
+        let trials = 200_000;
+        for _ in 0..trials {
+            let e = exponential_from(&mut rng);
+            let q = grid.exponent_of(e.powf(-1.0 / p));
+            counts[(q - offset) as usize] += 1;
+        }
+        for (i, (&c, &pr)) in counts.iter().zip(&probs).enumerate() {
+            let emp = c as f64 / trials as f64;
+            assert!(
+                (emp - pr).abs() < 0.004,
+                "cell {i}: empirical {emp} vs analytic {pr}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn round_down_rejects_nonpositive() {
+        EtaGrid::new(0.1, 4).round_down(0.0);
+    }
+}

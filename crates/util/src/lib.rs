@@ -1,0 +1,26 @@
+//! # pts-util
+//!
+//! Shared foundation for the `perfect-sampling` stack: deterministic seeded
+//! RNG streams, k-wise independent hash families, the random variates the
+//! paper's samplers are built from (exponential / Gaussian / geometric /
+//! binomial / multinomial), the `rnd_η` discretization grid of §3, and the
+//! statistics used by the experiment harness to compare empirical sampling
+//! laws against the ideal `G(x_i)/Σ G(x_j)` distribution.
+//!
+//! Everything here is dependency-free and deterministic given a `u64` seed;
+//! see `DESIGN.md` (S1–S5) for where each piece is used.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod discretize;
+pub mod hashing;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod variates;
+
+pub use discretize::EtaGrid;
+pub use hashing::KWiseHash;
+pub use rng::{derive_seed, keyed_u64, mix64, SplitMix64, Xoshiro256pp};
+pub use table::Table;

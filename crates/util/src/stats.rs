@@ -1,0 +1,419 @@
+//! Statistical machinery for validating sampler distributions.
+//!
+//! The experiments compare empirical sampling frequencies against the ideal
+//! law `G(x_i)/Σ_j G(x_j)`; this module supplies the total-variation
+//! distance, Pearson χ² goodness-of-fit with an exact-enough p-value
+//! (regularized incomplete gamma), Wilson score intervals for FAIL-rate
+//! claims, and least-squares exponent fitting for the space-scaling
+//! experiments (E2/E6 in DESIGN.md).
+
+/// Natural log of the Gamma function (Lanczos approximation, g = 7, n = 9).
+///
+/// Absolute error below 1e-13 over the positive reals — ample for p-values.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma: x must be positive, got {x}");
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps the small-x regime accurate.
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (std::f64::consts::TAU).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a,x)/Γ(a)`.
+///
+/// Series expansion for `x < a+1`, continued fraction otherwise
+/// (Numerical Recipes `gammp`).
+pub fn reg_gamma_lower(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "reg_gamma_lower: invalid args a={a} x={x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series: P(a,x) = x^a e^-x Σ x^n / (a (a+1) … (a+n)).
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp().min(1.0)
+    } else {
+        1.0 - reg_gamma_upper_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma via Lentz's continued fraction.
+fn reg_gamma_upper_cf(a: f64, x: f64) -> f64 {
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    ((a * x.ln() - x - ln_gamma(a)).exp() * h).min(1.0)
+}
+
+/// Survival function of the χ² distribution with `dof` degrees of freedom.
+pub fn chi_square_sf(stat: f64, dof: f64) -> f64 {
+    assert!(dof > 0.0, "chi_square_sf: dof must be positive");
+    if stat <= 0.0 {
+        return 1.0;
+    }
+    (1.0 - reg_gamma_lower(dof / 2.0, stat / 2.0)).clamp(0.0, 1.0)
+}
+
+/// Result of a Pearson χ² goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (cells − 1, after pooling).
+    pub dof: f64,
+    /// The p-value `Pr[χ²_dof ≥ statistic]`.
+    pub p_value: f64,
+}
+
+/// Pearson χ² test of observed counts against expected probabilities.
+///
+/// Cells with expected count below `min_expected` (use 5.0 for the textbook
+/// rule) are pooled into one residual cell to keep the asymptotics honest.
+///
+/// # Panics
+/// Panics if lengths differ or if `probs` has negative mass.
+pub fn chi_square_test(observed: &[u64], probs: &[f64], min_expected: f64) -> ChiSquare {
+    assert_eq!(observed.len(), probs.len(), "length mismatch");
+    let total: u64 = observed.iter().sum();
+    let mass: f64 = probs.iter().sum();
+    assert!(mass > 0.0, "probabilities must have positive mass");
+    assert!(probs.iter().all(|&p| p >= 0.0), "negative probability");
+    let n = total as f64;
+
+    let mut stat = 0.0f64;
+    let mut cells = 0usize;
+    let mut pooled_obs = 0.0f64;
+    let mut pooled_exp = 0.0f64;
+    for (&o, &p) in observed.iter().zip(probs) {
+        let e = n * p / mass;
+        if e < min_expected {
+            pooled_obs += o as f64;
+            pooled_exp += e;
+        } else {
+            let d = o as f64 - e;
+            stat += d * d / e;
+            cells += 1;
+        }
+    }
+    if pooled_exp > 0.0 {
+        let d = pooled_obs - pooled_exp;
+        stat += d * d / pooled_exp;
+        cells += 1;
+    }
+    let dof = (cells.max(2) - 1) as f64;
+    ChiSquare {
+        statistic: stat,
+        dof,
+        p_value: chi_square_sf(stat, dof),
+    }
+}
+
+/// Total-variation distance between an empirical distribution (counts) and a
+/// target distribution (unnormalized weights): `½ Σ |p̂_i − p_i|`.
+pub fn tv_distance(observed: &[u64], weights: &[f64]) -> f64 {
+    assert_eq!(observed.len(), weights.len(), "length mismatch");
+    let total: u64 = observed.iter().sum();
+    let mass: f64 = weights.iter().sum();
+    if total == 0 || mass <= 0.0 {
+        return 1.0;
+    }
+    observed
+        .iter()
+        .zip(weights)
+        .map(|(&o, &w)| (o as f64 / total as f64 - w / mass).abs())
+        .sum::<f64>()
+        / 2.0
+}
+
+/// Maximum relative bias `max_i |p̂_i − p_i| / p_i` over cells with
+/// `p_i ≥ floor` (tiny cells are statistically unresolvable).
+pub fn max_relative_bias(observed: &[u64], weights: &[f64], floor: f64) -> f64 {
+    assert_eq!(observed.len(), weights.len(), "length mismatch");
+    let total: u64 = observed.iter().sum();
+    let mass: f64 = weights.iter().sum();
+    if total == 0 || mass <= 0.0 {
+        return f64::INFINITY;
+    }
+    observed
+        .iter()
+        .zip(weights)
+        .filter_map(|(&o, &w)| {
+            let p = w / mass;
+            (p >= floor).then(|| (o as f64 / total as f64 - p).abs() / p)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+pub fn wilson_interval(successes: u64, trials: u64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.959_963_984_540_054; // Φ^{-1}(0.975)
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance.
+pub fn variance(xs: &[f64]) -> f64 {
+    assert!(xs.len() >= 2, "variance needs at least two samples");
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Empirical quantile via linear interpolation (`q` in `[0,1]`).
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Least-squares fit of `y = a + b·x`; returns `(a, b, r_squared)`.
+///
+/// Used to fit `log(space)` against `log(n)` and read the scaling exponent.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "x values are all identical");
+    let b = sxy / sxx;
+    let a = my - b * mx;
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (a + b * x);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (a, b, r2)
+}
+
+/// Kolmogorov–Smirnov statistic between a sample and a CDF.
+pub fn ks_statistic<F: Fn(f64) -> f64>(xs: &[f64], cdf: F) -> f64 {
+    assert!(!xs.is_empty(), "ks_statistic of empty sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let f = cdf(x);
+            let lo = (f - i as f64 / n).abs();
+            let hi = ((i + 1) as f64 / n - f).abs();
+            lo.max(hi)
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x Γ(x) over a grid.
+        for i in 1..50 {
+            let x = i as f64 * 0.37;
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            assert!((lhs - rhs).abs() < 1e-11, "x={x}");
+        }
+    }
+
+    #[test]
+    fn chi_square_sf_matches_known_points() {
+        // χ²(1): Pr[X >= 3.841] ≈ 0.05; χ²(10): Pr[X >= 18.307] ≈ 0.05.
+        assert!((chi_square_sf(3.841, 1.0) - 0.05).abs() < 1e-3);
+        assert!((chi_square_sf(18.307, 10.0) - 0.05).abs() < 1e-3);
+        assert!((chi_square_sf(0.0, 5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_test_accepts_true_distribution() {
+        let mut rng = Xoshiro256pp::new(21);
+        let probs = [0.1, 0.2, 0.3, 0.4];
+        let mut counts = [0u64; 4];
+        for _ in 0..40_000 {
+            let u = rng.next_f64();
+            let mut acc = 0.0;
+            for (i, &p) in probs.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    counts[i] += 1;
+                    break;
+                }
+            }
+        }
+        let res = chi_square_test(&counts, &probs, 5.0);
+        assert!(res.p_value > 0.001, "p={}", res.p_value);
+    }
+
+    #[test]
+    fn chi_square_test_rejects_wrong_distribution() {
+        let counts = [4000u64, 1000, 1000, 4000];
+        let probs = [0.25, 0.25, 0.25, 0.25];
+        let res = chi_square_test(&counts, &probs, 5.0);
+        assert!(res.p_value < 1e-6, "p={}", res.p_value);
+    }
+
+    #[test]
+    fn chi_square_pools_small_cells() {
+        // One expected cell is tiny; pooling keeps dof sane.
+        let counts = [100u64, 100, 1];
+        let probs = [0.5, 0.4999, 0.0001];
+        let res = chi_square_test(&counts, &probs, 5.0);
+        assert!(res.dof >= 1.0 && res.dof <= 2.0);
+        assert!(res.p_value.is_finite());
+    }
+
+    #[test]
+    fn tv_distance_zero_for_identical() {
+        let counts = [10u64, 20, 30];
+        let weights = [1.0, 2.0, 3.0];
+        assert!(tv_distance(&counts, &weights) < 1e-12);
+    }
+
+    #[test]
+    fn tv_distance_one_for_disjoint() {
+        let counts = [100u64, 0];
+        let weights = [0.0, 1.0];
+        assert!((tv_distance(&counts, &weights) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_relative_bias_detects_skew() {
+        let counts = [150u64, 50]; // empirical 0.75/0.25 vs ideal 0.5/0.5
+        let weights = [1.0, 1.0];
+        let b = max_relative_bias(&counts, &weights, 0.01);
+        assert!((b - 0.5).abs() < 1e-12, "bias {b}");
+    }
+
+    #[test]
+    fn wilson_interval_contains_p_hat() {
+        let (lo, hi) = wilson_interval(10, 100);
+        assert!(lo < 0.1 && 0.1 < hi);
+        assert!(lo > 0.0 && hi < 1.0);
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 0.5 * x).collect();
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-10);
+        assert!((b - 0.5).abs() < 1e-10);
+        assert!((r2 - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ks_statistic_small_for_true_cdf() {
+        let mut rng = Xoshiro256pp::new(22);
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| crate::variates::exponential_from(&mut rng))
+            .collect();
+        let ks = ks_statistic(&xs, |x| 1.0 - (-x).exp());
+        assert!(ks < 0.02, "ks {ks}");
+    }
+
+    #[test]
+    fn ks_statistic_large_for_wrong_cdf() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let ks = ks_statistic(&xs, |x| 1.0 - (-x).exp()); // exp CDF vs uniform data
+        assert!(ks > 0.2, "ks {ks}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Minimal markdown table builder used by the experiment harness.
+//!
+//! Experiments in `pts-bench` print their results as GitHub-flavoured
+//! markdown tables (the same rows recorded in EXPERIMENTS.md), so output can
+//! be pasted into documentation verbatim.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned markdown table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the row is padded or truncated to the header width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (c, &width) in widths.iter().enumerate().take(cols) {
+                let cell = cells.get(c).map(String::as_str).unwrap_or("");
+                let _ = write!(out, " {cell:width$} |");
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        out.push('|');
+        for &w in &widths {
+            let _ = write!(out, "{:-<width$}|", "", width = w + 2);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for tables.
+pub fn fmt_sig(x: f64, digits: usize) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let mag = x.abs().log10().floor() as i32;
+    let dec = (digits as i32 - 1 - mag).max(0) as usize;
+    if mag.abs() > 6 {
+        format!("{x:.prec$e}", prec = digits.saturating_sub(1))
+    } else {
+        format!("{x:.dec$}")
+    }
+}
+
+/// Formats a bit count as a human-readable quantity (`12.3 Kib`, …).
+pub fn fmt_bits(bits: usize) -> String {
+    let b = bits as f64;
+    if b < 1024.0 {
+        format!("{bits} b")
+    } else if b < 1024.0 * 1024.0 {
+        format!("{:.1} Kib", b / 1024.0)
+    } else {
+        format!("{:.2} Mib", b / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["name", "value"]);
+        t.push_row(["alpha", "1"]);
+        t.push_row(["b", "22222"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| name"));
+        assert!(lines[1].starts_with("|---"));
+        // All rows have equal rendered width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.push_row(["only-one"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let md = t.to_markdown();
+        assert!(md.lines().count() == 3);
+    }
+
+    #[test]
+    fn fmt_sig_behaves() {
+        assert_eq!(fmt_sig(0.0, 3), "0");
+        assert_eq!(fmt_sig(1234.5, 3), "1234"); // mag 3, no decimals
+        assert_eq!(fmt_sig(0.012345, 3), "0.0123");
+        assert!(fmt_sig(1.0e9, 3).contains('e'));
+        assert_eq!(fmt_sig(f64::INFINITY, 3), "inf");
+    }
+
+    #[test]
+    fn fmt_bits_units() {
+        assert_eq!(fmt_bits(512), "512 b");
+        assert_eq!(fmt_bits(2048), "2.0 Kib");
+        assert!(fmt_bits(3 * 1024 * 1024).contains("Mib"));
+    }
+}

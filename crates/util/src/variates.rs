@@ -1,0 +1,455 @@
+//! Random variates: exponential, Gaussian, geometric, binomial, multinomial.
+//!
+//! Exponential random variables are the engine of every sampler in the paper
+//! (max-stability, Lemma 1.16's anti-rank characterization); Gaussians drive
+//! the 2-stable L₂ estimator of Algorithm 4; geometric/binomial/multinomial
+//! variates implement the *fast-update simulation* of the duplicated vector
+//! (§3), where `Bin(n^c, p_q)` counts how many of the `n^c` virtual
+//! duplicates round to each discretized exponential value.
+
+use crate::rng::{keyed2_u64, keyed_u64, Xoshiro256pp};
+
+/// Converts raw 64 bits to a uniform variate in the open interval `(0, 1)`.
+#[inline]
+fn unit_open(bits: u64) -> f64 {
+    // 53-bit mantissa; offset by half an ulp so 0 is never produced.
+    (((bits >> 11) as f64) + 0.5) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Standard exponential variate (rate 1) from raw bits, via inversion.
+#[inline]
+pub fn exp_from_bits(bits: u64) -> f64 {
+    -unit_open(bits).ln()
+}
+
+/// The standard exponential attached to `(seed, key)`.
+///
+/// Deterministic: every stream update touching index `key` recomputes the
+/// same variate, so no per-index state is kept (cf. DESIGN.md S1/S2).
+#[inline]
+pub fn keyed_exponential(seed: u64, key: u64) -> f64 {
+    exp_from_bits(keyed_u64(seed, key))
+}
+
+/// The standard exponential attached to `(seed, key1, key2)` — used for the
+/// duplicated coordinates `e_{i,j}` of §3.
+#[inline]
+pub fn keyed_exponential2(seed: u64, key1: u64, key2: u64) -> f64 {
+    exp_from_bits(keyed2_u64(seed, key1, key2))
+}
+
+/// A uniform variate in `(0,1)` attached to `(seed, key)`.
+#[inline]
+pub fn keyed_unit(seed: u64, key: u64) -> f64 {
+    unit_open(keyed_u64(seed, key))
+}
+
+/// A Rademacher sign attached to `(seed, key)`.
+#[inline]
+pub fn keyed_sign(seed: u64, key: u64) -> i64 {
+    if keyed_u64(seed, key) & 1 == 0 {
+        1
+    } else {
+        -1
+    }
+}
+
+/// Standard Gaussian attached to `(seed, key)` (Box–Muller on keyed bits).
+#[inline]
+pub fn keyed_gaussian(seed: u64, key: u64) -> f64 {
+    let u1 = unit_open(keyed_u64(seed, key));
+    let u2 = unit_open(keyed_u64(seed ^ 0x5851_F42D_4C95_7F2D, key));
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The minimum of `n` i.i.d. standard exponentials, *simulated exactly* by
+/// max-stability: `min_{j∈[n]} e_j ~ Exp(n) = e / n` (Prop 1.13).
+///
+/// This is how the paper's `n^c`-fold duplication becomes O(1) work: the
+/// *largest* scaled duplicate of coordinate `i` is
+/// `|x_i| · (n^c / e)^{1/p}` for a single fresh exponential `e`.
+#[inline]
+pub fn min_of_exponentials(n_copies: f64, e: f64) -> f64 {
+    e / n_copies
+}
+
+/// Geometric variate: the number of Bernoulli(`p`) trials up to and
+/// including the first success; support `{1, 2, …}`.
+///
+/// Used by the fast-update CountSketch₁ hashing scheme (§3): the gap between
+/// consecutive occupied buckets is geometric with `p = 1/L`.
+///
+/// # Panics
+/// Panics unless `0 < p ≤ 1`.
+#[inline]
+pub fn geometric(rng: &mut Xoshiro256pp, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "geometric: p must be in (0,1], got {p}");
+    if p >= 1.0 {
+        return 1;
+    }
+    let u = rng.next_f64_open();
+    // Inversion: ceil(ln u / ln(1−p)) has the right law.
+    let g = (u.ln() / (1.0 - p).ln()).ceil();
+    if g < 1.0 {
+        1
+    } else {
+        g as u64
+    }
+}
+
+/// Binomial variate `Bin(n, p)` where `n` may be astronomically large
+/// (the virtual duplicate count `n^c`), so `n` is an `f64`.
+///
+/// Strategy (documented in DESIGN.md §4): exact Bernoulli summation for tiny
+/// `n`; BINV-style CDF inversion while `n·p ≤ 30`; Gaussian approximation
+/// with continuity correction otherwise. The approximate regimes match the
+/// target distribution in the first two moments and total-variation error
+/// `O(1/sqrt(n p (1−p)))`, which is far below every tolerance in the paper's
+/// analysis at the scales we simulate.
+pub fn binomial(rng: &mut Xoshiro256pp, n: f64, p: f64) -> f64 {
+    assert!(n >= 0.0, "binomial: n must be non-negative");
+    if n == 0.0 || p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    // Work with the smaller tail for numeric stability.
+    if p > 0.5 {
+        return n - binomial(rng, n, 1.0 - p);
+    }
+    let mean = n * p;
+    if n <= 64.0 {
+        let n_int = n as u64;
+        let mut count = 0.0;
+        for _ in 0..n_int {
+            if rng.next_f64() < p {
+                count += 1.0;
+            }
+        }
+        return count;
+    }
+    if mean <= 30.0 {
+        // BINV: sequential CDF inversion starting from Pr[X = 0] = (1−p)^n,
+        // computed in log-space to survive huge n.
+        let q = 1.0 - p;
+        // ln_1p keeps precision when p is far below f64 epsilon.
+        let log_q = (-p).ln_1p();
+        let mut pk = (n * log_q).exp(); // Pr[X = k], k = 0
+        if pk <= 0.0 {
+            // (1−p)^n underflowed: mean is moderate but n is so large the
+            // Poisson limit applies exactly to double precision.
+            return poisson(rng, mean);
+        }
+        let mut cdf = pk;
+        let u = rng.next_f64();
+        let mut k = 0.0f64;
+        let r = p / q;
+        while u > cdf {
+            k += 1.0;
+            pk *= (n - k + 1.0) / k * r;
+            cdf += pk;
+            if pk < 1e-18 && k > mean {
+                break; // numeric tail exhaustion
+            }
+        }
+        return k;
+    }
+    // Gaussian regime.
+    let sd = (n * p * (1.0 - p)).sqrt();
+    let z = gaussian_from(rng);
+    (mean + sd * z + 0.5).floor().clamp(0.0, n)
+}
+
+/// Poisson variate with mean `lambda` (Knuth for small mean, Gaussian above).
+pub fn poisson(rng: &mut Xoshiro256pp, lambda: f64) -> f64 {
+    assert!(lambda >= 0.0, "poisson: lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0.0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0.0;
+        let mut prod = rng.next_f64_open();
+        while prod > l {
+            k += 1.0;
+            prod *= rng.next_f64_open();
+        }
+        return k;
+    }
+    let z = gaussian_from(rng);
+    (lambda + lambda.sqrt() * z + 0.5).floor().max(0.0)
+}
+
+/// Standard Gaussian from a sequential generator (polar Box–Muller).
+#[inline]
+pub fn gaussian_from(rng: &mut Xoshiro256pp) -> f64 {
+    loop {
+        let x = 2.0 * rng.next_f64() - 1.0;
+        let y = 2.0 * rng.next_f64() - 1.0;
+        let s = x * x + y * y;
+        if s > 0.0 && s < 1.0 {
+            return x * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Standard exponential from a sequential generator.
+#[inline]
+pub fn exponential_from(rng: &mut Xoshiro256pp) -> f64 {
+    -rng.next_f64_open().ln()
+}
+
+/// Multinomial: distributes `n` trials over `probs` (need not be normalized)
+/// by sequential conditional binomials.
+///
+/// Returns one count per probability; counts sum to exactly `n` when every
+/// branch stayed in the exact regime, and to `n ± o(n)` in the Gaussian
+/// regime (the remainder is assigned to the final cell).
+pub fn multinomial(rng: &mut Xoshiro256pp, n: f64, probs: &[f64]) -> Vec<f64> {
+    let total: f64 = probs.iter().sum();
+    assert!(total > 0.0, "multinomial: probabilities must sum to > 0");
+    let mut remaining_n = n;
+    let mut remaining_p = total;
+    let mut out = Vec::with_capacity(probs.len());
+    for (idx, &p) in probs.iter().enumerate() {
+        if remaining_n <= 0.0 {
+            out.push(0.0);
+            continue;
+        }
+        if idx == probs.len() - 1 {
+            out.push(remaining_n);
+            break;
+        }
+        let cond = (p / remaining_p).clamp(0.0, 1.0);
+        let draw = binomial(rng, remaining_n, cond);
+        out.push(draw);
+        remaining_n -= draw;
+        remaining_p -= p;
+        if remaining_p <= 0.0 {
+            break; // exhausted mass: remaining cells get zero below
+        }
+    }
+    out.resize(probs.len(), 0.0);
+    out
+}
+
+/// Returns the anti-rank vector of `values` by decreasing magnitude:
+/// `result[k]` is the index of the (k+1)-st largest `|value|` (Def. in §1.4).
+pub fn anti_ranks(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .abs()
+            .partial_cmp(&values[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn exponential_mean_and_variance_are_one() {
+        let mut rng = Xoshiro256pp::new(1);
+        let xs: Vec<f64> = (0..200_000).map(|_| exponential_from(&mut rng)).collect();
+        let (m, v) = sample_mean_var(&xs);
+        assert!((m - 1.0).abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.05, "var {v}");
+    }
+
+    #[test]
+    fn keyed_exponential_is_deterministic() {
+        assert_eq!(keyed_exponential(9, 4), keyed_exponential(9, 4));
+        assert_ne!(keyed_exponential(9, 4), keyed_exponential(9, 5));
+    }
+
+    #[test]
+    fn keyed_exponential_tail_matches_cdf() {
+        // Prop 1.12: Pr[e >= a] = exp(-a).
+        let n = 100_000u64;
+        for a in [0.5f64, 1.0, 2.0] {
+            let count = (0..n)
+                .filter(|&k| keyed_exponential(123, k) >= a)
+                .count() as f64;
+            let rate = count / n as f64;
+            let ideal = (-a).exp();
+            assert!((rate - ideal).abs() < 0.01, "a={a}: {rate} vs {ideal}");
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Xoshiro256pp::new(2);
+        let xs: Vec<f64> = (0..200_000).map(|_| gaussian_from(&mut rng)).collect();
+        let (m, v) = sample_mean_var(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+    }
+
+    #[test]
+    fn keyed_gaussian_moments() {
+        let xs: Vec<f64> = (0..200_000).map(|k| keyed_gaussian(7, k)).collect();
+        let (m, v) = sample_mean_var(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+    }
+
+    #[test]
+    fn geometric_mean_is_inverse_p() {
+        let mut rng = Xoshiro256pp::new(3);
+        for p in [0.5f64, 0.1, 0.01] {
+            let n = 50_000;
+            let mean = (0..n).map(|_| geometric(&mut rng, p) as f64).sum::<f64>() / n as f64;
+            let rel = (mean - 1.0 / p).abs() / (1.0 / p);
+            assert!(rel < 0.05, "p={p}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn geometric_minimum_is_one() {
+        let mut rng = Xoshiro256pp::new(4);
+        assert!((0..10_000).all(|_| geometric(&mut rng, 0.9) >= 1));
+        assert_eq!(geometric(&mut rng, 1.0), 1);
+    }
+
+    #[test]
+    fn binomial_small_n_moments() {
+        let mut rng = Xoshiro256pp::new(5);
+        let (n, p) = (20.0, 0.3);
+        let xs: Vec<f64> = (0..100_000).map(|_| binomial(&mut rng, n, p)).collect();
+        let (m, v) = sample_mean_var(&xs);
+        assert!((m - n * p).abs() < 0.05, "mean {m}");
+        assert!((v - n * p * (1.0 - p)).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn binomial_binv_regime_moments() {
+        let mut rng = Xoshiro256pp::new(6);
+        let (n, p) = (10_000.0, 0.002); // mean 20 => BINV path
+        let xs: Vec<f64> = (0..60_000).map(|_| binomial(&mut rng, n, p)).collect();
+        let (m, v) = sample_mean_var(&xs);
+        assert!((m - 20.0).abs() < 0.2, "mean {m}");
+        assert!((v - 20.0).abs() < 0.8, "var {v}");
+    }
+
+    #[test]
+    fn binomial_gaussian_regime_moments() {
+        let mut rng = Xoshiro256pp::new(7);
+        let (n, p) = (1.0e6, 0.25);
+        let xs: Vec<f64> = (0..40_000).map(|_| binomial(&mut rng, n, p)).collect();
+        let (m, v) = sample_mean_var(&xs);
+        assert!((m - 2.5e5).abs() / 2.5e5 < 0.005, "mean {m}");
+        assert!((v - n * p * 0.75).abs() / (n * p * 0.75) < 0.05, "var {v}");
+    }
+
+    #[test]
+    fn binomial_huge_n_tiny_p_poisson_fallback() {
+        let mut rng = Xoshiro256pp::new(8);
+        // n so large (1−p)^n underflows: exercises the Poisson branch.
+        let (n, p) = (1.0e18, 5.0e-18);
+        let xs: Vec<f64> = (0..60_000).map(|_| binomial(&mut rng, n, p)).collect();
+        let (m, v) = sample_mean_var(&xs);
+        assert!((m - 5.0).abs() < 0.1, "mean {m}");
+        assert!((v - 5.0).abs() < 0.3, "var {v}");
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = Xoshiro256pp::new(9);
+        assert_eq!(binomial(&mut rng, 0.0, 0.5), 0.0);
+        assert_eq!(binomial(&mut rng, 10.0, 0.0), 0.0);
+        assert_eq!(binomial(&mut rng, 10.0, 1.0), 10.0);
+    }
+
+    #[test]
+    fn poisson_moments() {
+        let mut rng = Xoshiro256pp::new(10);
+        for lambda in [3.0f64, 50.0] {
+            let xs: Vec<f64> = (0..60_000).map(|_| poisson(&mut rng, lambda)).collect();
+            let (m, v) = sample_mean_var(&xs);
+            assert!((m - lambda).abs() / lambda < 0.03, "λ={lambda} mean {m}");
+            assert!((v - lambda).abs() / lambda < 0.08, "λ={lambda} var {v}");
+        }
+    }
+
+    #[test]
+    fn multinomial_counts_sum_to_n_and_match_proportions() {
+        let mut rng = Xoshiro256pp::new(11);
+        let probs = [0.5, 0.3, 0.2];
+        let n = 10_000.0;
+        let mut totals = [0.0f64; 3];
+        let reps = 200;
+        for _ in 0..reps {
+            let draw = multinomial(&mut rng, n, &probs);
+            assert_eq!(draw.len(), 3);
+            let sum: f64 = draw.iter().sum();
+            assert!((sum - n).abs() < 1e-9, "sum {sum}");
+            for (t, d) in totals.iter_mut().zip(&draw) {
+                *t += d;
+            }
+        }
+        for (t, p) in totals.iter().zip(&probs) {
+            let rate = t / (n * reps as f64);
+            assert!((rate - p).abs() < 0.01, "rate {rate} vs {p}");
+        }
+    }
+
+    #[test]
+    fn min_of_exponentials_matches_direct_simulation() {
+        // Compare the analytic shortcut against brute force for n=16.
+        let n = 16usize;
+        let trials = 40_000;
+        let mut rng = Xoshiro256pp::new(12);
+        let mut direct = Vec::with_capacity(trials);
+        let mut shortcut = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let m = (0..n)
+                .map(|_| exponential_from(&mut rng))
+                .fold(f64::INFINITY, f64::min);
+            direct.push(m);
+            shortcut.push(min_of_exponentials(n as f64, exponential_from(&mut rng)));
+        }
+        let (md, _) = sample_mean_var(&direct);
+        let (ms, _) = sample_mean_var(&shortcut);
+        assert!((md - ms).abs() < 0.005, "direct {md} vs shortcut {ms}");
+    }
+
+    #[test]
+    fn anti_ranks_order_by_magnitude() {
+        let v = [1.0, -5.0, 3.0, 0.5];
+        assert_eq!(anti_ranks(&v), vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn anti_rank_of_max_follows_weights() {
+        // Prop 1.14: Pr[argmin_i e_i/λ_i ... ] — equivalently the max of
+        // λ_i/e_i is i with probability λ_i / Σλ_j. Empirical check.
+        let lambdas = [1.0f64, 2.0, 5.0];
+        let total: f64 = lambdas.iter().sum();
+        let trials = 60_000;
+        let mut rng = Xoshiro256pp::new(13);
+        let mut wins = [0u32; 3];
+        for _ in 0..trials {
+            let scaled: Vec<f64> = lambdas
+                .iter()
+                .map(|&l| l / exponential_from(&mut rng))
+                .collect();
+            wins[anti_ranks(&scaled)[0]] += 1;
+        }
+        for (i, &w) in wins.iter().enumerate() {
+            let rate = w as f64 / trials as f64;
+            let ideal = lambdas[i] / total;
+            assert!((rate - ideal).abs() < 0.01, "i={i}: {rate} vs {ideal}");
+        }
+    }
+}

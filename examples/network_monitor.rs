@@ -1,0 +1,96 @@
+//! Network anomaly detection with heavy-tailed (p > 2) sampling.
+//!
+//! The scenario from the paper's introduction: a router sees per-source
+//! packet counts as a turnstile stream (NAT rebindings and retractions make
+//! it a *general* turnstile, not insertion-only). A DDoS source floods the
+//! link; because `p > 2` emphasizes dominant coordinates, a handful of
+//! perfect L₄ samples finds the attackers with near-certainty, while the
+//! classic reservoir baseline (a) needs the whole insertion history and
+//! (b) cannot handle retractions at all.
+//!
+//! Run with: `cargo run --release --example network_monitor`
+
+use perfect_sampling::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    let n = 96; // source universe (hashed /24s, say)
+    let seed = 7;
+
+    // Background traffic: moderate flows everywhere; two attackers.
+    let mut flows = pts_stream::gen::uniform_vector(n, 40, seed);
+    let attackers = [37u64, 81u64];
+    let mut values = flows.values().to_vec();
+    values[attackers[0] as usize] = 2_500;
+    values[attackers[1] as usize] = 1_800;
+    flows = FrequencyVector::from_values(values);
+
+    let mut rng = pts_util::Xoshiro256pp::new(seed + 1);
+    let stream = Stream::from_target(&flows, StreamStyle::Turnstile { churn: 0.5 }, &mut rng);
+    println!(
+        "traffic stream: {} updates, {} sources, attackers at {:?}",
+        stream.len(),
+        n,
+        attackers
+    );
+
+    // Who dominates F4? (Ground truth, for reference.)
+    let f4 = flows.fp_moment(4.0);
+    let attacker_share: f64 = attackers
+        .iter()
+        .map(|&a| (flows.value(a).abs() as f64).powf(4.0) / f4)
+        .sum();
+    println!("attackers hold {:.2}% of F4\n", attacker_share * 100.0);
+
+    // Draw 16 perfect L4 samples, one independent sampler each — they are
+    // independent sketches, so run them across threads (the same way a
+    // distributed deployment would shard them across machines).
+    let params = PerfectLpParams::for_universe(n, 4.0);
+    let samples: u64 = 16;
+    let outcomes: Vec<Option<Sample>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..samples)
+            .map(|t| {
+                let stream = &stream;
+                scope.spawn(move || {
+                    let mut sampler = PerfectLpSampler::new(n, params, seed + 100 + t);
+                    sampler.ingest_stream(stream);
+                    sampler.sample()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sampler thread")).collect()
+    });
+    let mut hits: HashMap<u64, u32> = HashMap::new();
+    let mut fails = 0;
+    for outcome in outcomes {
+        match outcome {
+            Some(s) => *hits.entry(s.index).or_default() += 1,
+            None => fails += 1,
+        }
+    }
+    let mut report: Vec<(u64, u32)> = hits.into_iter().collect();
+    report.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("perfect L4 sampling report ({samples} draws, {fails} ⊥):");
+    for (src, count) in &report {
+        let flag = if attackers.contains(src) { "  << attacker" } else { "" };
+        println!("  source {src:>4}: {count:>2} hits{flag}");
+    }
+    let caught = report
+        .iter()
+        .filter(|(s, c)| attackers.contains(s) && *c >= 2)
+        .count();
+    println!("\ndetected {caught}/{} attackers with ≥2 hits", attackers.len());
+
+    // The reservoir baseline cannot even ingest this stream.
+    let mut reservoir = ReservoirSampler::new(seed);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        reservoir.ingest_stream(&stream);
+    }));
+    match outcome {
+        Err(_) => println!(
+            "reservoir baseline: panicked on the first deletion — \
+             insertion-only samplers cannot monitor turnstile traffic"
+        ),
+        Ok(()) => println!("reservoir baseline unexpectedly survived (no deletions?)"),
+    }
+}

@@ -1,0 +1,70 @@
+//! # perfect-sampling
+//!
+//! A Rust implementation of *Perfect Sampling in Turnstile Streams Beyond
+//! Small Moments* (Woodruff, Xie, Zhou — PODS 2025): perfect and
+//! approximate `G`-samplers for turnstile streams, including the first
+//! perfect `L_p` sampler for `p > 2`, perfect polynomial samplers,
+//! logarithmic/cap/bounded-`G` samplers, and post-stream subset-norm
+//! estimation ("right to be forgotten").
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use perfect_sampling::prelude::*;
+//!
+//! // A turnstile stream: inserts and deletes over a universe of 32 items.
+//! let mut sampler = PerfectLpSampler::new(
+//!     32,
+//!     PerfectLpParams::for_universe(32, 3.0), // perfect L3 sampling
+//!     42,                                     // seed
+//! );
+//! sampler.process(Update::new(7, 10));
+//! sampler.process(Update::new(3, 4));
+//! sampler.process(Update::new(7, -6)); // deletion — turnstile
+//! sampler.process(Update::new(21, 9));
+//!
+//! match sampler.sample() {
+//!     Some(s) => println!("sampled index {} (≈ {})", s.index, s.estimate),
+//!     None => println!("⊥ (FAIL — retry with an independent instance)"),
+//! }
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`pts_core`] — the paper's samplers (start at
+//!   [`pts_core::PerfectLpSampler`]).
+//! * [`pts_samplers`] — substrates: perfect L₀ (JST11), perfect L₂ (JW18),
+//!   precision-sampling and reservoir baselines.
+//! * [`pts_sketch`] — CountSketch (classic + JW18-modified), AMS, `F_p`
+//!   estimators, heavy hitters, sparse recovery.
+//! * [`pts_stream`] — the turnstile model, ground truth, workload
+//!   generators.
+//! * [`pts_util`] — seeded RNG streams, hash families, variates,
+//!   statistics.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every reproduced table and figure.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use pts_core;
+pub use pts_samplers;
+pub use pts_sketch;
+pub use pts_stream;
+pub use pts_util;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use pts_core::{
+        ApproxLpParams, ApproxLpSampler, PerfectLpParams, PerfectLpSampler, Polynomial,
+        PolynomialParams, PolynomialSampler, RejectionGSampler, SubsetNormEstimator,
+        SubsetNormParams,
+    };
+    pub use pts_samplers::{
+        L0Params, LpLe2Batch, LpLe2Params, PerfectL0Sampler, PerfectLpLe2Sampler,
+        PrecisionParams, PrecisionSampler, ReservoirSampler, Sample, TurnstileSampler,
+    };
+    pub use pts_sketch::LinearSketch;
+    pub use pts_stream::{FrequencyVector, Stream, StreamStyle, Update};
+}

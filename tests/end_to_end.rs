@@ -1,0 +1,159 @@
+//! End-to-end integration: streams flow through every sampler family and
+//! the outputs obey the advertised laws (coarse-grained; the fine-grained
+//! statistics live in the `pts-bench` experiments).
+
+use perfect_sampling::prelude::*;
+use pts_util::stats::tv_distance;
+
+/// A shared fixture: skewed turnstile stream over a small universe.
+fn fixture(seed: u64) -> (FrequencyVector, Stream) {
+    let x = FrequencyVector::from_values(vec![6, -12, 20, 3, 0, 9, -15, 4]);
+    let mut rng = pts_util::Xoshiro256pp::new(seed);
+    let s = Stream::from_target(&x, StreamStyle::Turnstile { churn: 0.8 }, &mut rng);
+    (x, s)
+}
+
+#[test]
+fn perfect_lp_end_to_end_law() {
+    let (x, stream) = fixture(1);
+    let p = 3.0;
+    let params = PerfectLpParams::for_universe(x.n(), p);
+    let mut counts = vec![0u64; x.n()];
+    let trials = 600;
+    let mut fails = 0;
+    for t in 0..trials {
+        let mut s = PerfectLpSampler::new(x.n(), params, 1_000 + t * 11);
+        s.ingest_stream(&stream);
+        match s.sample() {
+            Some(sample) => counts[sample.index as usize] += 1,
+            None => fails += 1,
+        }
+    }
+    assert!(fails < trials / 4, "fails {fails}/{trials}");
+    let tv = tv_distance(&counts, &x.lp_weights(p));
+    assert!(tv < 0.09, "tv {tv}");
+}
+
+#[test]
+fn approximate_lp_end_to_end_law() {
+    let (x, stream) = fixture(2);
+    let p = 3.0;
+    let params = ApproxLpParams::for_universe(x.n(), p, 0.3);
+    let mut counts = vec![0u64; x.n()];
+    let trials = 1_500;
+    let mut produced = 0u64;
+    for t in 0..trials {
+        let mut s = ApproxLpSampler::new(x.n(), params, 3_000 + t * 7);
+        s.ingest_stream(&stream);
+        if let Some(sample) = s.sample() {
+            counts[sample.index as usize] += 1;
+            produced += 1;
+        }
+    }
+    assert!(produced > trials / 3, "produced {produced}/{trials}");
+    let tv = tv_distance(&counts, &x.lp_weights(p));
+    assert!(tv < 0.13, "tv {tv}");
+}
+
+#[test]
+fn g_samplers_end_to_end() {
+    let (x, stream) = fixture(3);
+    // Log-law over the final (post-deletion) values.
+    let weights: Vec<f64> = x
+        .values()
+        .iter()
+        .map(|&v| (1.0 + (v as f64).abs()).ln())
+        .collect();
+    let mut counts = vec![0u64; x.n()];
+    let trials = 3_000;
+    for t in 0..trials {
+        let mut s = RejectionGSampler::log_sampler(x.n(), 64, 5_000 + t);
+        s.ingest_stream(&stream);
+        if let Some(sample) = s.sample() {
+            // The value must be the exact net frequency.
+            assert_eq!(sample.estimate, x.value(sample.index) as f64);
+            counts[sample.index as usize] += 1;
+        }
+    }
+    let tv = tv_distance(&counts, &weights);
+    assert!(tv < 0.04, "tv {tv}");
+}
+
+#[test]
+fn subset_norm_end_to_end() {
+    let x = pts_stream::gen::zipf_vector(64, 1.0, 120, 4);
+    let mut rng = pts_util::Xoshiro256pp::new(5);
+    let stream = Stream::from_target(&x, StreamStyle::Turnstile { churn: 0.5 }, &mut rng);
+    let p = 3.0;
+    // Query: the even coordinates.
+    let q: Vec<u64> = (0..64u64).filter(|i| i % 2 == 0).collect();
+    let truth = x.subset_fp(&q, p);
+    let alpha = truth / x.fp_moment(p);
+    let mut est = SubsetNormEstimator::new(
+        64,
+        SubsetNormParams {
+            p,
+            epsilon: 0.3,
+            alpha,
+            repetitions: 48,
+        },
+        6,
+    );
+    for u in stream.iter() {
+        est.process(*u);
+    }
+    let got = est.query(&q);
+    let rel = (got - truth).abs() / truth;
+    assert!(rel < 0.5, "rel err {rel} (alpha {alpha:.3})");
+}
+
+#[test]
+fn turnstile_deletions_change_the_law() {
+    // Insert a dominant coordinate, then delete it: the sampler must follow
+    // the *net* vector (the defining turnstile property).
+    let n = 8;
+    let params = PerfectLpParams::for_universe(n, 3.0);
+    let mut hits_after_delete = 0;
+    let trials = 60;
+    for t in 0..trials {
+        let mut s = PerfectLpSampler::new(n, params, 80_000 + t);
+        s.process(Update::new(0, 1_000));
+        s.process(Update::new(1, 5));
+        s.process(Update::new(2, 3));
+        s.process(Update::new(0, -1_000)); // retract the giant
+        if let Some(sample) = s.sample() {
+            assert_ne!(sample.index, 0, "deleted coordinate must not dominate");
+            hits_after_delete += 1;
+        }
+    }
+    assert!(hits_after_delete > trials / 2, "hits {hits_after_delete}");
+}
+
+#[test]
+fn distributed_shards_merge_to_global_law() {
+    // Linearity across shards: two half-streams processed by identically
+    // seeded samplers merge (via update concatenation) to the same outcome
+    // as one global stream — the distributed-databases motivation of §1.3.
+    let (x, stream) = fixture(7);
+    let updates = stream.updates();
+    let (left, right) = updates.split_at(updates.len() / 2);
+    let params = PerfectLpParams::for_universe(x.n(), 3.0);
+
+    let mut global = PerfectLpSampler::new(x.n(), params, 123);
+    for u in updates {
+        global.process(*u);
+    }
+    let mut sharded = PerfectLpSampler::new(x.n(), params, 123);
+    for u in right.iter().chain(left.iter()) {
+        // Order scrambled across shards: linear sketches do not care.
+        sharded.process(*u);
+    }
+    match (global.sample(), sharded.sample()) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.index, b.index);
+            assert!((a.estimate - b.estimate).abs() < 1e-6);
+        }
+        (a, b) => panic!("shard merge diverged: {a:?} vs {b:?}"),
+    }
+}

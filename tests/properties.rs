@@ -1,0 +1,129 @@
+//! Property-based integration tests: invariants that must hold for *every*
+//! vector and stream, checked with proptest over randomized inputs.
+
+use perfect_sampling::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: sparse-ish integer vectors over a small universe.
+fn small_vector() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-50i64..=50, 8..=24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The L0 sampler returns an index with a non-zero value and reports it
+    /// exactly, on any vector.
+    #[test]
+    fn l0_sample_is_exact_and_in_support(values in small_vector(), seed in 0u64..10_000) {
+        let x = FrequencyVector::from_values(values);
+        let mut s = PerfectL0Sampler::new(x.n(), L0Params::default(), seed);
+        s.ingest_vector(&x);
+        match s.sample() {
+            Some(sample) => {
+                prop_assert_ne!(x.value(sample.index), 0);
+                prop_assert_eq!(sample.estimate, x.value(sample.index) as f64);
+            }
+            None => prop_assert_eq!(x.f0(), 0, "FAIL only legal on the zero vector (w.h.p.)"),
+        }
+    }
+
+    /// Stream replay and final-vector ingest produce identical sampler
+    /// decisions for the perfect L2 sampler (linearity).
+    #[test]
+    fn l2_sampler_is_stream_order_invariant(
+        values in small_vector(),
+        seed in 0u64..10_000,
+        churn in 0.0f64..2.0,
+    ) {
+        let x = FrequencyVector::from_values(values);
+        let mut rng = pts_util::Xoshiro256pp::new(seed);
+        let stream = Stream::from_target(&x, StreamStyle::Turnstile { churn }, &mut rng);
+        let params = LpLe2Params::for_universe(x.n(), 2.0);
+        let mut a = PerfectLpLe2Sampler::new(x.n(), params, seed ^ 0xABCD);
+        a.ingest_stream(&stream);
+        let mut b = PerfectLpLe2Sampler::new(x.n(), params, seed ^ 0xABCD);
+        b.ingest_vector(&x);
+        match (a.sample(), b.sample()) {
+            (None, None) => {}
+            (Some(sa), Some(sb)) => {
+                prop_assert_eq!(sa.index, sb.index);
+                prop_assert!((sa.estimate - sb.estimate).abs() <= 1e-6 * (1.0 + sb.estimate.abs()));
+            }
+            (sa, sb) => prop_assert!(false, "diverged: {:?} vs {:?}", sa, sb),
+        }
+    }
+
+    /// Whatever index a perfect Lp (p>2) sampler emits has a non-zero value;
+    /// its estimate has the right sign and a sane magnitude.
+    #[test]
+    fn lp_sample_is_plausible(values in small_vector(), seed in 0u64..5_000) {
+        let x = FrequencyVector::from_values(values);
+        let params = PerfectLpParams::for_universe(x.n(), 3.0);
+        let mut s = PerfectLpSampler::new(x.n(), params, seed);
+        s.ingest_vector(&x);
+        if let Some(sample) = s.sample() {
+            let truth = x.value(sample.index);
+            prop_assert_ne!(truth, 0, "sampled a zero coordinate");
+            prop_assert_eq!(
+                sample.estimate.signum() as i64,
+                truth.signum(),
+                "estimate sign flipped: {} vs {}", sample.estimate, truth
+            );
+            let rel = (sample.estimate - truth as f64).abs() / (truth.abs() as f64);
+            prop_assert!(rel < 1.0, "estimate {} vs truth {}", sample.estimate, truth);
+        }
+    }
+
+    /// G-samplers never emit a zero coordinate and always report exact
+    /// values, for the log and cap instantiations.
+    #[test]
+    fn g_samplers_respect_support(values in small_vector(), seed in 0u64..5_000) {
+        let x = FrequencyVector::from_values(values);
+        let mut log_s = RejectionGSampler::log_sampler(x.n(), 64, seed);
+        let mut cap_s = RejectionGSampler::cap_sampler(x.n(), 6.0, 2.0, seed ^ 0x55);
+        log_s.ingest_vector(&x);
+        cap_s.ingest_vector(&x);
+        for s in [log_s.sample(), cap_s.sample()].into_iter().flatten() {
+            prop_assert_ne!(x.value(s.index), 0);
+            prop_assert_eq!(s.estimate, x.value(s.index) as f64);
+        }
+    }
+
+    /// Subset-norm queries are monotone: a superset's estimate uses a
+    /// superset of accepted repetitions, so Q ⊆ Q' implies query(Q) ≤
+    /// query(Q') for the same estimator state.
+    #[test]
+    fn subset_norm_is_monotone(values in small_vector(), seed in 0u64..2_000) {
+        let x = FrequencyVector::from_values(values);
+        if x.fp_moment(3.0) == 0.0 {
+            return Ok(());
+        }
+        let mut est = SubsetNormEstimator::new(
+            x.n(),
+            SubsetNormParams { p: 3.0, epsilon: 0.4, alpha: 0.5, repetitions: 16 },
+            seed,
+        );
+        est.ingest_vector(&x);
+        let half: Vec<u64> = (0..x.n() as u64 / 2).collect();
+        let all: Vec<u64> = (0..x.n() as u64).collect();
+        let q_half = est.query(&half);
+        let q_all = est.query(&all);
+        prop_assert!(q_half <= q_all + 1e-9, "half {} > all {}", q_half, q_all);
+    }
+
+    /// `Stream::from_target` round-trips every vector in every style.
+    #[test]
+    fn stream_decomposition_roundtrips(values in small_vector(), seed in 0u64..10_000) {
+        let x = FrequencyVector::from_values(values);
+        let mut rng = pts_util::Xoshiro256pp::new(seed);
+        for style in [
+            StreamStyle::Bulk,
+            StreamStyle::Turnstile { churn: 0.0 },
+            StreamStyle::Turnstile { churn: 1.3 },
+        ] {
+            let s = Stream::from_target(&x, style, &mut rng);
+            prop_assert_eq!(s.final_vector(), x.clone());
+        }
+    }
+}
