@@ -16,9 +16,7 @@ fn experiment_suite(c: &mut Criterion) {
         if !matches!(e.id, "e2" | "e5" | "e6") {
             continue;
         }
-        group.bench_function(e.id, |b| {
-            b.iter(|| std::hint::black_box((e.run)(true)))
-        });
+        group.bench_function(e.id, |b| b.iter(|| std::hint::black_box((e.run)(true))));
     }
     group.finish();
 }

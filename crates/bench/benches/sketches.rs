@@ -38,7 +38,13 @@ fn bench_updates<S: LinearSketch>(c: &mut Criterion, name: &str, mk: impl Fn() -
 
 fn sketch_updates(c: &mut Criterion) {
     bench_updates(c, "countsketch/update x1024", || {
-        CountSketch::new(CountSketchParams { rows: 5, buckets: 256 }, 1)
+        CountSketch::new(
+            CountSketchParams {
+                rows: 5,
+                buckets: 256,
+            },
+            1,
+        )
     });
     bench_updates(c, "mod_countsketch/update x1024", || {
         ModCountSketch::new(5, 256, 2)
@@ -52,7 +58,14 @@ fn sketch_updates(c: &mut Criterion) {
         FpTaylor::new(N, FpTaylorParams::for_universe(N, 3.0), 6)
     });
     bench_updates(c, "dyadic_hh/update x1024", || {
-        DyadicHeavyHitters::new(N, CountSketchParams { rows: 5, buckets: 64 }, 7)
+        DyadicHeavyHitters::new(
+            N,
+            CountSketchParams {
+                rows: 5,
+                buckets: 64,
+            },
+            7,
+        )
     });
     bench_updates(c, "sparse_recovery/update x1024", || {
         SparseRecovery::new(12, 4, 8)
@@ -61,14 +74,27 @@ fn sketch_updates(c: &mut Criterion) {
 
 fn sketch_queries(c: &mut Criterion) {
     let ups = updates(4096, 9);
-    let mut cs = CountSketch::new(CountSketchParams { rows: 5, buckets: 256 }, 10);
+    let mut cs = CountSketch::new(
+        CountSketchParams {
+            rows: 5,
+            buckets: 256,
+        },
+        10,
+    );
     for &(i, d) in &ups {
         cs.update(i, d);
     }
     c.bench_function("countsketch/decode_all n=4096", |b| {
         b.iter(|| std::hint::black_box(cs.decode_all(N)))
     });
-    let mut hh = DyadicHeavyHitters::new(N, CountSketchParams { rows: 5, buckets: 64 }, 11);
+    let mut hh = DyadicHeavyHitters::new(
+        N,
+        CountSketchParams {
+            rows: 5,
+            buckets: 64,
+        },
+        11,
+    );
     for &(i, d) in &ups {
         hh.update(i, d);
     }

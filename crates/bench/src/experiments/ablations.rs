@@ -24,7 +24,11 @@ pub fn a1_duplication(quick: bool) -> Table {
     let x = FrequencyVector::from_values(values);
     let trials: u64 = if quick { 30_000 } else { 150_000 };
     let mut table = Table::new([
-        "dup_c", "fail(heavy wins)", "fail(light wins)", "conditional gap", "TV",
+        "dup_c",
+        "fail(heavy wins)",
+        "fail(light wins)",
+        "conditional gap",
+        "TV",
     ]);
     for dup_c in [0.0f64, 1.0, 2.0] {
         let mut params = LpLe2Params::for_universe(n, 2.0);
@@ -81,7 +85,10 @@ pub fn a1_duplication(quick: bool) -> Table {
 /// the δ=0.05 rows.)
 pub fn a2_taylor_depth(_quick: bool) -> Table {
     let mut table = Table::new([
-        "anchor err δ", "terms Q", "rel series error", "Lemma 2.7 scale δ^(Q+1)",
+        "anchor err δ",
+        "terms Q",
+        "rel series error",
+        "Lemma 2.7 scale δ^(Q+1)",
     ]);
     let x = 12.0f64;
     for delta in [0.5f64, 0.2, 0.05] {
@@ -113,7 +120,10 @@ pub fn a3_estimator_reps(quick: bool) -> Table {
     let weights = x.lp_weights(p);
     let trials: u64 = if quick { 1_500 } else { 6_000 };
     let mut table = Table::new([
-        "replicas/group", "TV", "clamp rate", "mean |est err| of x^(p-2)",
+        "replicas/group",
+        "TV",
+        "clamp rate",
+        "mean |est err| of x^(p-2)",
     ]);
     for reps in [1usize, 2, 4, 8] {
         let mut params = PerfectLpParams::for_universe(n, p);
@@ -121,8 +131,7 @@ pub fn a3_estimator_reps(quick: bool) -> Table {
         // Default widths for the end-to-end law (they are what ships); the
         // replica effect is isolated by the coarse-table probe below, where
         // collision noise on the estimates is real.
-        params.l2 =
-            LpLe2Params::for_universe(n, 2.0).with_extra_estimators(params.groups() * reps);
+        params.l2 = LpLe2Params::for_universe(n, 2.0).with_extra_estimators(params.groups() * reps);
         let clamp_total = std::sync::atomic::AtomicU64::new(0);
         let cand_total = std::sync::atomic::AtomicU64::new(0);
         let (counts, _) = parallel_counts(n, trials, |t| {

@@ -17,7 +17,12 @@ pub fn e3_estimates(quick: bool) -> Table {
     let x = zipf_vector(n, 1.0, 200, 301);
     let trials: u64 = if quick { 600 } else { 4_000 };
     let mut table = Table::new([
-        "target eps", "buckets", "space", "median rel err", "p90 rel err", "within eps",
+        "target eps",
+        "buckets",
+        "space",
+        "median rel err",
+        "p90 rel err",
+        "within eps",
     ]);
     for eps in [0.5f64, 0.2, 0.1, 0.05] {
         // Width scales as ε^{-2} (paper: extra ε^{-2}·n^{1−2/p} bits).
@@ -57,16 +62,20 @@ pub fn e9_subset_norm(quick: bool) -> Table {
     let fp = x.fp_moment(p);
     let trials: u64 = if quick { 8 } else { 24 };
     let mut table = Table::new([
-        "query", "alpha", "eps", "reps", "space", "mean rel err", "p90 rel err",
+        "query",
+        "alpha",
+        "eps",
+        "reps",
+        "space",
+        "mean rel err",
+        "p90 rel err",
     ]);
     // Two query regimes: heavy half (large α) and a sparse slice (small α).
     let mut by_mag: Vec<u64> = (0..n as u64).collect();
     by_mag.sort_by_key(|&i| std::cmp::Reverse(x.value(i).abs()));
     let (kept, _) = rfds_split(n, 0.5, 402);
-    let queries: Vec<(&str, Vec<u64>)> = vec![
-        ("heavy-16", by_mag[..16].to_vec()),
-        ("rfds-half", kept),
-    ];
+    let queries: Vec<(&str, Vec<u64>)> =
+        vec![("heavy-16", by_mag[..16].to_vec()), ("rfds-half", kept)];
     for (qname, q) in &queries {
         let truth = x.subset_fp(q, p);
         let alpha = truth / fp;
@@ -100,10 +109,7 @@ pub fn e9_subset_norm(quick: bool) -> Table {
     let truth = x.subset_fp(q, p);
     for buckets in [16usize, 32, 64] {
         let errs = parallel_values(trials, |t| {
-            let mut cs = CountSketch::new(
-                CountSketchParams { rows: 5, buckets },
-                0xBA5E + t,
-            );
+            let mut cs = CountSketch::new(CountSketchParams { rows: 5, buckets }, 0xBA5E + t);
             cs.ingest_vector(&x);
             let got: f64 = q.iter().map(|&i| cs.estimate(i).abs().powf(p)).sum();
             ((got - truth) / truth).abs()

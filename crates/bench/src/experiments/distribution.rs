@@ -8,8 +8,8 @@
 
 use crate::runner::parallel_counts;
 use pts_core::{
-    ApproxLpBatch, ApproxLpParams, PerfectLpParams, PerfectLpSampler, Polynomial,
-    PolynomialParams, PolynomialSampler, RejectionGSampler,
+    ApproxLpBatch, ApproxLpParams, PerfectLpParams, PerfectLpSampler, Polynomial, PolynomialParams,
+    PolynomialSampler, RejectionGSampler,
 };
 use pts_samplers::TurnstileSampler;
 use pts_stream::gen::{planted_vector, zipf_vector};
@@ -47,7 +47,13 @@ fn law_row(
 
 fn law_table() -> Table {
     Table::new([
-        "sampler", "workload", "samples", "fail rate", "TV", "max rel bias", "chi2 p",
+        "sampler",
+        "workload",
+        "samples",
+        "fail rate",
+        "TV",
+        "max rel bias",
+        "chi2 p",
     ])
 }
 
@@ -188,7 +194,15 @@ pub fn e10_log(quick: bool) -> Table {
         s.ingest_vector(&x);
         s.sample().map(|smp| smp.index as usize)
     });
-    law_row(&mut table, "log(1+|z|)", "spread", &weights, &counts, fails, trials);
+    law_row(
+        &mut table,
+        "log(1+|z|)",
+        "spread",
+        &weights,
+        &counts,
+        fails,
+        trials,
+    );
     table
 }
 

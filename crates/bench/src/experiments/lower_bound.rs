@@ -21,7 +21,11 @@ pub fn e7_phase_transition(quick: bool) -> Table {
     let base = ProtocolConfig::for_universe(n, p);
     let native = base.sampler.cs1_buckets;
     let mut table = Table::new([
-        "stage-1 buckets", "vs n^(1-2/p)", "accuracy", "95% CI", "verdict",
+        "stage-1 buckets",
+        "vs n^(1-2/p)",
+        "accuracy",
+        "95% CI",
+        "verdict",
     ]);
     let n_pow = (n as f64).powf(1.0 - 2.0 / p);
     for buckets in [native, native / 4, native / 16, native / 64, 4] {
@@ -49,7 +53,12 @@ pub fn e7_phase_transition(quick: bool) -> Table {
             format!("{:.1}×", buckets as f64 / n_pow),
             fmt_sig(acc, 3),
             format!("[{}, {}]", fmt_sig(lo, 3), fmt_sig(hi, 3)),
-            if acc >= 0.6 { "distinguishes" } else { "starved" }.to_string(),
+            if acc >= 0.6 {
+                "distinguishes"
+            } else {
+                "starved"
+            }
+            .to_string(),
         ]);
     }
     table

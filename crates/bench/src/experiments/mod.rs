@@ -11,6 +11,7 @@ pub mod distribution;
 pub mod lower_bound;
 pub mod space;
 pub mod table1;
+pub mod throughput;
 pub mod timing;
 
 use pts_util::Table;
@@ -92,6 +93,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e12",
             title: "E12 — M-estimator G-samplers via rejection (Thm 5.7)",
             run: distribution::e12_m_estimators,
+        },
+        Experiment {
+            id: "s1",
+            title: "S1 — engine ingest throughput vs shard count (pts-engine)",
+            run: throughput::s1_engine_throughput,
         },
         Experiment {
             id: "a1",

@@ -27,7 +27,12 @@ fn analytic_polylog(n: usize, p: f64) -> f64 {
 /// E2: perfect-sampler space across a universe sweep.
 pub fn e2_perfect_space(quick: bool) -> Table {
     let mut table = Table::new([
-        "p", "n", "space", "raw exponent", "deflated exponent", "target 1-2/p",
+        "p",
+        "n",
+        "space",
+        "raw exponent",
+        "deflated exponent",
+        "target 1-2/p",
     ]);
     let ns: &[usize] = if quick {
         &[64, 128, 256, 512]
@@ -77,9 +82,7 @@ pub fn e2_perfect_space(quick: bool) -> Table {
 
 /// E6: approximate-sampler space across universe and ε sweeps.
 pub fn e6_approx_space(quick: bool) -> Table {
-    let mut table = Table::new([
-        "sweep", "value", "space", "fitted exponent", "target",
-    ]);
+    let mut table = Table::new(["sweep", "value", "space", "fitted exponent", "target"]);
     let p = 4.0;
     // Universe sweep at fixed ε.
     let ns: &[usize] = if quick {

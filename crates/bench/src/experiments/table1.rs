@@ -10,8 +10,7 @@
 use crate::runner::parallel_counts;
 use pts_core::{ApproxLpBatch, ApproxLpParams, PerfectLpParams, PerfectLpSampler};
 use pts_samplers::{
-    LpLe2Batch, LpLe2Params, PrecisionParams, PrecisionSampler, ReservoirSampler,
-    TurnstileSampler,
+    LpLe2Batch, LpLe2Params, PrecisionParams, PrecisionSampler, ReservoirSampler, TurnstileSampler,
 };
 use pts_stream::gen::zipf_vector;
 use pts_stream::{Stream, StreamStyle};
@@ -29,7 +28,12 @@ pub fn run(quick: bool) -> Table {
     let w3 = x.lp_weights(3.0);
 
     let mut table = Table::new([
-        "sampler (paper row)", "stream model", "distortion class", "function", "measured TV", "fail rate",
+        "sampler (paper row)",
+        "stream model",
+        "distortion class",
+        "function",
+        "measured TV",
+        "fail rate",
     ]);
 
     // [Vit85] reservoir — insertion-only, truly perfect L1.

@@ -61,13 +61,14 @@ pub fn e5_update_time(quick: bool) -> Table {
     let m_updates = if quick { 2_000 } else { 20_000 };
     let x = zipf_vector(n, 1.0, 500, 501);
     let mut rng = pts_util::Xoshiro256pp::new(502);
-    let stream =
-        pts_stream::Stream::from_target(&x, pts_stream::StreamStyle::Turnstile { churn: 1.0 }, &mut rng);
+    let stream = pts_stream::Stream::from_target(
+        &x,
+        pts_stream::StreamStyle::Turnstile { churn: 1.0 },
+        &mut rng,
+    );
     let updates: Vec<Update> = stream.updates().iter().copied().take(m_updates).collect();
 
-    let mut table = Table::new([
-        "path", "virtual copies M", "ns/update", "speedup", "space",
-    ]);
+    let mut table = Table::new(["path", "virtual copies M", "ns/update", "speedup", "space"]);
 
     // Simulated path (the paper's algorithm) at increasing duplication —
     // cost must stay flat.

@@ -77,8 +77,7 @@ impl ApproxLpParams {
             epsilon,
             dup_c: 2.0,
             rows: (log2n.ceil() as usize).clamp(5, 9) | 1,
-            cs1_buckets: ((8.0 * nf.powf(1.0 - 2.0 / p) * log2n * log1e).ceil() as usize)
-                .max(256),
+            cs1_buckets: ((8.0 * nf.powf(1.0 - 2.0 / p) * log2n * log1e).ceil() as usize).max(256),
             kept_buckets: ((4.0 * log1e * log1e).ceil() as usize).clamp(12, 64),
             gauss_reps: 15,
             // Tuned on the zipf battery: 1.0 minimizes both TV and max
@@ -135,9 +134,8 @@ impl ApproxLpSampler {
         assert!(n >= 2, "universe too small");
         let nf = n as f64;
         let copies_m = nf.powf(params.dup_c).max(2.0);
-        let virtual_width = (params.width_const
-            * (nf * copies_m).powf(1.0 - 2.0 / params.p))
-        .max(params.kept_buckets as f64);
+        let virtual_width = (params.width_const * (nf * copies_m).powf(1.0 - 2.0 / params.p))
+            .max(params.kept_buckets as f64);
         let eta = (params.epsilon / (nf.log2().sqrt())).clamp(1e-4, 0.25);
         // Dynamic range: (M/e)^{1/p} spans ~M^{1/p} · poly; cover generously.
         let decades = ((copies_m.log10() / params.p).ceil() as u32) + 8;
@@ -204,8 +202,16 @@ impl ApproxLpSampler {
         let q_lo = *self.grid.q_range().start();
         let q_hi = *self.grid.q_range().end();
         for q in q_lo..=q_hi {
-            let lo = if q == q_lo { 0.0 } else { cdf(self.grid.value(q)) };
-            let hi = if q == q_hi { 1.0 } else { cdf(self.grid.value(q + 1)) };
+            let lo = if q == q_lo {
+                0.0
+            } else {
+                cdf(self.grid.value(q))
+            };
+            let hi = if q == q_hi {
+                1.0
+            } else {
+                cdf(self.grid.value(q + 1))
+            };
             let pq = (hi - lo).max(0.0);
             if pq <= 0.0 {
                 continue;
@@ -240,8 +246,7 @@ impl ApproxLpSampler {
     fn cs2_read(&self, i: u64) -> f64 {
         let mut vals: Vec<f64> = (0..self.params.rows)
             .map(|r| {
-                self.cs2_sign(r, i)
-                    * self.cs2[r * self.params.kept_buckets + self.cs2_bucket(r, i)]
+                self.cs2_sign(r, i) * self.cs2[r * self.params.kept_buckets + self.cs2_bucket(r, i)]
             })
             .collect();
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -376,6 +381,28 @@ impl TurnstileSampler for ApproxLpSampler {
             + self.fp_est.space_bits()
             + 192
     }
+
+    /// Merges a same-seeded shard sampler: every component (stage-1 table,
+    /// kept stage-2 region, Gaussian counters, norm estimator) is a linear
+    /// accumulator over the stream.
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.seed, other.seed, "seed mismatch");
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.cs1.merge(&other.cs1);
+        assert_eq!(self.cs2.len(), other.cs2.len(), "stage-2 shape mismatch");
+        for (a, b) in self.cs2.iter_mut().zip(&other.cs2) {
+            *a += b;
+        }
+        assert_eq!(
+            self.gauss_counters.len(),
+            other.gauss_counters.len(),
+            "gaussian counter mismatch"
+        );
+        for (a, b) in self.gauss_counters.iter_mut().zip(&other.gauss_counters) {
+            *a += b;
+        }
+        self.fp_est.merge(&other.fp_est);
+    }
 }
 
 /// Success-boosted approximate sampler: `k` independent instances, first
@@ -412,8 +439,23 @@ impl TurnstileSampler for ApproxLpBatch {
         self.instances.iter_mut().find_map(ApproxLpSampler::sample)
     }
 
+    /// Merges instance-wise (both batches must share seed and shape).
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.instances.len(),
+            other.instances.len(),
+            "batch size mismatch"
+        );
+        for (a, b) in self.instances.iter_mut().zip(&other.instances) {
+            a.merge(b);
+        }
+    }
+
     fn space_bits(&self) -> usize {
-        self.instances.iter().map(TurnstileSampler::space_bits).sum()
+        self.instances
+            .iter()
+            .map(TurnstileSampler::space_bits)
+            .sum()
     }
 }
 
@@ -463,11 +505,7 @@ mod tests {
     #[test]
     fn planted_heavy_wins_overwhelmingly() {
         let x = planted_vector(64, 1, 500, 5, 42);
-        let heavy = x
-            .values()
-            .iter()
-            .position(|v| v.abs() == 500)
-            .unwrap() as u64;
+        let heavy = x.values().iter().position(|v| v.abs() == 500).unwrap() as u64;
         let (counts, fails) = approx_distribution(&x, 4.0, 0.3, 300, 99);
         let accepted: u64 = counts.iter().sum();
         assert!(accepted > 150, "accepted {accepted} fails {fails}");
@@ -550,7 +588,10 @@ mod tests {
         let small = mk(1.0);
         let large = mk(2.0);
         let mean_t2 = |s: &ApproxLpSampler| -> f64 {
-            (0..32u64).map(|i| s.derive_index_consts(i).t2_tail).sum::<f64>() / 32.0
+            (0..32u64)
+                .map(|i| s.derive_index_consts(i).t2_tail)
+                .sum::<f64>()
+                / 32.0
         };
         let ratio = mean_t2(&large) / mean_t2(&small);
         // M grew 32×; the Γ(1−2/p)-scaled tail mass should track it.

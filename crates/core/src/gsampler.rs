@@ -16,8 +16,8 @@
 
 use pts_samplers::{L0Params, PerfectL0Sampler, Sample, TurnstileSampler};
 use pts_stream::Update;
-use pts_util::variates::keyed_unit;
 use pts_util::derive_seed;
+use pts_util::variates::keyed_unit;
 
 /// A non-negative measurement function `G` with `G(0) = 0`.
 pub type GFunction = std::sync::Arc<dyn Fn(f64) -> f64 + Send + Sync>;
@@ -47,13 +47,7 @@ impl RejectionGSampler {
     ///
     /// # Panics
     /// Panics if `H ≤ 0` or `repetitions == 0`.
-    pub fn new(
-        n: usize,
-        g: GFunction,
-        upper_h: f64,
-        repetitions: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn new(n: usize, g: GFunction, upper_h: f64, repetitions: usize, seed: u64) -> Self {
         Self::with_label(n, g, upper_h, repetitions, seed, "custom")
     }
 
@@ -219,6 +213,25 @@ impl TurnstileSampler for RejectionGSampler {
             .sum::<usize>()
             + 64
     }
+
+    /// Merges a same-seeded shard sampler: the underlying L₀ repetitions
+    /// are linear sketches, and `G`/`H` are construction-time constants.
+    /// `G` itself is an opaque closure that cannot be compared, so the
+    /// acceptance bound `H`, the label, and the repetition count stand in
+    /// as the configuration fingerprint.
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.accept_seed, other.accept_seed, "seed mismatch");
+        assert_eq!(self.upper_h, other.upper_h, "acceptance bound mismatch");
+        assert_eq!(self.label, other.label, "G-function mismatch");
+        assert_eq!(
+            self.l0_samples.len(),
+            other.l0_samples.len(),
+            "repetition mismatch"
+        );
+        for (a, b) in self.l0_samples.iter_mut().zip(&other.l0_samples) {
+            a.merge(b);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -260,8 +273,11 @@ mod tests {
             .iter()
             .map(|&v| (1.0 + (v as f64).abs()).ln())
             .collect();
-        let (counts, fails) =
-            g_distribution(&x, |t| RejectionGSampler::log_sampler(6, 1000, 900 + t), 8_000);
+        let (counts, fails) = g_distribution(
+            &x,
+            |t| RejectionGSampler::log_sampler(6, 1000, 900 + t),
+            8_000,
+        );
         let accepted: u64 = counts.iter().sum();
         assert!(fails < 8_000 / 10, "fails {fails}");
         let tv = tv_distance(&counts, &weights);
@@ -273,8 +289,11 @@ mod tests {
         // T = 8, p = 2: values 1,2,3,10 → G = 1, 4, 8, 8.
         let x = FrequencyVector::from_values(vec![1, 2, -3, 10, 0]);
         let weights = [1.0, 4.0, 8.0, 8.0, 0.0];
-        let (counts, fails) =
-            g_distribution(&x, |t| RejectionGSampler::cap_sampler(5, 8.0, 2.0, 300 + t), 8_000);
+        let (counts, fails) = g_distribution(
+            &x,
+            |t| RejectionGSampler::cap_sampler(5, 8.0, 2.0, 300 + t),
+            8_000,
+        );
         assert!(fails < 8_000 / 10, "fails {fails}");
         let tv = tv_distance(&counts, &weights);
         assert!(tv < 0.03, "tv {tv}");
@@ -341,7 +360,10 @@ mod tests {
         let got: u64 = counts.iter().sum();
         let r3 = counts[1] as f64 / got as f64;
         let r50 = counts[2] as f64 / got as f64;
-        assert!((r3 - r50).abs() < 0.05, "saturation violated: {r3} vs {r50}");
+        assert!(
+            (r3 - r50).abs() < 0.05,
+            "saturation violated: {r3} vs {r50}"
+        );
     }
 
     #[test]

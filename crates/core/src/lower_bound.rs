@@ -83,12 +83,7 @@ pub fn classify(draw: &HardDraw, n: usize, cfg: &ProtocolConfig, seed: u64) -> b
 }
 
 /// Runs `trials` draws (half α, half β) and returns the accuracy.
-pub fn distinguishing_accuracy(
-    n: usize,
-    cfg: &ProtocolConfig,
-    trials: usize,
-    seed: u64,
-) -> f64 {
+pub fn distinguishing_accuracy(n: usize, cfg: &ProtocolConfig, trials: usize, seed: u64) -> f64 {
     assert!(trials >= 2, "need at least one trial per distribution");
     let mut rng = Xoshiro256pp::new(derive_seed(seed, 0xD15));
     let mut correct = 0usize;

@@ -28,8 +28,8 @@
 use pts_samplers::{LpLe2Params, PerfectLpLe2Sampler, Sample, TurnstileSampler};
 use pts_sketch::{AmsF2, FpTaylor, FpTaylorParams, LinearSketch};
 use pts_stream::Update;
-use pts_util::variates::keyed_unit;
 use pts_util::derive_seed;
+use pts_util::variates::keyed_unit;
 
 /// How `x̂^{p−2}` is estimated in the rejection step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,8 +74,7 @@ impl PerfectLpParams {
         assert!(p > 2.0, "the perfect sampler of Theorem 1.2 requires p > 2");
         let nf = n.max(4) as f64;
         let slack = 4.0;
-        let attempts =
-            ((2.0 * slack * nf.powf(1.0 - 2.0 / p) * nf.ln()).ceil() as usize).max(8);
+        let attempts = ((2.0 * slack * nf.powf(1.0 - 2.0 / p) * nf.ln()).ceil() as usize).max(8);
         let is_integer = (p - p.round()).abs() < 1e-9;
         let estimator = if is_integer {
             PowerEstimator::IntegerProduct
@@ -92,8 +91,7 @@ impl PerfectLpParams {
             PowerEstimator::IntegerProduct => (p.round() as usize) - 2,
             PowerEstimator::Taylor { terms } => terms,
         };
-        let l2 = LpLe2Params::for_universe(n, 2.0)
-            .with_extra_estimators(groups * reps_per_group);
+        let l2 = LpLe2Params::for_universe(n, 2.0).with_extra_estimators(groups * reps_per_group);
         Self {
             p,
             attempts,
@@ -221,24 +219,6 @@ impl PerfectLpSampler {
         total
     }
 
-    /// Merges a shard sampler built with the same parameters and seed —
-    /// every component is a linear sketch, so a fleet of shards aggregates
-    /// into exactly the sampler that saw the whole stream (§1.3's
-    /// distributed-databases deployment).
-    ///
-    /// # Panics
-    /// Panics if shards were built with different seeds or parameters.
-    pub fn merge(&mut self, other: &PerfectLpSampler) {
-        assert_eq!(self.accept_seed, other.accept_seed, "seed mismatch");
-        assert_eq!(self.universe, other.universe, "universe mismatch");
-        assert_eq!(self.attempts.len(), other.attempts.len(), "attempt mismatch");
-        for (a, b) in self.attempts.iter_mut().zip(&other.attempts) {
-            a.merge(b);
-        }
-        self.f2_est.merge(&other.f2_est);
-        self.fp_est.merge(&other.fp_est);
-    }
-
     /// The `|x̂_j|^{p−2}` estimate from the winning attempt's replicas.
     fn power_estimate(&self, attempt: usize, j: u64, anchor: f64) -> f64 {
         let inner = &self.attempts[attempt];
@@ -297,9 +277,7 @@ impl TurnstileSampler for PerfectLpSampler {
         // The shared correction base: F̂₂ / (slack · n^{1−2/p} · F̂_p).
         // Being shared across attempts, its error cancels in the output law.
         let base = f2_hat
-            / (self.params.slack
-                * (self.universe as f64).powf(1.0 - 2.0 / self.params.p)
-                * fp_hat);
+            / (self.params.slack * (self.universe as f64).powf(1.0 - 2.0 / self.params.p) * fp_hat);
         for t in 0..self.attempts.len() {
             let Some(candidate) = self.attempts[t].sample() else {
                 continue;
@@ -329,6 +307,28 @@ impl TurnstileSampler for PerfectLpSampler {
             + self.f2_est.space_bits()
             + self.fp_est.space_bits()
             + 64
+    }
+
+    /// Merges a shard sampler built with the same parameters and seed —
+    /// every component is a linear sketch, so a fleet of shards aggregates
+    /// into exactly the sampler that saw the whole stream (§1.3's
+    /// distributed-databases deployment).
+    ///
+    /// # Panics
+    /// Panics if shards were built with different seeds or parameters.
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.accept_seed, other.accept_seed, "seed mismatch");
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        assert_eq!(
+            self.attempts.len(),
+            other.attempts.len(),
+            "attempt mismatch"
+        );
+        for (a, b) in self.attempts.iter_mut().zip(&other.attempts) {
+            a.merge(b);
+        }
+        self.f2_est.merge(&other.f2_est);
+        self.fp_est.merge(&other.fp_est);
     }
 }
 

@@ -17,8 +17,8 @@
 use crate::perfect::{PerfectLpParams, PerfectLpSampler};
 use pts_samplers::{LpLe2Batch, LpLe2Params, Sample, TurnstileSampler};
 use pts_stream::Update;
-use pts_util::variates::keyed_unit;
 use pts_util::derive_seed;
+use pts_util::variates::keyed_unit;
 
 /// A sampling polynomial `G(z) = Σ_d α_d |z|^{p_d}`.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,7 +38,10 @@ impl Polynomial {
         let mut prev = 0.0;
         for &(alpha, power) in &terms {
             assert!(alpha > 0.0, "coefficients must be positive");
-            assert!(power > prev, "powers must be strictly increasing and positive");
+            assert!(
+                power > prev,
+                "powers must be strictly increasing and positive"
+            );
             prev = power;
         }
         Self { terms }
@@ -128,8 +131,7 @@ impl PolynomialParams {
         let m = poly.max_coeff();
         let alpha_d = poly.terms().last().expect("non-empty").0;
         let accept_inv = (slack * d * m / alpha_d).max(1.0);
-        let samples =
-            ((((n.max(4) as f64).ln() + 4.0) * accept_inv).ceil() as usize).clamp(6, 256);
+        let samples = ((((n.max(4) as f64).ln() + 4.0) * accept_inv).ceil() as usize).clamp(6, 256);
         Self {
             poly,
             samples,
@@ -162,12 +164,7 @@ impl PolynomialSampler {
                         s,
                     )))
                 } else {
-                    InnerLp::Low(LpLe2Batch::new(
-                        n,
-                        LpLe2Params::for_universe(n, p),
-                        6,
-                        s,
-                    ))
+                    InnerLp::Low(LpLe2Batch::new(n, LpLe2Params::for_universe(n, p), 6, s))
                 }
             })
             .collect();
@@ -334,8 +331,7 @@ mod tests {
     #[test]
     fn zero_vector_fails() {
         let g = Polynomial::new(vec![(1.0, 3.0)]);
-        let mut s =
-            PolynomialSampler::new(8, PolynomialParams::for_universe(8, g), 5);
+        let mut s = PolynomialSampler::new(8, PolynomialParams::for_universe(8, g), 5);
         assert!(s.sample().is_none());
     }
 }

@@ -1,7 +1,7 @@
 use pts_core::approximate::{ApproxLpParams, ApproxLpSampler};
 use pts_samplers::TurnstileSampler;
 use pts_stream::gen::zipf_vector;
-use pts_util::stats::{tv_distance, max_relative_bias};
+use pts_util::stats::{max_relative_bias, tv_distance};
 
 #[test]
 #[ignore]
@@ -23,9 +23,11 @@ fn probe_eps_scaling() {
                 None => fails += 1,
             }
         }
-        println!("eps={eps}: fail={:.3} tv={:.4} maxbias={:.3}",
+        println!(
+            "eps={eps}: fail={:.3} tv={:.4} maxbias={:.3}",
             fails as f64 / trials as f64,
             tv_distance(&counts, &weights),
-            max_relative_bias(&counts, &weights, 0.02));
+            max_relative_bias(&counts, &weights, 0.02)
+        );
     }
 }

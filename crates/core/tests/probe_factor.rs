@@ -1,7 +1,7 @@
 use pts_core::approximate::{ApproxLpParams, ApproxLpSampler};
 use pts_samplers::TurnstileSampler;
 use pts_stream::gen::zipf_vector;
-use pts_util::stats::{tv_distance, max_relative_bias, chi_square_test};
+use pts_util::stats::{chi_square_test, max_relative_bias, tv_distance};
 
 #[test]
 #[ignore]
@@ -29,7 +29,10 @@ fn probe_threshold_factor() {
         let tv = tv_distance(&counts, &weights);
         let bias = max_relative_bias(&counts, &weights, 0.02);
         let chi = chi_square_test(&counts, &probs, 5.0);
-        println!("factor={factor}: fail={:.3} tv={tv:.4} bias={bias:.3} chi2p={:.2e}",
-            fails as f64 / trials as f64, chi.p_value);
+        println!(
+            "factor={factor}: fail={:.3} tv={tv:.4} bias={bias:.3} chi2p={:.2e}",
+            fails as f64 / trials as f64,
+            chi.p_value
+        );
     }
 }

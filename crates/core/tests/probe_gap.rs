@@ -14,7 +14,8 @@ fn probe_gap_internals() {
     let params = ApproxLpParams::for_universe(n, p, 0.3);
     let m = (n as f64).powf(params.dup_c);
     // conditional pass rates by true winner
-    let mut pass = [0u64; 2]; let mut tot = [0u64; 2];
+    let mut pass = [0u64; 2];
+    let mut tot = [0u64; 2];
     for t in 0..30_000u64 {
         let seed = 0xFB_000 + t * 7;
         let mut s = ApproxLpSampler::new(n, params, seed);
@@ -25,20 +26,33 @@ fn probe_gap_internals() {
         for i in 0..n as u64 {
             let e = keyed_exponential(e_seed, i);
             let v = (x.value(i).abs() as f64) * (m / e).powf(1.0 / p);
-            if v > best.1 { best = (i, v); }
+            if v > best.1 {
+                best = (i, v);
+            }
         }
         let cls = if best.0 == heavy { 0 } else { 1 };
         tot[cls] += 1;
         let out = s.sample();
         if let Some(smp) = out {
-            if smp.index == best.0 { pass[cls] += 1; }
-            else {
+            if smp.index == best.0 {
+                pass[cls] += 1;
+            } else {
                 // argmax flip: count separately
                 tot[cls] -= 1; // exclude from pass-rate accounting
                 println!("FLIP: true={} got={} (class {})", best.0, smp.index, cls);
             }
         }
     }
-    println!("heavy: pass {}/{} = {:.4}", pass[0], tot[0], pass[0] as f64 / tot[0] as f64);
-    println!("light: pass {}/{} = {:.4}", pass[1], tot[1], pass[1] as f64 / tot[1] as f64);
+    println!(
+        "heavy: pass {}/{} = {:.4}",
+        pass[0],
+        tot[0],
+        pass[0] as f64 / tot[0] as f64
+    );
+    println!(
+        "light: pass {}/{} = {:.4}",
+        pass[1],
+        tot[1],
+        pass[1] as f64 / tot[1] as f64
+    );
 }

@@ -17,16 +17,24 @@ fn probe_per_index() {
     for t in 0..trials {
         let mut s = ApproxLpSampler::new(n, params, 0xFB_000 + t * 7);
         s.ingest_vector(&x);
-        if let Some(smp) = s.sample() { counts[smp.index as usize] += 1; got += 1; }
+        if let Some(smp) = s.sample() {
+            counts[smp.index as usize] += 1;
+            got += 1;
+        }
     }
-    let mut rows: Vec<(usize, f64, f64)> = (0..n).map(|i| {
-        let ideal = weights[i] / mass;
-        let emp = counts[i] as f64 / got as f64;
-        (i, ideal, emp)
-    }).collect();
+    let mut rows: Vec<(usize, f64, f64)> = (0..n)
+        .map(|i| {
+            let ideal = weights[i] / mass;
+            let emp = counts[i] as f64 / got as f64;
+            (i, ideal, emp)
+        })
+        .collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (i, ideal, emp) in rows.iter().take(12) {
-        println!("i={i:>3} |x|={:>3} ideal={ideal:.4} emp={emp:.4} rel={:+.3}",
-            x.value(*i as u64).abs(), (emp-ideal)/ideal);
+        println!(
+            "i={i:>3} |x|={:>3} ideal={ideal:.4} emp={emp:.4} rel={:+.3}",
+            x.value(*i as u64).abs(),
+            (emp - ideal) / ideal
+        );
     }
 }

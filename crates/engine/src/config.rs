@@ -1,0 +1,82 @@
+//! Engine configuration.
+
+/// Configuration for a [`crate::ShardedEngine`].
+///
+/// The defaults are sized for "always queryable at modest cost": a handful
+/// of shards and a small per-shard sampler pool. Production deployments tune
+/// `shards` to the ingest parallelism they need and `pool_size` to the
+/// query rate they must absorb between respawns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Universe size `n`: every update index must lie in `[0, n)`.
+    pub universe: usize,
+    /// Number of shards `S` the universe is hash-partitioned across.
+    pub shards: usize,
+    /// Independent sampler instances per shard (`k`): each query consumes
+    /// instances, which respawn lazily from the shard's compact state.
+    pub pool_size: usize,
+    /// Master seed; all shard/instance seeds derive from it.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// A config over universe `[0, n)` with the default shape
+    /// (4 shards × 3 samplers).
+    pub fn new(universe: usize) -> Self {
+        Self {
+            universe,
+            shards: 4,
+            pool_size: 3,
+            seed: 0,
+        }
+    }
+
+    /// Sets the shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard pool size.
+    pub fn pool_size(mut self, pool_size: usize) -> Self {
+        self.pool_size = pool_size;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on a degenerate configuration.
+    pub fn validate(&self) {
+        assert!(self.universe >= 2, "universe too small");
+        assert!(self.shards >= 1, "need at least one shard");
+        assert!(self.pool_size >= 1, "need at least one sampler per shard");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = EngineConfig::new(64).shards(8).pool_size(2).seed(9);
+        assert_eq!(c.universe, 64);
+        assert_eq!(c.shards, 8);
+        assert_eq!(c.pool_size, 2);
+        assert_eq!(c.seed, 9);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        EngineConfig::new(64).shards(0).validate();
+    }
+}

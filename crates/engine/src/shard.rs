@@ -1,0 +1,160 @@
+//! One shard: a sampler pool plus the compact exact state that makes the
+//! pool respawnable and the shard's `G`-mass known.
+//!
+//! The shard keeps the *net frequency vector of its own slice of the
+//! universe* as a sparse map. This single structure serves three roles:
+//!
+//! 1. **Replay buffer** for lazy respawn — a fresh sampler instance catches
+//!    up by ingesting the net vector, which by linearity is exactly the
+//!    state it would have reached streaming from the start.
+//! 2. **Mass oracle** for the merge layer — the exact `Σ_i G(x_i)` over the
+//!    shard's slice, maintained incrementally per update, is the weight the
+//!    engine uses to pick a shard before sampling within it.
+//! 3. **Snapshot payload** — the entries are what `snapshot()` ships to a
+//!    coordinator.
+//!
+//! Space accounting: the sparse net state is `O(nnz)` for the shard's
+//! slice — this is the price of always-queryable respawn, paid once per
+//! shard regardless of pool size, and it is the engine's only non-sketch
+//! state.
+
+use crate::factory::SamplerFactory;
+use crate::pool::SamplerPool;
+use pts_samplers::Sample;
+use pts_stream::Update;
+use std::collections::BTreeMap;
+
+/// A shard: pool + compact state + incremental mass.
+#[derive(Debug, Clone)]
+pub struct Shard<S> {
+    pool: SamplerPool<S>,
+    /// Sparse net values of this shard's slice (zero entries removed).
+    net: BTreeMap<u64, i64>,
+    /// Incrementally maintained `Σ_i G(x_i)` over the slice.
+    mass: f64,
+}
+
+impl<S: pts_samplers::TurnstileSampler> Shard<S> {
+    /// A shard with a primed pool of `pool_size` instances.
+    pub fn new<F>(factory: &F, universe: usize, pool_size: usize, seed: u64) -> Self
+    where
+        F: SamplerFactory<Sampler = S>,
+    {
+        let mut pool = SamplerPool::new(pool_size, seed);
+        let net = BTreeMap::new();
+        pool.prime(factory, universe, &net);
+        Self {
+            pool,
+            net,
+            mass: 0.0,
+        }
+    }
+
+    /// Applies a coalesced run of updates: compact state, mass, and every
+    /// live pool instance advance together.
+    pub fn apply_run<F>(&mut self, run: &[Update], factory: &F)
+    where
+        F: SamplerFactory<Sampler = S>,
+    {
+        for &u in run {
+            debug_assert!(u.delta != 0, "router must drop zero deltas");
+            let old = self.net.get(&u.index).copied().unwrap_or(0);
+            let new = old + u.delta;
+            self.mass += factory.weight(new) - factory.weight(old);
+            if new == 0 {
+                self.net.remove(&u.index);
+            } else {
+                self.net.insert(u.index, new);
+            }
+            self.pool.process_live(u);
+        }
+    }
+
+    /// The exact `G`-mass of this shard's slice. Incremental float updates
+    /// can leave ~ulp-scale residue once the true mass returns to zero, so
+    /// an empty slice reports exactly zero.
+    pub fn mass(&self) -> f64 {
+        if self.net.is_empty() {
+            0.0
+        } else {
+            self.mass.max(0.0)
+        }
+    }
+
+    /// Number of non-zero coordinates in the slice.
+    pub fn support(&self) -> usize {
+        self.net.len()
+    }
+
+    /// The sparse net entries (sorted by index).
+    pub fn entries(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
+        self.net.iter().map(|(&i, &v)| (i, v))
+    }
+
+    /// Draws one sample from this shard's slice (⊥ retried across the
+    /// pool; consumed instances respawn lazily from the compact state).
+    pub fn draw<F>(&mut self, factory: &F, universe: usize) -> Option<Sample>
+    where
+        F: SamplerFactory<Sampler = S>,
+    {
+        self.pool.draw(factory, universe, &self.net)
+    }
+
+    /// Lazy respawns performed by this shard's pool.
+    pub fn respawns(&self) -> u64 {
+        self.pool.respawns()
+    }
+
+    /// Live pool instances.
+    pub fn live(&self) -> usize {
+        self.pool.live()
+    }
+
+    /// Sketch bits of live instances plus compact-state bits (128 per
+    /// entry: index + value).
+    pub fn space_bits(&self) -> usize {
+        self.pool.space_bits() + self.net.len() * 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::{L0Factory, LpLe2Factory};
+
+    #[test]
+    fn mass_tracks_updates_incrementally() {
+        let f = LpLe2Factory::for_universe(64, 2.0);
+        let mut shard: Shard<_> = Shard::new(&f, 64, 1, 3);
+        shard.apply_run(&[Update::new(5, 3)], &f);
+        assert!((shard.mass() - 9.0).abs() < 1e-9);
+        shard.apply_run(&[Update::new(5, -1), Update::new(9, 2)], &f);
+        assert!((shard.mass() - (4.0 + 4.0)).abs() < 1e-9);
+        // Full cancellation: support and mass return to exactly zero.
+        shard.apply_run(&[Update::new(5, -2), Update::new(9, -2)], &f);
+        assert_eq!(shard.support(), 0);
+        assert_eq!(shard.mass(), 0.0);
+    }
+
+    #[test]
+    fn entries_are_net_values() {
+        let f = L0Factory::default();
+        let mut shard: Shard<_> = Shard::new(&f, 32, 1, 4);
+        shard.apply_run(&[Update::new(8, 10)], &f);
+        shard.apply_run(&[Update::new(8, -3), Update::new(2, 1)], &f);
+        let got: Vec<(u64, i64)> = shard.entries().collect();
+        assert_eq!(got, vec![(2, 1), (8, 7)]);
+    }
+
+    #[test]
+    fn draw_returns_exact_values_for_l0() {
+        let f = L0Factory::default();
+        let mut shard: Shard<_> = Shard::new(&f, 32, 2, 5);
+        shard.apply_run(&[Update::new(3, -4), Update::new(21, 6)], &f);
+        for _ in 0..10 {
+            let s = shard.draw(&f, 32).expect("sparse slice must sample");
+            let want = if s.index == 3 { -4.0 } else { 6.0 };
+            assert_eq!(s.estimate, want);
+        }
+    }
+}

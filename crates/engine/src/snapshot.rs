@@ -1,0 +1,90 @@
+//! Engine snapshots: the merge layer's wire format.
+//!
+//! A snapshot is the engine's compact exact state — the sparse net
+//! frequency vector of everything it has ingested — flattened across
+//! shards. Merging a snapshot into another engine routes the entries
+//! through that engine's own ingest path, so by linearity
+//! `merge(snapshot(A)) ≡ ingest(stream(A))`: two engines that each saw half
+//! a stream combine into exactly the engine that saw all of it. Because the
+//! payload is router-agnostic, the two engines do **not** need the same
+//! shard count — a 16-shard ingest tier can snapshot into a 2-shard
+//! query tier.
+
+use pts_stream::{FrequencyVector, Update};
+
+/// A compact, mergeable capture of an engine's ingested state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    universe: usize,
+    /// Sorted sparse `(index, net value)` entries.
+    entries: Vec<(u64, i64)>,
+}
+
+impl EngineSnapshot {
+    /// Builds a snapshot from per-shard entry iterators (crate-internal).
+    pub(crate) fn from_entries(universe: usize, mut entries: Vec<(u64, i64)>) -> Self {
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        entries.retain(|&(_, v)| v != 0);
+        Self { universe, entries }
+    }
+
+    /// The universe size the snapshot was taken over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of non-zero coordinates captured.
+    pub fn support(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The sorted sparse entries.
+    pub fn entries(&self) -> &[(u64, i64)] {
+        &self.entries
+    }
+
+    /// The snapshot as a bulk-update sequence (one update per non-zero).
+    pub fn to_updates(&self) -> Vec<Update> {
+        self.entries
+            .iter()
+            .map(|&(i, v)| Update::new(i, v))
+            .collect()
+    }
+
+    /// The snapshot as a dense exact frequency vector.
+    pub fn to_vector(&self) -> FrequencyVector {
+        let mut x = FrequencyVector::zeros(self.universe);
+        for &(i, v) in &self.entries {
+            x.apply(Update::new(i, v));
+        }
+        x
+    }
+
+    /// Size of the serialized payload in bits (128 per entry).
+    pub fn space_bits(&self) -> usize {
+        self.entries.len() * 128 + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_are_sorted_and_nonzero() {
+        let s = EngineSnapshot::from_entries(16, vec![(9, 2), (1, -3), (4, 0)]);
+        assert_eq!(s.entries(), &[(1, -3), (9, 2)]);
+        assert_eq!(s.support(), 2);
+        assert_eq!(s.universe(), 16);
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let s = EngineSnapshot::from_entries(8, vec![(2, 5), (7, -1)]);
+        let x = s.to_vector();
+        assert_eq!(x.value(2), 5);
+        assert_eq!(x.value(7), -1);
+        assert_eq!(x.f0(), 2);
+        assert_eq!(s.to_updates().len(), 2);
+    }
+}

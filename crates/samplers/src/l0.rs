@@ -108,7 +108,22 @@ impl TurnstileSampler for PerfectL0Sampler {
     }
 
     fn space_bits(&self) -> usize {
-        self.levels.iter().map(LinearSketch::space_bits).sum::<usize>() + 128
+        self.levels
+            .iter()
+            .map(LinearSketch::space_bits)
+            .sum::<usize>()
+            + 128
+    }
+
+    /// Merges a same-seeded shard sampler: every subsampling level is an
+    /// exact linear sketch, so the merged state equals one sampler over the
+    /// concatenated stream.
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.subsample_seed, other.subsample_seed, "seed mismatch");
+        assert_eq!(self.levels.len(), other.levels.len(), "level mismatch");
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            a.merge(b);
+        }
     }
 }
 

@@ -183,21 +183,6 @@ impl PerfectLpLe2Sampler {
         row_sums[rows / 2]
     }
 
-    /// Merges a shard sampler built with the same parameters and seed: the
-    /// scaled sketches are linear, so shard-and-merge equals processing the
-    /// concatenated stream (the distributed-databases deployment of §1.3).
-    ///
-    /// # Panics
-    /// Panics if the shards were built with different seeds/parameters.
-    pub fn merge(&mut self, other: &PerfectLpLe2Sampler) {
-        assert_eq!(self.scale_seed, other.scale_seed, "seed mismatch");
-        assert_eq!(self.universe, other.universe, "universe mismatch");
-        self.main.merge(&other.main);
-        for (a, b) in self.extra.iter_mut().zip(&other.extra) {
-            a.merge(b);
-        }
-    }
-
     /// The decoded top-two magnitudes of the scaled vector.
     fn top_two(&self) -> ((u64, f64), f64) {
         let mut best_i = 0u64;
@@ -271,8 +256,28 @@ impl TurnstileSampler for PerfectLpLe2Sampler {
 
     fn space_bits(&self) -> usize {
         self.main.space_bits()
-            + self.extra.iter().map(LinearSketch::space_bits).sum::<usize>()
+            + self
+                .extra
+                .iter()
+                .map(LinearSketch::space_bits)
+                .sum::<usize>()
             + 128
+    }
+
+    /// Merges a shard sampler built with the same parameters and seed: the
+    /// scaled sketches are linear, so shard-and-merge equals processing the
+    /// concatenated stream (the distributed-databases deployment of §1.3).
+    ///
+    /// # Panics
+    /// Panics if the shards were built with different seeds/parameters.
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.scale_seed, other.scale_seed, "seed mismatch");
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        assert_eq!(self.extra.len(), other.extra.len(), "estimator mismatch");
+        self.main.merge(&other.main);
+        for (a, b) in self.extra.iter_mut().zip(&other.extra) {
+            a.merge(b);
+        }
     }
 }
 
@@ -327,7 +332,22 @@ impl TurnstileSampler for LpLe2Batch {
     }
 
     fn space_bits(&self) -> usize {
-        self.instances.iter().map(TurnstileSampler::space_bits).sum()
+        self.instances
+            .iter()
+            .map(TurnstileSampler::space_bits)
+            .sum()
+    }
+
+    /// Merges instance-wise (both batches must share seed and shape).
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.instances.len(),
+            other.instances.len(),
+            "batch size mismatch"
+        );
+        for (a, b) in self.instances.iter_mut().zip(&other.instances) {
+            a.merge(b);
+        }
     }
 }
 

@@ -13,8 +13,8 @@
 use crate::traits::{Sample, TurnstileSampler};
 use pts_sketch::{CountSketch, CountSketchParams, FpMaxStab, FpMaxStabParams, LinearSketch};
 use pts_stream::Update;
-use pts_util::variates::keyed_unit;
 use pts_util::derive_seed;
+use pts_util::variates::keyed_unit;
 
 /// Parameters for [`PrecisionSampler`].
 #[derive(Debug, Clone, Copy)]
@@ -133,6 +133,18 @@ impl TurnstileSampler for PrecisionSampler {
             .map(|r| r.cs.space_bits() + 64)
             .sum::<usize>()
             + self.norm_est.space_bits()
+    }
+
+    /// Merges a same-seeded shard sampler (all repetitions and the norm
+    /// estimator are linear sketches).
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        assert_eq!(self.reps.len(), other.reps.len(), "repetition mismatch");
+        for (a, b) in self.reps.iter_mut().zip(&other.reps) {
+            assert_eq!(a.scale_seed, b.scale_seed, "seed mismatch");
+            a.cs.merge(&b.cs);
+        }
+        self.norm_est.merge(&other.norm_est);
     }
 }
 

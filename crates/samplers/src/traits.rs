@@ -28,6 +28,25 @@ pub trait TurnstileSampler {
     /// Draws the sample (or FAIL) from the current state.
     fn sample(&mut self) -> Option<Sample>;
 
+    /// Merges a same-seeded shard sampler into this one.
+    ///
+    /// Every sampler whose state is a linear sketch overrides this with a
+    /// pointwise combine, making shard-and-merge exactly equivalent to one
+    /// sampler seeing the whole stream (the §1.3 distributed deployment and
+    /// the contract `pts-engine` is built on). The default panics: samplers
+    /// that are not linear (e.g. the insertion-only reservoir baseline)
+    /// cannot merge.
+    ///
+    /// # Panics
+    /// Panics when the sampler is not mergeable, or when the shards were
+    /// built with different seeds or parameters.
+    fn merge(&mut self, _other: &Self)
+    where
+        Self: Sized,
+    {
+        unimplemented!("this sampler is not a linear sketch and cannot merge")
+    }
+
     /// Information-theoretic sketch size in bits (see
     /// `pts_sketch::LinearSketch::space_bits` for the accounting rules).
     fn space_bits(&self) -> usize;

@@ -22,12 +22,17 @@ fn probe_l2_bias() {
         let mut best = (0usize, f64::MIN);
         for i in 0..6u64 {
             let z = (x.value(i) as f64 * inst.scale(i)).abs();
-            if z > best.1 { best = (i as usize, z); }
+            if z > best.1 {
+                best = (i as usize, z);
+            }
         }
         trials_by_winner[best.0] += 1;
         match b.sample() {
             Some(s) => counts[s.index as usize] += 1,
-            None => { fails += 1; fail_by_winner[best.0] += 1; }
+            None => {
+                fails += 1;
+                fail_by_winner[best.0] += 1;
+            }
         }
     }
     println!("fail rate overall: {:.4}", fails as f64 / trials as f64);
@@ -35,8 +40,19 @@ fn probe_l2_bias() {
     for i in 0..6 {
         let ideal = weights[i] / total;
         let emp = counts[i] as f64 / got as f64;
-        let failr = if trials_by_winner[i] > 0 { fail_by_winner[i] as f64 / trials_by_winner[i] as f64 } else { f64::NAN };
-        println!("i={} ideal={:.4} emp={:.4} rel={:+.3} winner_trials={} cond_fail={:.3}",
-            i, ideal, emp, (emp-ideal)/ideal.max(1e-12), trials_by_winner[i], failr);
+        let failr = if trials_by_winner[i] > 0 {
+            fail_by_winner[i] as f64 / trials_by_winner[i] as f64
+        } else {
+            f64::NAN
+        };
+        println!(
+            "i={} ideal={:.4} emp={:.4} rel={:+.3} winner_trials={} cond_fail={:.3}",
+            i,
+            ideal,
+            emp,
+            (emp - ideal) / ideal.max(1e-12),
+            trials_by_winner[i],
+            failr
+        );
     }
 }

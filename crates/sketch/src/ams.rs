@@ -70,19 +70,6 @@ impl AmsF2 {
     pub fn l2_estimate(&self) -> f64 {
         self.estimate().max(0.0).sqrt()
     }
-
-    /// Merges a compatible sketch (same seed/shape).
-    ///
-    /// # Panics
-    /// Panics if shapes differ (seed compatibility is the caller's
-    /// responsibility and is checked indirectly via shape).
-    pub fn merge(&mut self, other: &AmsF2) {
-        assert_eq!(self.rows, other.rows, "row mismatch");
-        assert_eq!(self.cols, other.cols, "col mismatch");
-        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
-            *a += b;
-        }
-    }
 }
 
 impl LinearSketch for AmsF2 {
@@ -90,6 +77,19 @@ impl LinearSketch for AmsF2 {
     fn update(&mut self, index: u64, delta: f64) {
         for (c, h) in self.counters.iter_mut().zip(&self.signs) {
             *c += h.sign(index) as f64 * delta;
+        }
+    }
+
+    /// Merges a compatible sketch (same seed/shape).
+    ///
+    /// # Panics
+    /// Panics if shapes differ (seed compatibility is the caller's
+    /// responsibility and is checked indirectly via shape).
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "col mismatch");
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
         }
     }
 
@@ -141,6 +141,14 @@ impl LinearSketch for GaussianL2 {
     fn update(&mut self, index: u64, delta: f64) {
         for (j, c) in self.counters.iter_mut().enumerate() {
             *c += keyed_gaussian(derive_seed(self.seed, j as u64), index) * delta;
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.seed, other.seed, "seed mismatch");
+        assert_eq!(self.counters.len(), other.counters.len(), "reps mismatch");
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
         }
     }
 
@@ -251,7 +259,10 @@ mod tests {
             })
             .sum::<f64>()
             / reps as f64;
-        assert!((mean - truth).abs() / truth < 0.05, "mean {mean} vs {truth}");
+        assert!(
+            (mean - truth).abs() / truth < 0.05,
+            "mean {mean} vs {truth}"
+        );
     }
 
     #[test]

@@ -132,20 +132,6 @@ impl CountSketch {
         best
     }
 
-    /// Merges another sketch built with the same parameters and seed
-    /// (linearity across distributed shards).
-    ///
-    /// # Panics
-    /// Panics if the sketches are incompatible.
-    pub fn merge(&mut self, other: &CountSketch) {
-        assert_eq!(self.seed, other.seed, "seed mismatch");
-        assert_eq!(self.rows, other.rows, "row mismatch");
-        assert_eq!(self.buckets, other.buckets, "bucket mismatch");
-        for (a, b) in self.table.iter_mut().zip(&other.table) {
-            *a += b;
-        }
-    }
-
     /// Raw table access for white-box tests.
     #[doc(hidden)]
     pub fn table(&self) -> &[f64] {
@@ -160,6 +146,15 @@ impl LinearSketch for CountSketch {
             let (b, s) = self.slot(r, index);
             let cell = self.cell(r, b);
             self.table[cell] += s * delta;
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.seed, other.seed, "seed mismatch");
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.buckets, other.buckets, "bucket mismatch");
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += b;
         }
     }
 
@@ -188,7 +183,10 @@ mod tests {
     use pts_stream::{FrequencyVector, Stream, StreamStyle};
 
     fn params() -> CountSketchParams {
-        CountSketchParams { rows: 5, buckets: 64 }
+        CountSketchParams {
+            rows: 5,
+            buckets: 64,
+        }
     }
 
     #[test]
@@ -257,7 +255,10 @@ mod tests {
         let n = 512;
         let x = zipf_vector(n, 0.8, 200, 9);
         let l2 = x.f2().sqrt();
-        let cs_params = CountSketchParams { rows: 7, buckets: 128 };
+        let cs_params = CountSketchParams {
+            rows: 7,
+            buckets: 128,
+        };
         let mut cs = CountSketch::new(cs_params, 10);
         cs.ingest_vector(&x);
         let bound = 4.0 * l2 / (cs_params.buckets as f64).sqrt();
@@ -280,8 +281,13 @@ mod tests {
         let reps = 400;
         let mean_est: f64 = (0..reps)
             .map(|r| {
-                let mut cs =
-                    CountSketch::new(CountSketchParams { rows: 1, buckets: 32 }, 1000 + r);
+                let mut cs = CountSketch::new(
+                    CountSketchParams {
+                        rows: 1,
+                        buckets: 32,
+                    },
+                    1000 + r,
+                );
                 cs.ingest_vector(&x);
                 cs.estimate(i)
             })
@@ -309,7 +315,13 @@ mod tests {
 
     #[test]
     fn space_bits_counts_table_and_seeds() {
-        let cs = CountSketch::new(CountSketchParams { rows: 3, buckets: 16 }, 1);
+        let cs = CountSketch::new(
+            CountSketchParams {
+                rows: 3,
+                buckets: 16,
+            },
+            1,
+        );
         // 48 counters * 64 bits + 3 row seeds * 64 bits.
         assert_eq!(cs.space_bits(), 48 * 64 + 3 * 64);
     }

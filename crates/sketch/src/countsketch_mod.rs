@@ -93,13 +93,18 @@ impl ModCountSketch {
 
     /// Estimates for `[0, n)`, treating cell-less items as zero.
     pub fn decode_all(&self, n: usize) -> Vec<f64> {
-        (0..n as u64).map(|i| self.estimate(i).unwrap_or(0.0)).collect()
+        (0..n as u64)
+            .map(|i| self.estimate(i).unwrap_or(0.0))
+            .collect()
     }
 
     /// Direct cell write used by the fast-update simulation (Algorithm 4):
     /// the caller has already aggregated the signed mass for the cell.
     pub fn add_to_cell(&mut self, row: usize, bucket: usize, value: f64) {
-        assert!(row < self.rows && bucket < self.buckets, "cell out of range");
+        assert!(
+            row < self.rows && bucket < self.buckets,
+            "cell out of range"
+        );
         self.table[row * self.buckets + bucket] += value;
     }
 
@@ -114,8 +119,7 @@ impl ModCountSketch {
     /// cancel cross terms), and the per-cell collision noise is its
     /// `1/buckets` fraction.
     pub fn noise_scale(&self) -> f64 {
-        let per_row: f64 =
-            self.table.iter().map(|c| c * c).sum::<f64>() / self.rows as f64;
+        let per_row: f64 = self.table.iter().map(|c| c * c).sum::<f64>() / self.rows as f64;
         (per_row / self.buckets as f64).sqrt()
     }
 }
@@ -126,6 +130,15 @@ impl LinearSketch for ModCountSketch {
         for (r, b) in self.cells_of(index) {
             let s = self.sign(r, index) as f64;
             self.table[r * self.buckets + b] += s * delta;
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.seed, other.seed, "seed mismatch");
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.buckets, other.buckets, "bucket mismatch");
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += b;
         }
     }
 

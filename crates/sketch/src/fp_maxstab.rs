@@ -10,8 +10,8 @@
 
 use crate::countsketch::{median_in_place, CountSketch, CountSketchParams};
 use crate::traits::LinearSketch;
-use pts_util::variates::keyed_exponential;
 use pts_util::derive_seed;
+use pts_util::variates::keyed_exponential;
 
 /// Parameters for [`FpMaxStab`].
 #[derive(Debug, Clone, Copy)]
@@ -116,8 +116,20 @@ impl LinearSketch for FpMaxStab {
         }
     }
 
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.scale_seeds, other.scale_seeds, "seed mismatch");
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.sketches.iter_mut().zip(&other.sketches) {
+            a.merge(b);
+        }
+    }
+
     fn space_bits(&self) -> usize {
-        self.sketches.iter().map(LinearSketch::space_bits).sum::<usize>() + 64
+        self.sketches
+            .iter()
+            .map(LinearSketch::space_bits)
+            .sum::<usize>()
+            + 64
     }
 }
 
@@ -146,7 +158,9 @@ mod tests {
         ];
         for p in [3.0f64, 4.0] {
             for (wi, x) in workloads.iter().enumerate() {
-                let ok = (0..10).filter(|&t| check_2_approx(x, p, 100 * t + wi as u64)).count();
+                let ok = (0..10)
+                    .filter(|&t| check_2_approx(x, p, 100 * t + wi as u64))
+                    .count();
                 assert!(ok >= 8, "p={p} workload={wi}: only {ok}/10 within 2x");
             }
         }
@@ -167,7 +181,10 @@ mod tests {
             })
             .collect();
         let med = median_in_place(&mut ests);
-        assert!((med - truth).abs() / truth < 0.25, "median {med} vs {truth}");
+        assert!(
+            (med - truth).abs() / truth < 0.25,
+            "median {med} vs {truth}"
+        );
     }
 
     #[test]
@@ -206,6 +223,9 @@ mod tests {
         e.ingest_vector(&x);
         let got = e.lp_estimate();
         let truth = x.lp_norm(1.0);
-        assert!(got > truth / 3.0 && got < truth * 3.0, "got {got} vs {truth}");
+        assert!(
+            got > truth / 3.0 && got < truth * 3.0,
+            "got {got} vs {truth}"
+        );
     }
 }

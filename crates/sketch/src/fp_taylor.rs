@@ -102,16 +102,6 @@ impl FpTaylor {
     pub fn p(&self) -> f64 {
         self.params.p
     }
-
-    /// Merges a same-seeded shard estimator (distributed aggregation).
-    ///
-    /// # Panics
-    /// Panics if the shards are incompatible.
-    pub fn merge(&mut self, other: &FpTaylor) {
-        assert_eq!(self.universe, other.universe, "universe mismatch");
-        self.countsketch.merge(&other.countsketch);
-        self.ams.merge(&other.ams);
-    }
 }
 
 impl LinearSketch for FpTaylor {
@@ -119,6 +109,16 @@ impl LinearSketch for FpTaylor {
     fn update(&mut self, index: u64, delta: f64) {
         self.countsketch.update(index, delta);
         self.ams.update(index, delta);
+    }
+
+    /// Merges a same-seeded shard estimator (distributed aggregation).
+    ///
+    /// # Panics
+    /// Panics if the shards are incompatible.
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.countsketch.merge(&other.countsketch);
+        self.ams.merge(&other.ams);
     }
 
     fn space_bits(&self) -> usize {

@@ -97,6 +97,13 @@ impl LinearSketch for DyadicHeavyHitters {
         }
     }
 
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.levels, other.levels, "level mismatch");
+        for (a, b) in self.sketches.iter_mut().zip(&other.sketches) {
+            a.merge(b);
+        }
+    }
+
     fn space_bits(&self) -> usize {
         self.sketches.iter().map(LinearSketch::space_bits).sum()
     }
@@ -109,7 +116,10 @@ mod tests {
     use pts_stream::FrequencyVector;
 
     fn params() -> CountSketchParams {
-        CountSketchParams { rows: 5, buckets: 64 }
+        CountSketchParams {
+            rows: 5,
+            buckets: 64,
+        }
     }
 
     #[test]

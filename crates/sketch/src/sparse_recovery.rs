@@ -59,6 +59,15 @@ impl OneSparseCell {
         self.fingerprint = fp_add(self.fingerprint, r, index, delta);
     }
 
+    /// Pointwise add of another cell over the same hash position (linearity:
+    /// sums and the modular fingerprint are both additive).
+    fn absorb(&mut self, other: &OneSparseCell) {
+        self.weight += other.weight;
+        self.index_weighted += other.index_weighted;
+        self.fingerprint =
+            ((self.fingerprint as u128 + other.fingerprint as u128) % MERSENNE_P as u128) as u64;
+    }
+
     fn is_zero(&self) -> bool {
         self.weight == 0 && self.index_weighted == 0 && self.fingerprint == 0
     }
@@ -194,6 +203,18 @@ impl LinearSketch for SparseRecovery {
         self.update_int(index, delta as i64);
     }
 
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.fingerprint_base, other.fingerprint_base,
+            "seed mismatch"
+        );
+        assert_eq!(self.sparsity, other.sparsity, "sparsity mismatch");
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.absorb(b);
+        }
+    }
+
     fn space_bits(&self) -> usize {
         // Each cell: two 128-bit sums + 61-bit fingerprint.
         let cell_bits = 128 + 128 + 61;
@@ -282,7 +303,10 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!(failures >= 19, "dense vectors must fail recovery: {failures}/20");
+        assert!(
+            failures >= 19,
+            "dense vectors must fail recovery: {failures}/20"
+        );
         // Keep the original (unused beyond construction) exercised:
         sr.update_int(1, 1);
         assert!(!sr.is_zero());
@@ -299,7 +323,12 @@ mod tests {
             let idxs = rng.sample_indices(100_000, k);
             let mut want: Vec<(u64, i64)> = idxs
                 .into_iter()
-                .map(|i| (i as u64, rng.next_sign() * (1 + rng.next_below(1_000) as i64)))
+                .map(|i| {
+                    (
+                        i as u64,
+                        rng.next_sign() * (1 + rng.next_below(1_000) as i64),
+                    )
+                })
                 .collect();
             for &(i, v) in &want {
                 sr.update_int(i, v);

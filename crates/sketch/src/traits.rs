@@ -14,6 +14,18 @@ pub trait LinearSketch {
     /// `delta`.
     fn update(&mut self, index: u64, delta: f64);
 
+    /// Merges another sketch built with the same parameters and seed into
+    /// this one. Linearity makes this a pointwise add of counter state, and
+    /// guarantees `merge(sketch(x), sketch(y)) == sketch(x + y)` — the
+    /// property the sharded engine and every distributed deployment rely on.
+    ///
+    /// # Panics
+    /// Implementations panic when the two sketches are incompatible
+    /// (different seeds, shapes, or parameters).
+    fn merge(&mut self, other: &Self)
+    where
+        Self: Sized;
+
     /// Information-theoretic size of the sketch state in bits: counters at
     /// 64 bits plus hash-seed material. Rust object overhead is deliberately
     /// excluded — this is the quantity the paper's space bounds talk about.

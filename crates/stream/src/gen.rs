@@ -100,7 +100,11 @@ pub fn rfds_split(n: usize, frac_kept: f64, seed: u64) -> (Vec<u64>, Vec<u64>) {
     assert!((0.0..=1.0).contains(&frac_kept));
     let mut rng = Xoshiro256pp::new(seed);
     let k = ((n as f64) * frac_kept).round() as usize;
-    let kept: Vec<u64> = rng.sample_indices(n, k).into_iter().map(|i| i as u64).collect();
+    let kept: Vec<u64> = rng
+        .sample_indices(n, k)
+        .into_iter()
+        .map(|i| i as u64)
+        .collect();
     let kept_set: std::collections::HashSet<u64> = kept.iter().copied().collect();
     let forgotten = (0..n as u64).filter(|i| !kept_set.contains(i)).collect();
     (kept, forgotten)
@@ -142,7 +146,11 @@ impl Workload {
     /// Materializes the workload as a turnstile stream with moderate churn.
     pub fn to_stream(&self, seed: u64) -> Stream {
         let mut rng = Xoshiro256pp::new(pts_util::derive_seed(seed, 0xC0FFEE));
-        Stream::from_target(&self.vector, StreamStyle::Turnstile { churn: 0.5 }, &mut rng)
+        Stream::from_target(
+            &self.vector,
+            StreamStyle::Turnstile { churn: 0.5 },
+            &mut rng,
+        )
     }
 }
 

@@ -154,6 +154,36 @@ impl Stream {
         Self::new(target.n(), updates)
     }
 
+    /// Iterates the stream as contiguous batches of at most `batch_len`
+    /// updates — the unit the engine's batched ingest consumes. The final
+    /// batch may be shorter; the concatenation of all batches is exactly
+    /// the stream.
+    ///
+    /// # Panics
+    /// Panics if `batch_len == 0`.
+    pub fn batches(&self, batch_len: usize) -> impl Iterator<Item = &[Update]> {
+        assert!(batch_len >= 1, "batch length must be positive");
+        self.updates.chunks(batch_len)
+    }
+
+    /// Splits the stream round-robin into `parts` update sequences (how a
+    /// load balancer might spray one logical stream across ingest nodes).
+    /// Update `t` lands in part `t mod parts`; concatenating the parts in
+    /// any order reaches the same final vector (linearity).
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    pub fn split_round_robin(&self, parts: usize) -> Vec<Vec<Update>> {
+        assert!(parts >= 1, "need at least one part");
+        let mut out: Vec<Vec<Update>> = (0..parts)
+            .map(|_| Vec::with_capacity(self.updates.len() / parts + 1))
+            .collect();
+        for (t, u) in self.updates.iter().enumerate() {
+            out[t % parts].push(*u);
+        }
+        out
+    }
+
     /// Concatenates two streams over the same universe.
     ///
     /// # Panics
@@ -238,6 +268,35 @@ mod tests {
     #[should_panic(expected = "outside universe")]
     fn rejects_out_of_universe_updates() {
         let _ = Stream::new(2, vec![Update::new(5, 1)]);
+    }
+
+    #[test]
+    fn batches_cover_the_stream_exactly() {
+        let target = vec_of(&[3, -2, 7, 0, 5]);
+        let mut rng = Xoshiro256pp::new(8);
+        let s = Stream::from_target(&target, StreamStyle::Turnstile { churn: 1.0 }, &mut rng);
+        for batch_len in [1usize, 3, 7, 1000] {
+            let flat: Vec<Update> = s.batches(batch_len).flatten().copied().collect();
+            assert_eq!(flat, s.updates(), "batch_len {batch_len}");
+            assert!(s.batches(batch_len).all(|b| b.len() <= batch_len));
+        }
+    }
+
+    #[test]
+    fn round_robin_split_preserves_the_vector() {
+        let target = vec_of(&[5, -9, 2, 0, 14, -1]);
+        let mut rng = Xoshiro256pp::new(9);
+        let s = Stream::from_target(&target, StreamStyle::Turnstile { churn: 0.7 }, &mut rng);
+        for parts in [1usize, 3, 4] {
+            let split = s.split_round_robin(parts);
+            assert_eq!(split.len(), parts);
+            assert_eq!(split.iter().map(Vec::len).sum::<usize>(), s.len());
+            let mut x = FrequencyVector::zeros(s.universe());
+            for part in &split {
+                x.apply_all(part.iter());
+            }
+            assert_eq!(x, target, "parts {parts}");
+        }
     }
 
     #[test]

@@ -75,10 +75,7 @@ impl FrequencyVector {
     /// `F_p(x) = Σ |x_i|^p`, the `p`-th frequency moment.
     pub fn fp_moment(&self, p: f64) -> f64 {
         assert!(p > 0.0, "fp_moment: p must be positive");
-        self.values
-            .iter()
-            .map(|&v| (v.abs() as f64).powf(p))
-            .sum()
+        self.values.iter().map(|&v| (v.abs() as f64).powf(p)).sum()
     }
 
     /// `‖x‖_p = F_p(x)^{1/p}`.

@@ -23,7 +23,10 @@ impl EtaGrid {
     /// Panics unless `0 < η < 1` and `range_pow10 ≥ 1`.
     pub fn new(eta: f64, range_pow10: u32) -> Self {
         assert!(eta > 0.0 && eta < 1.0, "eta must be in (0,1), got {eta}");
-        assert!(range_pow10 >= 1, "dynamic range must be at least one decade");
+        assert!(
+            range_pow10 >= 1,
+            "dynamic range must be at least one decade"
+        );
         let log1p_eta = (1.0 + eta).ln();
         let q_max = ((range_pow10 as f64) * std::f64::consts::LN_10 / log1p_eta).ceil() as i64;
         Self {
@@ -97,7 +100,9 @@ impl EtaGrid {
 
     /// All cell probabilities in `q_range` order (sums to 1).
     pub fn cell_probabilities(&self, p: f64) -> Vec<f64> {
-        self.q_range().map(|q| self.cell_probability(q, p)).collect()
+        self.q_range()
+            .map(|q| self.cell_probability(q, p))
+            .collect()
     }
 }
 
@@ -113,7 +118,10 @@ mod tests {
         for &x in &[0.001, 0.5, 1.0, 2.75, 1234.5] {
             let r = grid.round_down(x);
             assert!(r <= x * 1.000_000_1, "rounded {r} above {x}");
-            assert!(r * (1.0 + grid.eta()) >= x * 0.999_999, "rounded {r} too far below {x}");
+            assert!(
+                r * (1.0 + grid.eta()) >= x * 0.999_999,
+                "rounded {r} too far below {x}"
+            );
         }
     }
 

@@ -42,7 +42,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// Series expansion for `x < a+1`, continued fraction otherwise
 /// (Numerical Recipes `gammp`).
 pub fn reg_gamma_lower(a: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && x >= 0.0, "reg_gamma_lower: invalid args a={a} x={x}");
+    assert!(
+        a > 0.0 && x >= 0.0,
+        "reg_gamma_lower: invalid args a={a} x={x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -259,7 +262,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
         })
         .sum();
     let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (a, b, r2)
 }
 

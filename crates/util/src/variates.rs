@@ -83,7 +83,10 @@ pub fn min_of_exponentials(n_copies: f64, e: f64) -> f64 {
 /// Panics unless `0 < p ≤ 1`.
 #[inline]
 pub fn geometric(rng: &mut Xoshiro256pp, p: f64) -> u64 {
-    assert!(p > 0.0 && p <= 1.0, "geometric: p must be in (0,1], got {p}");
+    assert!(
+        p > 0.0 && p <= 1.0,
+        "geometric: p must be in (0,1], got {p}"
+    );
     if p >= 1.0 {
         return 1;
     }
@@ -278,9 +281,7 @@ mod tests {
         // Prop 1.12: Pr[e >= a] = exp(-a).
         let n = 100_000u64;
         for a in [0.5f64, 1.0, 2.0] {
-            let count = (0..n)
-                .filter(|&k| keyed_exponential(123, k) >= a)
-                .count() as f64;
+            let count = (0..n).filter(|&k| keyed_exponential(123, k) >= a).count() as f64;
             let rate = count / n as f64;
             let ideal = (-a).exp();
             assert!((rate - ideal).abs() < 0.01, "a={a}: {rate} vs {ideal}");

@@ -1,11 +1,14 @@
-//! Distributed summaries: shard a turnstile stream across "machines",
-//! sketch locally, merge centrally — the §1.3 distributed-databases
-//! motivation for *perfect* samplers.
+//! Distributed summaries on the engine: shard a turnstile stream across
+//! "datacenters", run a `ShardedEngine` in each, ship compact snapshots to
+//! a coordinator, and query the merged engine as if it had seen the whole
+//! stream — the §1.3 distributed-databases motivation, now with repeated
+//! draws and query-at-any-time semantics instead of one-shot samplers.
 //!
-//! Every structure in this library is a linear sketch, so merging same-seed
-//! shards is exactly equivalent to one machine seeing the whole stream; the
-//! coordinator then draws perfect L₃ samples and answers moment queries as
-//! if it had the global data, while each shard shipped only kilobits.
+//! Two merge levels are on display:
+//! * **engine level** — `snapshot()`/`merge()` is router-agnostic (the
+//!   coordinator here runs a different shard count than the ingest tier);
+//! * **sketch level** — the same-seeded `PerfectLpSampler::merge` path the
+//!   paper's linearity gives for free, kept as the exactness cross-check.
 //!
 //! Run with: `cargo run --release --example distributed_summary`
 
@@ -13,82 +16,106 @@ use perfect_sampling::prelude::*;
 
 fn main() {
     let n = 64;
-    let shards = 4;
+    let datacenters = 4;
     let seed = 321;
 
-    // Global workload, split round-robin into per-shard streams.
+    // Global workload, sprayed round-robin across ingest sites.
     let global = pts_stream::gen::zipf_vector(n, 1.0, 120, seed);
     let mut rng = pts_util::Xoshiro256pp::new(seed + 1);
     let stream = Stream::from_target(&global, StreamStyle::Turnstile { churn: 0.6 }, &mut rng);
-    let shard_updates: Vec<Vec<Update>> = (0..shards)
-        .map(|s| {
-            stream
-                .updates()
-                .iter()
-                .copied()
-                .skip(s)
-                .step_by(shards)
-                .collect()
-        })
-        .collect();
+    let site_streams = stream.split_round_robin(datacenters);
     println!(
-        "global stream: {} updates over {n} keys, sharded {shards} ways (~{} each)",
+        "global stream: {} updates over {n} keys, sprayed across {datacenters} sites (~{} each)",
         stream.len(),
-        stream.len() / shards
+        stream.len() / datacenters
     );
 
-    // Each shard builds the SAME-SEEDED sampler over its slice, in parallel.
-    let params = PerfectLpParams::for_universe(n, 3.0);
-    let sampler_seed = seed + 2;
-    let mut shard_samplers: Vec<PerfectLpSampler> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shard_updates
+    // Each site runs its own engine (2 shards × 2 samplers, perfect L3 law),
+    // ingesting in batches — in parallel, as real sites would.
+    let factory = PerfectLpFactory::for_universe(n, 3.0);
+    let site_engines: Vec<ShardedEngine<PerfectLpFactory>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = site_streams
             .iter()
-            .map(|updates| {
+            .enumerate()
+            .map(|(site, updates)| {
                 scope.spawn(move || {
-                    let mut s = PerfectLpSampler::new(n, params, sampler_seed);
-                    for u in updates {
-                        s.process(*u);
+                    let config = EngineConfig::new(n)
+                        .shards(2)
+                        .pool_size(2)
+                        .seed(seed + site as u64);
+                    let mut engine = ShardedEngine::new(config, factory);
+                    for batch in updates.chunks(256) {
+                        engine.ingest_batch(batch);
                     }
-                    s
+                    engine
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("shard")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("site"))
+            .collect()
     });
-    let shard_bits = shard_samplers[0].space_bits();
 
-    // Coordinator: merge the shard sketches.
-    let mut coordinator = shard_samplers.remove(0);
-    for shard in &shard_samplers {
-        coordinator.merge(shard);
+    // Ship snapshots to the coordinator — note the different shard count:
+    // snapshots are router-agnostic.
+    let snapshots: Vec<EngineSnapshot> = site_engines.iter().map(|e| e.snapshot()).collect();
+    let payload_bits: usize = snapshots.iter().map(EngineSnapshot::space_bits).sum();
+    let mut coordinator = ShardedEngine::new(
+        EngineConfig::new(n).shards(8).pool_size(3).seed(seed + 99),
+        factory,
+    );
+    for snap in &snapshots {
+        coordinator.merge(snap);
     }
     println!(
-        "each shard shipped {} of sketch (raw vector: {}; at toy n the \
-         polylog constants dominate — the n^(1-2/p) payoff is E2's job)",
-        pts_util::table::fmt_bits(shard_bits),
-        pts_util::table::fmt_bits(n * 64),
+        "sites shipped {} of snapshots total; coordinator state is exact: {}",
+        pts_util::table::fmt_bits(payload_bits),
+        coordinator.snapshot().to_vector() == global,
     );
 
-    // The merged sketch answers exactly like a single global sampler.
-    match coordinator.sample() {
-        Some(s) => {
-            let truth = global.value(s.index);
-            println!(
-                "\nmerged perfect L3 sample: index {} (estimate {:.1}, true {})",
-                s.index, s.estimate, truth
-            );
+    // The merged engine serves repeated perfect L3 draws at any time.
+    println!("\ncoordinator perfect-L3 draws (repeatable, mid-service):");
+    for q in 0..6 {
+        match coordinator.sample() {
+            Some(s) => println!(
+                "  draw {q}: index {:>2} (estimate {:>8.1}, true {:>5})",
+                s.index,
+                s.estimate,
+                global.value(s.index)
+            ),
+            None => println!("  draw {q}: ⊥ (bounded probability, retry is free)"),
         }
-        None => println!("\nmerged sampler returned ⊥ this time (bounded probability)"),
     }
+    let stats = coordinator.stats();
+    println!(
+        "coordinator stats: {} samples, {} ⊥, {} lazy respawns",
+        stats.samples,
+        stats.fails,
+        coordinator.respawns()
+    );
 
-    // Sanity: a single sampler over the unsharded stream agrees decision-
-    // for-decision with the merged one (linearity).
+    // Sketch-level cross-check: same-seeded one-shot samplers merged across
+    // shards agree decision-for-decision with one sampler that saw all of
+    // it (linearity, Lemma-free and exact).
+    let params = PerfectLpParams::for_universe(n, 3.0);
+    let sampler_seed = seed + 2;
+    // A fresh same-seeded sampler has all-zero linear state, so merging
+    // every shard into it is exactly ingesting the whole stream.
+    let mut merged = PerfectLpSampler::new(n, params, sampler_seed);
+    for updates in &site_streams {
+        let mut shard = PerfectLpSampler::new(n, params, sampler_seed);
+        for u in updates {
+            shard.process(*u);
+        }
+        merged.merge(&shard);
+    }
     let mut single = PerfectLpSampler::new(n, params, sampler_seed);
     single.ingest_stream(&stream);
-    let agree = match (single.sample(), coordinator.sample()) {
+    let agree = match (single.sample(), merged.sample()) {
         (None, None) => true,
         (Some(a), Some(b)) => a.index == b.index,
         _ => false,
     };
-    println!("merged == unsharded decision: {agree}");
+    println!("sketch-level merge == unsharded decision: {agree}");
 }

@@ -1,12 +1,17 @@
-//! Network anomaly detection with heavy-tailed (p > 2) sampling.
+//! Network anomaly detection on the engine: heavy-tailed (p > 2) sampling
+//! as an *always-on* service.
 //!
 //! The scenario from the paper's introduction: a router sees per-source
 //! packet counts as a turnstile stream (NAT rebindings and retractions make
 //! it a *general* turnstile, not insertion-only). A DDoS source floods the
 //! link; because `p > 2` emphasizes dominant coordinates, a handful of
-//! perfect L₄ samples finds the attackers with near-certainty, while the
-//! classic reservoir baseline (a) needs the whole insertion history and
-//! (b) cannot handle retractions at all.
+//! perfect L₄ draws finds the attackers with near-certainty.
+//!
+//! Where the seed version built 16 throwaway one-shot samplers, the engine
+//! ingests the traffic **once** and serves all 16 draws from its shard
+//! pools — and it answers *mid-stream*, before the attack has even
+//! finished, because a query only consumes a pool instance that lazily
+//! respawns from compact per-shard state.
 //!
 //! Run with: `cargo run --release --example network_monitor`
 
@@ -15,7 +20,7 @@ use std::collections::HashMap;
 
 fn main() {
     let n = 96; // source universe (hashed /24s, say)
-    let seed = 7;
+    let seed = 7u64;
 
     // Background traffic: moderate flows everywhere; two attackers.
     let mut flows = pts_stream::gen::uniform_vector(n, 40, seed);
@@ -42,44 +47,62 @@ fn main() {
         .sum();
     println!("attackers hold {:.2}% of F4\n", attacker_share * 100.0);
 
-    // Draw 16 perfect L4 samples, one independent sampler each — they are
-    // independent sketches, so run them across threads (the same way a
-    // distributed deployment would shard them across machines).
-    let params = PerfectLpParams::for_universe(n, 4.0);
-    let samples: u64 = 16;
-    let outcomes: Vec<Option<Sample>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..samples)
-            .map(|t| {
-                let stream = &stream;
-                scope.spawn(move || {
-                    let mut sampler = PerfectLpSampler::new(n, params, seed + 100 + t);
-                    sampler.ingest_stream(stream);
-                    sampler.sample()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sampler thread")).collect()
-    });
+    // One engine, perfect L4 law, 2 shards × 2 pooled samplers.
+    let mut engine = ShardedEngine::new(
+        EngineConfig::new(n).shards(2).pool_size(2).seed(seed),
+        PerfectLpFactory::for_universe(n, 4.0),
+    );
+
+    // Ingest the first half of the traffic, then probe MID-STREAM: the
+    // engine answers while the attack is still in flight.
+    let updates = stream.updates();
+    let (first_half, second_half) = updates.split_at(updates.len() / 2);
+    for batch in first_half.chunks(128) {
+        engine.ingest_batch(batch);
+    }
+    let early = engine.sample();
+    println!(
+        "mid-stream probe after {} updates: {}",
+        first_half.len(),
+        match early {
+            Some(s) => format!("index {} (estimate {:.0})", s.index, s.estimate),
+            None => "⊥".to_string(),
+        }
+    );
+
+    // Finish the stream, then draw 16 L4 samples from the same engine.
+    for batch in second_half.chunks(128) {
+        engine.ingest_batch(batch);
+    }
+    let draws = 16;
     let mut hits: HashMap<u64, u32> = HashMap::new();
     let mut fails = 0;
-    for outcome in outcomes {
-        match outcome {
+    for _ in 0..draws {
+        match engine.sample() {
             Some(s) => *hits.entry(s.index).or_default() += 1,
             None => fails += 1,
         }
     }
     let mut report: Vec<(u64, u32)> = hits.into_iter().collect();
     report.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-    println!("perfect L4 sampling report ({samples} draws, {fails} ⊥):");
+    println!("\nperfect L4 sampling report ({draws} draws, {fails} ⊥):");
     for (src, count) in &report {
-        let flag = if attackers.contains(src) { "  << attacker" } else { "" };
+        let flag = if attackers.contains(src) {
+            "  << attacker"
+        } else {
+            ""
+        };
         println!("  source {src:>4}: {count:>2} hits{flag}");
     }
     let caught = report
         .iter()
         .filter(|(s, c)| attackers.contains(s) && *c >= 2)
         .count();
-    println!("\ndetected {caught}/{} attackers with ≥2 hits", attackers.len());
+    println!(
+        "\ndetected {caught}/{} attackers with >=2 hits ({} lazy respawns served the draws)",
+        attackers.len(),
+        engine.respawns()
+    );
 
     // The reservoir baseline cannot even ingest this stream.
     let mut reservoir = ReservoirSampler::new(seed);

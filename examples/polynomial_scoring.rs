@@ -14,15 +14,13 @@ use perfect_sampling::prelude::*;
 
 fn law(g: &Polynomial, x: &FrequencyVector) -> Vec<f64> {
     let total: f64 = x.values().iter().map(|&v| g.eval(v as f64)).sum();
-    x.values().iter().map(|&v| g.eval(v as f64) / total).collect()
+    x.values()
+        .iter()
+        .map(|&v| g.eval(v as f64) / total)
+        .collect()
 }
 
-fn empirical(
-    x: &FrequencyVector,
-    g: &Polynomial,
-    trials: u64,
-    seed: u64,
-) -> (Vec<f64>, u64) {
+fn empirical(x: &FrequencyVector, g: &Polynomial, trials: u64, seed: u64) -> (Vec<f64>, u64) {
     let n = x.n();
     let params = PolynomialParams::for_universe(n, g.clone());
     let mut counts = vec![0u64; n];
@@ -44,12 +42,13 @@ fn empirical(
 
 fn main() {
     let g = Polynomial::new(vec![(1.0, 2.0), (0.1, 3.0)]);
-    println!("score function G(z) = z² + 0.1|z|³ (top degree p = {})\n", g.degree());
+    println!(
+        "score function G(z) = z² + 0.1|z|³ (top degree p = {})\n",
+        g.degree()
+    );
 
     let base = FrequencyVector::from_values(vec![3, 12, 5, 0, 8, 2]);
-    let surged = FrequencyVector::from_values(
-        base.values().iter().map(|v| v * 4).collect(),
-    );
+    let surged = FrequencyVector::from_values(base.values().iter().map(|v| v * 4).collect());
 
     let trials = 1_500;
     let (emp_base, fails_base) = empirical(&base, &g, trials, 10_000);

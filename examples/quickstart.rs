@@ -44,13 +44,22 @@ fn main() {
     let accepted: u64 = counts.iter().sum();
     println!("accepted {accepted}/{trials} samples ({fails} ⊥)\n");
 
-    println!("{:>5} {:>8} {:>10} {:>10}", "i", "x_i", "ideal", "empirical");
+    println!(
+        "{:>5} {:>8} {:>10} {:>10}",
+        "i", "x_i", "ideal", "empirical"
+    );
     let f3 = target.fp_moment(p);
     for (i, &count) in counts.iter().enumerate() {
         let ideal = (target.value(i as u64).abs() as f64).powf(p) / f3;
         let emp = count as f64 / accepted as f64;
         if ideal > 0.0 {
-            println!("{:>5} {:>8} {:>10.4} {:>10.4}", i, target.value(i as u64), ideal, emp);
+            println!(
+                "{:>5} {:>8} {:>10.4} {:>10.4}",
+                i,
+                target.value(i as u64),
+                ideal,
+                emp
+            );
         }
     }
 

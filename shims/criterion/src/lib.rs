@@ -1,0 +1,221 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of the criterion API this workspace's benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched_ref`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark runs a
+//! short warm-up followed by `sample_size` timed batches and prints the mean
+//! wall-clock time per iteration; there is no statistical analysis, baseline
+//! tracking, or report generation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Hint for batched iteration memory footprint (ignored by the shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration means, one per sample.
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            timings: Vec::new(),
+        }
+    }
+
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then `samples` timed calls.
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` against a fresh `setup()` value each sample, passing
+    /// it by mutable reference (setup cost excluded from timing).
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: Fn() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut warm = setup();
+        std::hint::black_box(routine(&mut warm));
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.timings.is_empty() {
+            return Duration::ZERO;
+        }
+        self.timings.iter().sum::<Duration>() / self.timings.len() as u32
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores measurement time.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores warm-up time.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        println!("bench {id:<44} {:>12.3?}/iter", b.mean());
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        println!("bench {id:<44} {:>12.3?}/iter", b.mean());
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("shim/self", |b| b.iter(|| calls += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn batched_ref_gets_fresh_input() {
+        let mut seen = Vec::new();
+        Criterion::default()
+            .sample_size(2)
+            .bench_function("shim/batched", |b| {
+                b.iter_batched_ref(
+                    || vec![0u8; 2],
+                    |v| {
+                        v.push(1);
+                        seen.push(v.len());
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        // Every call sees a fresh length-2 vector.
+        assert!(seen.iter().all(|&l| l == 3));
+    }
+
+    #[test]
+    fn group_overrides_sample_size() {
+        let mut c = Criterion::default().sample_size(50);
+        let mut calls = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .bench_function("inner", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 3);
+    }
+}

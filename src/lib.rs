@@ -29,8 +29,27 @@
 //! }
 //! ```
 //!
+//! ## Always-queryable serving: the engine
+//!
+//! The paper's samplers are one-shot objects; [`pts_engine`] turns them
+//! into a sharded, mergeable, continuously-queryable service:
+//!
+//! ```
+//! use perfect_sampling::prelude::*;
+//!
+//! let mut engine = ShardedEngine::new(
+//!     EngineConfig::new(1 << 10).shards(4).pool_size(2).seed(7),
+//!     L0Factory::default(),
+//! );
+//! engine.ingest_batch(&[Update::new(3, 5), Update::new(900, -2)]);
+//! let s = engine.sample().expect("non-zero state samples");
+//! assert!(s.index == 3 || s.index == 900);
+//! ```
+//!
 //! ## Crate map
 //!
+//! * [`pts_engine`] — the sharded, mergeable, always-queryable engine
+//!   (start at [`pts_engine::ShardedEngine`]).
 //! * [`pts_core`] — the paper's samplers (start at
 //!   [`pts_core::PerfectLpSampler`]).
 //! * [`pts_samplers`] — substrates: perfect L₀ (JST11), perfect L₂ (JW18),
@@ -49,6 +68,7 @@
 #![forbid(unsafe_code)]
 
 pub use pts_core;
+pub use pts_engine;
 pub use pts_samplers;
 pub use pts_sketch;
 pub use pts_stream;
@@ -57,13 +77,17 @@ pub use pts_util;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use pts_core::{
-        ApproxLpParams, ApproxLpSampler, PerfectLpParams, PerfectLpSampler, Polynomial,
-        PolynomialParams, PolynomialSampler, RejectionGSampler, SubsetNormEstimator,
+        ApproxLpBatch, ApproxLpParams, ApproxLpSampler, PerfectLpParams, PerfectLpSampler,
+        Polynomial, PolynomialParams, PolynomialSampler, RejectionGSampler, SubsetNormEstimator,
         SubsetNormParams,
     };
+    pub use pts_engine::{
+        EngineConfig, EngineSnapshot, EngineStats, L0Factory, LogGFactory, LpLe2Factory,
+        PerfectLpFactory, SamplerFactory, ShardedEngine,
+    };
     pub use pts_samplers::{
-        L0Params, LpLe2Batch, LpLe2Params, PerfectL0Sampler, PerfectLpLe2Sampler,
-        PrecisionParams, PrecisionSampler, ReservoirSampler, Sample, TurnstileSampler,
+        L0Params, LpLe2Batch, LpLe2Params, PerfectL0Sampler, PerfectLpLe2Sampler, PrecisionParams,
+        PrecisionSampler, ReservoirSampler, Sample, TurnstileSampler,
     };
     pub use pts_sketch::LinearSketch;
     pub use pts_stream::{FrequencyVector, Stream, StreamStyle, Update};

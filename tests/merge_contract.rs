@@ -1,0 +1,105 @@
+//! The `TurnstileSampler::merge` contract across the sampler families:
+//! same-seeded shards that saw two halves of a stream merge into exactly
+//! the sampler that saw the concatenated stream, and non-linear samplers
+//! refuse to merge.
+
+use perfect_sampling::prelude::*;
+
+/// Builds the halves-vs-whole fixture: a churny turnstile stream split at
+/// the midpoint.
+fn fixture(seed: u64) -> (FrequencyVector, Vec<Update>, Vec<Update>, Vec<Update>) {
+    let x = pts_stream::gen::zipf_vector(48, 1.0, 80, seed);
+    let mut rng = pts_util::Xoshiro256pp::new(seed ^ 0x5711);
+    let stream = Stream::from_target(&x, StreamStyle::Turnstile { churn: 1.0 }, &mut rng);
+    let updates = stream.updates().to_vec();
+    let (left, right) = updates.split_at(updates.len() / 2);
+    (x, updates.clone(), left.to_vec(), right.to_vec())
+}
+
+/// Runs the halves-vs-whole check for one sampler family.
+fn check_merge<S: TurnstileSampler>(mut make: impl FnMut() -> S, seed: u64) {
+    let (_, whole_updates, left, right) = fixture(seed);
+    let mut a = make();
+    let mut b = make();
+    let mut whole = make();
+    for u in &left {
+        a.process(*u);
+    }
+    for u in &right {
+        b.process(*u);
+    }
+    a.merge(&b);
+    for u in &whole_updates {
+        whole.process(*u);
+    }
+    match (whole.sample(), a.sample()) {
+        (None, None) => {}
+        (Some(w), Some(m)) => {
+            assert_eq!(w.index, m.index, "merged shard decision diverged");
+            assert!(
+                (w.estimate - m.estimate).abs() < 1e-6 * (1.0 + w.estimate.abs()),
+                "estimates diverged: {} vs {}",
+                w.estimate,
+                m.estimate
+            );
+        }
+        (w, m) => panic!("outcome diverged: whole {w:?} vs merged {m:?}"),
+    }
+}
+
+#[test]
+fn l0_sampler_merges() {
+    check_merge(|| PerfectL0Sampler::new(48, L0Params::default(), 71), 1);
+}
+
+#[test]
+fn lp_le2_batch_merges() {
+    let params = LpLe2Params::for_universe(48, 2.0);
+    check_merge(|| LpLe2Batch::new(48, params, 4, 72), 2);
+}
+
+#[test]
+fn precision_sampler_merges() {
+    let params = PrecisionParams::for_universe(48, 2.0, 0.3);
+    check_merge(|| PrecisionSampler::new(48, params, 73), 3);
+}
+
+#[test]
+fn perfect_lp_sampler_merges() {
+    let params = PerfectLpParams::for_universe(48, 3.0);
+    check_merge(|| PerfectLpSampler::new(48, params, 74), 4);
+}
+
+#[test]
+fn rejection_g_sampler_merges() {
+    check_merge(|| RejectionGSampler::log_sampler(48, 4096, 75), 5);
+}
+
+#[test]
+fn approx_lp_sampler_merges() {
+    let params = ApproxLpParams::for_universe(48, 3.0, 0.3);
+    check_merge(|| ApproxLpSampler::new(48, params, 76), 6);
+}
+
+#[test]
+fn approx_lp_batch_merges() {
+    let params = ApproxLpParams::for_universe(48, 3.0, 0.3);
+    check_merge(|| ApproxLpBatch::new(48, params, 3, 77), 7);
+}
+
+#[test]
+#[should_panic(expected = "mismatch")]
+fn g_sampler_merge_rejects_different_laws() {
+    // Same seed, but a log law cannot merge with a cap law.
+    let mut log = RejectionGSampler::log_sampler(48, 4096, 9);
+    let cap = RejectionGSampler::cap_sampler(48, 8.0, 2.0, 9);
+    log.merge(&cap);
+}
+
+#[test]
+#[should_panic(expected = "cannot merge")]
+fn reservoir_sampler_refuses_to_merge() {
+    let mut a = ReservoirSampler::new(1);
+    let b = ReservoirSampler::new(2);
+    a.merge(&b);
+}
