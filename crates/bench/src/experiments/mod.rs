@@ -18,7 +18,7 @@ use pts_util::Table;
 
 /// A runnable experiment.
 pub struct Experiment {
-    /// Identifier (`t1`, `e1`, …, `a3`).
+    /// Identifier (`tab1`, `e1`, …, `s1`, `t1`, `a3`).
     pub id: &'static str,
     /// What it reproduces.
     pub title: &'static str,
@@ -30,7 +30,7 @@ pub struct Experiment {
 pub fn registry() -> Vec<Experiment> {
     vec![
         Experiment {
-            id: "t1",
+            id: "tab1",
             title: "Table 1 — sampler comparison matrix (measured)",
             run: table1::run,
         },
@@ -98,6 +98,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "s1",
             title: "S1 — engine ingest throughput vs shard count (pts-engine)",
             run: throughput::s1_engine_throughput,
+        },
+        Experiment {
+            id: "t1",
+            title: "T1 — concurrent engine thread scaling, T in {1,2,4,8} (pts-engine)",
+            run: throughput::t1_thread_scaling,
         },
         Experiment {
             id: "a1",

@@ -24,6 +24,13 @@
 //! `B` of large discretized maxima; stage 2 adds the duplicated-table noise
 //! to `B`'s estimates and applies the anti-concentration gap test
 //! `y_(1) − y_(2) > factor·R/(μ·(nM)^{1/2−1/p})` (line 16).
+//!
+//! Decode cost: both stage-1 recovery and the gap test's runner-up scan
+//! run over the sampler's *touched-coordinate set* (every index the stream
+//! ever addressed), never the full universe — query time is
+//! `O(support · rows)` regardless of `n`. A never-touched coordinate is
+//! exactly zero in the duplicated vector, so skipping it drops nothing but
+//! `O(n)` work and pure sketch-collision noise.
 
 use pts_samplers::{Sample, TurnstileSampler};
 use pts_sketch::ams::GAUSSIAN_ABS_MEDIAN;
@@ -31,7 +38,7 @@ use pts_sketch::{FpMaxStab, FpMaxStabParams, LinearSketch, ModCountSketch};
 use pts_stream::Update;
 use pts_util::variates::{binomial, keyed_gaussian, keyed_sign};
 use pts_util::{derive_seed, keyed_u64, EtaGrid, Xoshiro256pp};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Parameters for [`ApproxLpSampler`].
 #[derive(Debug, Clone, Copy)]
@@ -126,6 +133,15 @@ pub struct ApproxLpSampler {
     fp_est: FpMaxStab,
     mu: f64,
     consts_cache: HashMap<u64, IndexConsts>,
+    /// Every coordinate the stream has ever addressed (sorted for
+    /// deterministic decode order). Decode scans this set instead of the
+    /// whole universe: a never-touched coordinate is exactly zero in the
+    /// duplicated vector, so it can neither be a candidate nor the gap
+    /// test's true runner-up — scanning its sketch estimate only added
+    /// `O(n)` query cost and pure collision noise. Unlike the consts cache
+    /// this *is* sketch state (it survives merges), and it is `O(support)`
+    /// of the stream, not `O(n)`.
+    touched: BTreeSet<u64>,
 }
 
 impl ApproxLpSampler {
@@ -160,6 +176,7 @@ impl ApproxLpSampler {
             fp_est,
             mu,
             consts_cache: HashMap::new(),
+            touched: BTreeSet::new(),
         }
     }
 
@@ -261,7 +278,9 @@ impl ApproxLpSampler {
     }
 
     /// The candidate set `B` (stage-1 indices above the heaviness
-    /// threshold), largest first, capped at the kept width.
+    /// threshold), largest first, capped at the kept width. Decodes over
+    /// the touched set, so query cost is `O(support · rows)`, independent
+    /// of the universe size.
     fn candidate_set(&self) -> Vec<(u64, f64)> {
         let lp_hat = self.fp_est.lp_estimate();
         if lp_hat <= 0.0 {
@@ -269,8 +288,10 @@ impl ApproxLpSampler {
         }
         let threshold =
             self.copies_m.powf(1.0 / self.params.p) * lp_hat / self.params.b_threshold_div;
-        let mut out: Vec<(u64, f64)> = (0..self.universe as u64)
-            .filter_map(|i| {
+        let mut out: Vec<(u64, f64)> = self
+            .touched
+            .iter()
+            .filter_map(|&i| {
                 let est = self.cs1.estimate(i)?;
                 (est.abs() >= threshold).then_some((i, est))
             })
@@ -292,6 +313,7 @@ impl TurnstileSampler for ApproxLpSampler {
         }
         let i = u.index;
         let delta = u.delta as f64;
+        self.touched.insert(i);
         let consts = self.index_consts(i);
         // Stage 1: the discretized maximum copy.
         self.cs1.update(i, delta * consts.v_scale);
@@ -342,10 +364,14 @@ impl TurnstileSampler for ApproxLpSampler {
         // duplicated vector (the paper's y_{D(2)}), not merely of the
         // thresholded set B — when every other coordinate falls below the
         // B-threshold a light winner would otherwise face no competitor and
-        // pass unconditionally, biasing the law.
-        let y2_distinct = (0..self.universe as u64)
-            .filter(|&i| i != i_star)
-            .filter_map(|i| self.cs1.estimate(i).map(|v| (v + self.cs2_read(i)).abs()))
+        // pass unconditionally, biasing the law. Never-touched coordinates
+        // are exactly zero in the duplicated vector, so the scan covers the
+        // touched set only.
+        let y2_distinct = self
+            .touched
+            .iter()
+            .filter(|&&i| i != i_star)
+            .filter_map(|&i| self.cs1.estimate(i).map(|v| (v + self.cs2_read(i)).abs()))
             .fold(0.0f64, f64::max);
         // The winner's own second-largest virtual copy also competes: by the
         // top-two order statistics of its M exponentials its value is
@@ -374,11 +400,14 @@ impl TurnstileSampler for ApproxLpSampler {
     }
 
     fn space_bits(&self) -> usize {
-        // CS1 + kept CS2 region + Gaussian counters + Fp estimator + seeds.
+        // CS1 + kept CS2 region + Gaussian counters + Fp estimator + the
+        // touched-coordinate index (64 bits per stream coordinate — the
+        // honest price of universe-independent decode) + seeds.
         self.cs1.space_bits()
             + self.cs2.len() * 64
             + self.gauss_counters.len() * 64
             + self.fp_est.space_bits()
+            + self.touched.len() * 64
             + 192
     }
 
@@ -402,6 +431,7 @@ impl TurnstileSampler for ApproxLpSampler {
             *a += b;
         }
         self.fp_est.merge(&other.fp_est);
+        self.touched.extend(&other.touched);
     }
 }
 
@@ -563,6 +593,112 @@ mod tests {
         s.process(Update::new(3, 9));
         s.process(Update::new(3, -9));
         assert!(s.sample().is_none());
+    }
+
+    /// The pre-fix dense decode, replicated verbatim as a reference: scan
+    /// every universe coordinate for candidates and for the gap test's
+    /// runner-up. Used to pin the sparse (touched-set) decode to the dense
+    /// scan's output.
+    fn dense_sample(s: &mut ApproxLpSampler) -> Option<Sample> {
+        let lp_hat = s.fp_est.lp_estimate();
+        let candidates: Vec<(u64, f64)> = if lp_hat <= 0.0 {
+            Vec::new()
+        } else {
+            let threshold = s.copies_m.powf(1.0 / s.params.p) * lp_hat / s.params.b_threshold_div;
+            let mut out: Vec<(u64, f64)> = (0..s.universe as u64)
+                .filter_map(|i| {
+                    let est = s.cs1.estimate(i)?;
+                    (est.abs() >= threshold).then_some((i, est))
+                })
+                .collect();
+            out.sort_by(|a, b| {
+                b.1.abs()
+                    .partial_cmp(&a.1.abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            out.truncate(s.params.kept_buckets);
+            out
+        };
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut ys: Vec<(u64, f64, f64)> = candidates
+            .iter()
+            .map(|&(i, v_hat)| (i, v_hat + s.cs2_read(i), v_hat))
+            .collect();
+        ys.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let (i_star, y1, v1) = ys[0];
+        let y2_distinct = (0..s.universe as u64)
+            .filter(|&i| i != i_star)
+            .filter_map(|i| s.cs1.estimate(i).map(|v| (v + s.cs2_read(i)).abs()))
+            .fold(0.0f64, f64::max);
+        let winner_consts = s.index_consts(i_star);
+        let own_second = y1.abs() * winner_consts.second_scale / winner_consts.v_scale
+            + keyed_gaussian(derive_seed(s.seed, 0x2EAD), i_star) * s.cs1.noise_scale();
+        let y2 = y2_distinct.max(own_second.abs());
+        let r = s.r_estimate();
+        let threshold = s.params.threshold_factor * r / (s.mu * s.virtual_width.sqrt());
+        if y1.abs() - y2 <= threshold {
+            return None;
+        }
+        Some(Sample {
+            index: i_star,
+            estimate: v1 / winner_consts.v_scale,
+        })
+    }
+
+    #[test]
+    fn sparse_decode_matches_dense_scan_on_planted_workload() {
+        // Regression for the O(n) decode paths: the touched-set decode must
+        // return exactly what the full-universe scan returned, while the
+        // candidate scan itself covers support-many coordinates, not n.
+        let x = planted_vector(256, 1, 800, 5, 17);
+        let params = ApproxLpParams::for_universe(256, 4.0, 0.3);
+        let mut agreements = 0;
+        for t in 0..30u64 {
+            let mut s = ApproxLpSampler::new(512, params, 40_000 + t);
+            s.ingest_vector(&x);
+            assert_eq!(s.touched.len(), x.f0(), "touched must track the support");
+            let sparse = s.sample();
+            let dense = dense_sample(&mut s);
+            assert_eq!(sparse, dense, "seed {t}: sparse and dense decode diverged");
+            if sparse.is_some() {
+                agreements += 1;
+            }
+        }
+        assert!(
+            agreements > 10,
+            "only {agreements}/30 accepted — workload too hard"
+        );
+    }
+
+    #[test]
+    fn merge_unions_touched_sets() {
+        let params = ApproxLpParams::for_universe(64, 3.0, 0.3);
+        let mut a = ApproxLpSampler::new(64, params, 9);
+        let mut b = ApproxLpSampler::new(64, params, 9);
+        a.process(Update::new(3, 50));
+        b.process(Update::new(40, -20));
+        b.process(Update::new(3, 10));
+        a.merge(&b);
+        assert_eq!(
+            a.touched.iter().copied().collect::<Vec<_>>(),
+            vec![3, 40],
+            "merge must union the touched sets"
+        );
+        // The merged sampler decodes the coordinate only the shard saw.
+        let mut whole = ApproxLpSampler::new(64, params, 9);
+        whole.process(Update::new(3, 60));
+        whole.process(Update::new(40, -20));
+        assert_eq!(
+            a.sample(),
+            whole.sample(),
+            "merge must equal whole-stream state"
+        );
     }
 
     #[test]

@@ -31,6 +31,18 @@ pub struct RejectionGSampler {
     label: &'static str,
 }
 
+impl Clone for RejectionGSampler {
+    fn clone(&self) -> Self {
+        Self {
+            g: std::sync::Arc::clone(&self.g),
+            upper_h: self.upper_h,
+            l0_samples: self.l0_samples.clone(),
+            accept_seed: self.accept_seed,
+            label: self.label,
+        }
+    }
+}
+
 impl std::fmt::Debug for RejectionGSampler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RejectionGSampler")

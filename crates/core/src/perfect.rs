@@ -75,7 +75,12 @@ impl PerfectLpParams {
         let nf = n.max(4) as f64;
         let slack = 4.0;
         let attempts = ((2.0 * slack * nf.powf(1.0 - 2.0 / p) * nf.ln()).ceil() as usize).max(8);
-        let is_integer = (p - p.round()).abs() < 1e-9;
+        // The product estimator needs `round(p) − 2 ≥ 1` groups, so it is
+        // only valid for integer `p ≥ 3`. Values just above the `p > 2`
+        // gate (e.g. `p = 2 + 1e-10`) round to 2 and would yield **zero**
+        // estimate groups — a degenerate, always-1 power estimate — so they
+        // take the Taylor route like any other non-integer `p`.
+        let is_integer = (p - p.round()).abs() < 1e-9 && p.round() >= 3.0;
         let estimator = if is_integer {
             PowerEstimator::IntegerProduct
         } else {
@@ -147,7 +152,7 @@ impl PerfectLpSampler {
         assert!(params.attempts >= 1, "need at least one attempt");
         if params.estimator == PowerEstimator::IntegerProduct {
             assert!(
-                (params.p - params.p.round()).abs() < 1e-9 && params.p >= 3.0,
+                (params.p - params.p.round()).abs() < 1e-9 && params.p.round() >= 3.0,
                 "IntegerProduct requires integer p >= 3"
             );
         }
@@ -450,6 +455,57 @@ mod tests {
     #[should_panic(expected = "p > 2")]
     fn rejects_small_p() {
         let _ = PerfectLpParams::for_universe(8, 2.0);
+    }
+
+    #[test]
+    fn p_just_above_two_gets_nondegenerate_taylor_estimator() {
+        // Regression: `p = 2 + 1e-10` passes the `p > 2` gate and rounds to
+        // an "integer" within the 1e-9 tolerance, but the product estimator
+        // would then have `round(p) − 2 = 0` groups — a constant power
+        // estimate that silently breaks the rejection step. The boundary
+        // must fall back to the Taylor estimator with ≥ 1 group.
+        for p in [2.0 + 1e-10, 2.0 + 9e-10] {
+            let params = PerfectLpParams::for_universe(64, p);
+            assert!(
+                matches!(params.estimator, PowerEstimator::Taylor { .. }),
+                "p = {p} must take the Taylor route, got {:?}",
+                params.estimator
+            );
+            assert!(params.groups() >= 1, "p = {p}: degenerate group count");
+            assert_eq!(
+                params.l2.extra_estimators,
+                params.groups() * params.reps_per_group
+            );
+        }
+        // True integers stay on Algorithm 1's product estimator.
+        let p3 = PerfectLpParams::for_universe(64, 3.0);
+        assert_eq!(p3.estimator, PowerEstimator::IntegerProduct);
+        assert_eq!(p3.groups(), 1);
+        // An integer reached from below (still within rounding tolerance)
+        // is an integer: it must both classify as IntegerProduct *and*
+        // construct a working sampler.
+        let nudged = PerfectLpParams::for_universe(64, 3.0 - 1e-10);
+        assert_eq!(nudged.estimator, PowerEstimator::IntegerProduct);
+        assert_eq!(nudged.groups(), 1);
+        let _ = PerfectLpSampler::new(64, nudged, 1);
+    }
+
+    #[test]
+    fn p_just_above_two_sampler_works_end_to_end() {
+        // The boundary configuration must build and sample; its law is
+        // within noise of L2 (p − 2 ≈ 0), so just check it answers sanely.
+        let x = FrequencyVector::from_values(vec![4, -8, 12, 0, 6]);
+        let params = PerfectLpParams::for_universe(5, 2.0 + 1e-10);
+        let mut accepted = 0;
+        for t in 0..40u64 {
+            let mut s = PerfectLpSampler::new(5, params, 9_000 + t);
+            s.ingest_vector(&x);
+            if let Some(sample) = s.sample() {
+                accepted += 1;
+                assert_ne!(sample.index, 3, "zero coordinate sampled");
+            }
+        }
+        assert!(accepted > 10, "accepted {accepted}/40");
     }
 
     #[test]

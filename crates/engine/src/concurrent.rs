@@ -1,0 +1,498 @@
+//! The concurrent front-end: per-shard worker threads behind the same
+//! two-stage sampling engine.
+//!
+//! [`ConcurrentEngine`] is [`crate::ShardedEngine`]'s thread-parallel
+//! sibling. The decomposition is identical — a [`ShardRouter`] plans each
+//! batch into per-shard coalesced runs — but instead of applying the runs
+//! one after another, the engine owns one worker thread per shard
+//! ([`crate::worker`]) and fans the runs out over `std::sync::mpsc`
+//! channels. Linearity is what makes this safe: per-shard application
+//! commutes across shards (disjoint coordinate slices), so any interleaving
+//! of shard-local work reproduces exactly the sequential engine's state.
+//!
+//! ## Consistency model
+//!
+//! * **Per-shard FIFO.** A worker processes its queue in order, so every
+//!   query enqueued after a set of applies observes all of them.
+//! * **Cross-shard consistent cuts.** All engine methods take `&mut self`,
+//!   so no applies race a query: at query time every apply of every prior
+//!   batch is already *enqueued*, and per-shard FIFO turns the
+//!   gather-masses step of [`ConcurrentEngine::sample`] into a consistent
+//!   snapshot of per-shard `G`-masses — the same masses the sequential
+//!   engine would report.
+//! * **Pipelined ingest.** `ingest_batch` returns once the batch is
+//!   enqueued (bounded in-flight depth, recycled buffers), overlapping
+//!   router planning of batch `k+1` with shard application of batch `k`.
+//!   Call [`ConcurrentEngine::flush`] to wait for quiescence — benchmarks
+//!   must, before stopping the clock.
+//!
+//! Determinism: given the same config, factory, and call sequence, the
+//! concurrent engine produces **bit-identical** samples, masses, snapshots,
+//! and stats to `ShardedEngine` (property-tested in
+//! `tests/concurrent_equivalence.rs`) — threads change *when* shard state
+//! advances, never *what* it advances to.
+//!
+//! ```
+//! use pts_engine::{ConcurrentEngine, EngineConfig, L0Factory};
+//! use pts_stream::Update;
+//!
+//! let mut engine = ConcurrentEngine::new(
+//!     EngineConfig::new(1 << 10).shards(4).pool_size(2).seed(7),
+//!     L0Factory::default(),
+//! );
+//! engine.ingest_batch(&[Update::new(3, 5), Update::new(900, -2)]);
+//! let s = engine.sample().expect("non-zero state samples");
+//! assert!(s.index == 3 || s.index == 900);
+//! engine.prime(); // parallel pool catch-up across all shards
+//! ```
+
+use crate::config::EngineConfig;
+use crate::engine::EngineStats;
+use crate::factory::SamplerFactory;
+use crate::router::ShardRouter;
+use crate::shard::Shard;
+use crate::snapshot::EngineSnapshot;
+use crate::worker::{Request, ShardReport, ShardWorker};
+use pts_samplers::Sample;
+use pts_stream::{Stream, Update};
+use pts_util::{derive_seed, Xoshiro256pp};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// How many per-shard runs may be in flight before `ingest_batch` blocks
+/// on acknowledgements (as a multiple of the shard count — i.e. this many
+/// batches deep). Bounds queue memory without stalling the pipeline.
+const MAX_BATCHES_IN_FLIGHT: usize = 4;
+
+/// A sharded engine whose shards live on worker threads.
+///
+/// Same API and same outputs as [`crate::ShardedEngine`] (see the module
+/// docs for the determinism contract); ingest is pipelined across per-shard
+/// workers, and pool catch-up ([`ConcurrentEngine::prime`]) runs on all
+/// shards in parallel.
+#[derive(Debug)]
+pub struct ConcurrentEngine<F: SamplerFactory> {
+    config: EngineConfig,
+    factory: F,
+    router: ShardRouter,
+    workers: Vec<ShardWorker>,
+    /// Scatter scratch for router planning (buffers are moved out to
+    /// workers and replaced from `spare`).
+    plan: Vec<Vec<Update>>,
+    /// Cleared run buffers returned by workers, awaiting reuse.
+    spare: Vec<Vec<Update>>,
+    /// Acknowledgement channel: workers return emptied run buffers here.
+    ack_tx: Sender<Vec<Update>>,
+    ack_rx: Receiver<Vec<Update>>,
+    /// Runs enqueued but not yet acknowledged.
+    in_flight: usize,
+    /// Drives shard selection at query time (same stream as the sequential
+    /// engine, so selections agree draw for draw).
+    rng: Xoshiro256pp,
+    stats: EngineStats,
+}
+
+impl<F> ConcurrentEngine<F>
+where
+    F: SamplerFactory + Send + 'static,
+    F::Sampler: Send + 'static,
+{
+    /// Builds the engine and spawns one worker thread per shard. Shard
+    /// seeds match [`crate::ShardedEngine::new`] exactly.
+    ///
+    /// # Panics
+    /// Panics on a degenerate configuration.
+    pub fn new(config: EngineConfig, factory: F) -> Self {
+        config.validate();
+        let router = ShardRouter::new(config.shards, derive_seed(config.seed, 0x5A4D));
+        let workers = (0..config.shards)
+            .map(|s| {
+                ShardWorker::spawn(Shard::new(
+                    factory.clone(),
+                    config.universe,
+                    config.pool_size,
+                    derive_seed(config.seed, 0x10_000 + s as u64),
+                ))
+            })
+            .collect();
+        let plan = (0..config.shards).map(|_| Vec::new()).collect();
+        let (ack_tx, ack_rx) = channel();
+        let rng = Xoshiro256pp::from_seed_stream(config.seed, 0xD4A3);
+        Self {
+            config,
+            factory,
+            router,
+            workers,
+            plan,
+            spare: Vec::new(),
+            ack_tx,
+            ack_rx,
+            in_flight: 0,
+            rng,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The sampler factory.
+    pub fn factory(&self) -> &F {
+        &self.factory
+    }
+
+    /// Running counters. Ingest counters advance at enqueue time; queued
+    /// work is reflected in shard state once applied (see
+    /// [`ConcurrentEngine::flush`]).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Ingests a batch of turnstile updates: planned into per-shard runs on
+    /// the caller thread, applied on the shard workers. Returns once the
+    /// batch is enqueued (bounded pipeline depth) — per-shard FIFO makes
+    /// every later query observe it.
+    ///
+    /// # Panics
+    /// Panics if any update addresses a coordinate outside the universe.
+    pub fn ingest_batch(&mut self, batch: &[Update]) {
+        self.apply_batch(batch);
+        self.stats.updates += batch.len() as u64;
+        self.stats.batches += 1;
+    }
+
+    /// Plans and fans out a batch without touching the ingest counters
+    /// (shared by stream ingest and snapshot merging).
+    fn apply_batch(&mut self, batch: &[Update]) {
+        assert!(
+            batch
+                .iter()
+                .all(|u| (u.index as usize) < self.config.universe),
+            "update outside universe"
+        );
+        self.router.plan_batch(batch, &mut self.plan);
+        for s in 0..self.workers.len() {
+            if self.plan[s].is_empty() {
+                continue;
+            }
+            let run = std::mem::replace(&mut self.plan[s], self.spare.pop().unwrap_or_default());
+            self.workers[s].send(Request::Apply {
+                run,
+                done: self.ack_tx.clone(),
+            });
+            self.in_flight += 1;
+        }
+        // Recycle whatever is already done, then enforce the pipeline bound.
+        while let Ok(buf) = self.ack_rx.try_recv() {
+            self.in_flight -= 1;
+            self.spare.push(buf);
+        }
+        let cap = MAX_BATCHES_IN_FLIGHT * self.workers.len();
+        while self.in_flight > cap {
+            let buf = self.ack_rx.recv().expect("shard worker thread died");
+            self.in_flight -= 1;
+            self.spare.push(buf);
+        }
+    }
+
+    /// Blocks until every enqueued run has been applied to its shard.
+    /// Queries do not need this (per-shard FIFO already orders them after
+    /// prior applies); throughput measurements do, before stopping the
+    /// clock.
+    pub fn flush(&mut self) {
+        while self.in_flight > 0 {
+            let buf = self.ack_rx.recv().expect("shard worker thread died");
+            self.in_flight -= 1;
+            self.spare.push(buf);
+        }
+    }
+
+    /// Ingests a single update (a one-element batch; prefer
+    /// [`ConcurrentEngine::ingest_batch`] on the hot path).
+    pub fn process(&mut self, u: Update) {
+        self.ingest_batch(&[u]);
+    }
+
+    /// Ingests a whole stream in batches of `batch_len`.
+    pub fn ingest_stream(&mut self, stream: &Stream, batch_len: usize) {
+        for chunk in stream.batches(batch_len) {
+            self.ingest_batch(chunk);
+        }
+    }
+
+    /// Gathers one consistent report per shard: requests fan out first,
+    /// then replies are collected in shard order, so shards compute their
+    /// reports concurrently.
+    fn reports(&self) -> Vec<ShardReport> {
+        let receivers: Vec<_> = self
+            .workers
+            .iter()
+            .map(|w| {
+                let (reply, rx) = channel();
+                w.send(Request::Report { reply });
+                rx
+            })
+            .collect();
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker thread died"))
+            .collect()
+    }
+
+    /// Gathers the per-shard masses only — the query hot path, so it uses
+    /// the lightweight [`Request::Mass`] rather than a full report (whose
+    /// `space_bits` walks every live sampler's sketch tree).
+    fn masses(&self) -> Vec<f64> {
+        let receivers: Vec<_> = self
+            .workers
+            .iter()
+            .map(|w| {
+                let (reply, rx) = channel();
+                w.send(Request::Mass { reply });
+                rx
+            })
+            .collect();
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker thread died"))
+            .collect()
+    }
+
+    /// The exact global `G`-mass `Σ_j G(x_j)` of everything ingested.
+    pub fn mass(&self) -> f64 {
+        self.masses().iter().sum()
+    }
+
+    /// Per-shard masses (diagnostics; order matches shard ids).
+    pub fn shard_masses(&self) -> Vec<f64> {
+        self.masses()
+    }
+
+    /// Number of non-zero coordinates across all shards.
+    pub fn support(&self) -> usize {
+        self.reports().iter().map(|r| r.support).sum()
+    }
+
+    /// Draws one sample from the global law `G(x_i)/Σ_j G(x_j)` — the same
+    /// two-stage draw as [`crate::ShardedEngine::sample`]: the consistent
+    /// per-shard mass snapshot weights the shard pick, then the chosen
+    /// shard's worker draws from its pool. Returns `None` on the zero
+    /// vector or when the chosen shard's entire pool FAILs.
+    pub fn sample(&mut self) -> Option<Sample> {
+        let masses = self.masses();
+        let total: f64 = masses.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        // Shard pick ∝ mass — literally the sequential engine's code.
+        let chosen = crate::engine::pick_shard_by_mass(&mut self.rng, &masses, total);
+        let (reply, rx) = channel();
+        self.workers[chosen].send(Request::Draw { reply });
+        let out = rx.recv().expect("shard worker thread died");
+        match out {
+            Some(_) => self.stats.samples += 1,
+            None => self.stats.fails += 1,
+        }
+        out
+    }
+
+    /// Eagerly respawns every consumed pool slot, **in parallel across
+    /// shards** — each worker replays its own net vector concurrently,
+    /// which is exactly the serial hot spot of the sequential engine's lazy
+    /// respawn path. Returns the number of slots refilled.
+    pub fn prime(&mut self) -> usize {
+        let receivers: Vec<_> = self
+            .workers
+            .iter()
+            .map(|w| {
+                let (reply, rx) = channel();
+                w.send(Request::Prime { reply });
+                rx
+            })
+            .collect();
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker thread died"))
+            .sum()
+    }
+
+    /// Captures the engine's compact exact state for shipping to another
+    /// engine (see [`EngineSnapshot`]); shards serialize their slices
+    /// concurrently.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let receivers: Vec<_> = self
+            .workers
+            .iter()
+            .map(|w| {
+                let (reply, rx) = channel();
+                w.send(Request::Entries { reply });
+                rx
+            })
+            .collect();
+        let entries: Vec<(u64, i64)> = receivers
+            .into_iter()
+            .flat_map(|rx| rx.recv().expect("shard worker thread died"))
+            .collect();
+        EngineSnapshot::from_entries(self.config.universe, entries)
+    }
+
+    /// Merges another engine's snapshot into this one (see
+    /// [`crate::ShardedEngine::merge`] — identical semantics and identical
+    /// resulting state).
+    ///
+    /// # Panics
+    /// Panics on universe mismatch.
+    pub fn merge(&mut self, snapshot: &EngineSnapshot) {
+        assert_eq!(
+            self.config.universe,
+            snapshot.universe(),
+            "universe mismatch"
+        );
+        let updates = snapshot.to_updates();
+        for chunk in updates.chunks(4096) {
+            self.apply_batch(chunk);
+        }
+        self.stats.merges += 1;
+    }
+
+    /// Total respawns (lazy and eager) across all shard pools.
+    pub fn respawns(&self) -> u64 {
+        self.reports().iter().map(|r| r.respawns).sum()
+    }
+
+    /// Engine state size in bits: live sampler sketches plus compact state.
+    pub fn space_bits(&self) -> usize {
+        self.reports().iter().map(|r| r.space_bits).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::{L0Factory, LpLe2Factory};
+    use pts_stream::FrequencyVector;
+
+    fn config(n: usize, shards: usize) -> EngineConfig {
+        EngineConfig::new(n).shards(shards).pool_size(2).seed(11)
+    }
+
+    #[test]
+    fn ingest_and_mass_match_ground_truth() {
+        let f = LpLe2Factory::for_universe(64, 2.0);
+        let mut e = ConcurrentEngine::new(config(64, 4), f);
+        let x = pts_stream::gen::zipf_vector(64, 1.0, 50, 21);
+        let updates: Vec<Update> = x.iter_nonzero().map(|(i, v)| Update::new(i, v)).collect();
+        e.ingest_batch(&updates);
+        assert!((e.mass() - x.f2()).abs() < 1e-6 * x.f2());
+        assert_eq!(e.support(), x.f0());
+        assert_eq!(e.stats().updates, updates.len() as u64);
+    }
+
+    #[test]
+    fn queries_observe_enqueued_ingest_without_flush() {
+        let f = L0Factory::default();
+        let mut e = ConcurrentEngine::new(config(32, 2), f);
+        // Many tiny batches deep into the pipeline, then query immediately:
+        // per-shard FIFO must make every one visible.
+        for i in 0..32u64 {
+            e.ingest_batch(&[Update::new(i, 1)]);
+        }
+        assert_eq!(e.support(), 32);
+        e.flush();
+        assert_eq!(e.support(), 32);
+    }
+
+    #[test]
+    fn sample_mid_stream_and_repeatedly() {
+        let f = L0Factory::default();
+        let mut e = ConcurrentEngine::new(config(32, 2), f);
+        e.ingest_batch(&[Update::new(3, 5), Update::new(17, -2)]);
+        let s1 = e.sample().expect("non-zero state must sample");
+        assert!(s1.index == 3 || s1.index == 17);
+        e.ingest_batch(&[Update::new(3, -5)]);
+        for _ in 0..8 {
+            let s = e.sample().expect("index 17 survives");
+            assert_eq!(s.index, 17);
+            assert_eq!(s.estimate, -2.0);
+        }
+        assert!(e.respawns() > 0, "repeated draws must trigger respawns");
+    }
+
+    #[test]
+    fn prime_refills_all_shards_in_parallel() {
+        let f = L0Factory::default();
+        let mut e = ConcurrentEngine::new(config(64, 4), f);
+        let updates: Vec<Update> = (0..64).map(|i| Update::new(i, 1 + i as i64)).collect();
+        e.ingest_batch(&updates);
+        // Consume instances across shards, then catch up everywhere at once.
+        for _ in 0..8 {
+            let _ = e.sample();
+        }
+        let refilled = e.prime();
+        assert!(refilled > 0, "consumed slots must refill");
+        assert_eq!(e.prime(), 0, "second prime finds a full pool");
+    }
+
+    #[test]
+    fn zero_vector_returns_none() {
+        let f = L0Factory::default();
+        let mut e = ConcurrentEngine::new(config(16, 2), f);
+        assert!(e.sample().is_none());
+        e.ingest_batch(&[Update::new(4, 9), Update::new(4, -9)]);
+        assert!(e.sample().is_none());
+        assert_eq!(e.mass(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_merge_round_trips_across_engine_kinds() {
+        let f = L0Factory::default();
+        let x = pts_stream::gen::zipf_vector(64, 1.1, 40, 31);
+        let mut a = ConcurrentEngine::new(config(64, 4), f);
+        let xu: Vec<Update> = x.iter_nonzero().map(|(i, v)| Update::new(i, v)).collect();
+        a.ingest_batch(&xu);
+        // Concurrent → sequential and back: both directions are exact.
+        let snap = a.snapshot();
+        let mut seq = crate::ShardedEngine::new(config(64, 2).seed(99), f);
+        seq.merge(&snap);
+        assert_eq!(seq.snapshot().to_vector(), x);
+        let mut back = ConcurrentEngine::new(config(64, 1).seed(7), f);
+        back.merge(&seq.snapshot());
+        assert_eq!(back.snapshot().to_vector(), x);
+        assert_eq!(back.stats().merges, 1);
+        assert_eq!(back.stats().updates, 0, "merges are not ingested updates");
+    }
+
+    #[test]
+    fn deep_pipeline_is_bounded_and_flushes() {
+        let f = L0Factory::default();
+        let mut e = ConcurrentEngine::new(config(256, 4), f);
+        let x = FrequencyVector::from_values({
+            let mut v = vec![0i64; 256];
+            for (i, slot) in v.iter_mut().enumerate() {
+                *slot = (i as i64 % 5) - 2;
+            }
+            v
+        });
+        let updates: Vec<Update> = x.iter_nonzero().map(|(i, v)| Update::new(i, v)).collect();
+        for _ in 0..50 {
+            e.ingest_batch(&updates);
+            let negated: Vec<Update> = updates
+                .iter()
+                .map(|u| Update::new(u.index, -u.delta))
+                .collect();
+            e.ingest_batch(&negated);
+        }
+        e.flush();
+        assert_eq!(e.support(), 0, "everything cancelled");
+        assert_eq!(e.mass(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_updates_rejected() {
+        let f = L0Factory::default();
+        let mut e = ConcurrentEngine::new(config(16, 2), f);
+        e.ingest_batch(&[Update::new(16, 1)]);
+    }
+}

@@ -27,6 +27,24 @@ use pts_samplers::Sample;
 use pts_stream::{Stream, Update};
 use pts_util::{derive_seed, Xoshiro256pp};
 
+/// Mass-proportional shard pick shared by both front-ends. The concurrent
+/// engine's bit-identical-to-sequential contract rides on this arithmetic
+/// being *the same code*, not two copies kept in sync by hand: one RNG
+/// draw scaled by `total`, then a left-to-right subtraction scan with the
+/// last shard absorbing any floating-point residue.
+pub(crate) fn pick_shard_by_mass(rng: &mut Xoshiro256pp, masses: &[f64], total: f64) -> usize {
+    let mut r = rng.next_f64() * total;
+    let mut chosen = masses.len() - 1;
+    for (s, &mass) in masses.iter().enumerate() {
+        r -= mass;
+        if r < 0.0 {
+            chosen = s;
+            break;
+        }
+    }
+    chosen
+}
+
 /// Running counters exposed for benches and monitoring.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -55,7 +73,7 @@ pub struct ShardedEngine<F: SamplerFactory> {
     config: EngineConfig,
     factory: F,
     router: ShardRouter,
-    shards: Vec<Shard<F::Sampler>>,
+    shards: Vec<Shard<F>>,
     /// Reusable per-shard scatter buffers for batched ingest.
     plan: Vec<Vec<Update>>,
     /// Drives shard selection at query time.
@@ -75,7 +93,7 @@ impl<F: SamplerFactory> ShardedEngine<F> {
         let shards = (0..config.shards)
             .map(|s| {
                 Shard::new(
-                    &factory,
+                    factory.clone(),
                     config.universe,
                     config.pool_size,
                     derive_seed(config.seed, 0x10_000 + s as u64),
@@ -133,7 +151,7 @@ impl<F: SamplerFactory> ShardedEngine<F> {
         );
         self.router.plan_batch(batch, &mut self.plan);
         for (shard, run) in self.shards.iter_mut().zip(&self.plan) {
-            shard.apply_run(run, &self.factory);
+            shard.apply_run(run);
         }
     }
 
@@ -174,21 +192,13 @@ impl<F: SamplerFactory> ShardedEngine<F> {
     /// FAILs (bounded probability, part of the samplers' contract; see the
     /// module docs for the `δ_s^k` conditional-law caveat this implies).
     pub fn sample(&mut self) -> Option<Sample> {
-        let total: f64 = self.mass();
+        let masses: Vec<f64> = self.shards.iter().map(Shard::mass).collect();
+        let total: f64 = masses.iter().sum();
         if total <= 0.0 {
             return None;
         }
-        // Shard pick ∝ mass.
-        let mut r = self.rng.next_f64() * total;
-        let mut chosen = self.shards.len() - 1;
-        for (s, shard) in self.shards.iter().enumerate() {
-            r -= shard.mass();
-            if r < 0.0 {
-                chosen = s;
-                break;
-            }
-        }
-        let out = self.shards[chosen].draw(&self.factory, self.config.universe);
+        let chosen = pick_shard_by_mass(&mut self.rng, &masses, total);
+        let out = self.shards[chosen].draw();
         match out {
             Some(_) => self.stats.samples += 1,
             None => self.stats.fails += 1,
@@ -224,6 +234,15 @@ impl<F: SamplerFactory> ShardedEngine<F> {
             self.apply_batch(chunk);
         }
         self.stats.merges += 1;
+    }
+
+    /// Eagerly respawns every consumed pool slot in every shard (the same
+    /// catch-up a lazy respawn performs at the next draw, done now so a
+    /// query burst finds live instances). Returns the number of slots
+    /// refilled; the concurrent engine runs the same catch-up across all
+    /// shards in parallel.
+    pub fn prime(&mut self) -> usize {
+        self.shards.iter_mut().map(Shard::prime).sum()
     }
 
     /// Total lazy respawns across all shard pools.

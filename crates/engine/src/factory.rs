@@ -13,9 +13,14 @@ use pts_core::{PerfectLpParams, PerfectLpSampler, RejectionGSampler};
 use pts_samplers::{L0Params, LpLe2Batch, LpLe2Params, PerfectL0Sampler, TurnstileSampler};
 
 /// A recipe for spawning independent sampler instances over `[0, n)`.
-pub trait SamplerFactory {
-    /// The sampler type produced.
-    type Sampler: TurnstileSampler;
+///
+/// `Clone` is a supertrait because every shard owns its own copy of the
+/// factory (the ownership model that lets a shard move wholesale onto a
+/// worker thread); factories are parameter bundles, so cloning is cheap.
+pub trait SamplerFactory: Clone {
+    /// The sampler type produced. `Clone + Debug` because pooled instances
+    /// live inside clonable, debuggable engine state.
+    type Sampler: TurnstileSampler + Clone + std::fmt::Debug;
 
     /// Builds a fresh instance with the given seed. Instances built from
     /// different seeds must be independent; instances built from the same

@@ -36,6 +36,12 @@
 //!         snapshot()/merge() ── compact exact state, router-agnostic
 //! ```
 //!
+//! Two front-ends drive this data path: [`ShardedEngine`] applies the
+//! per-shard runs sequentially, and [`ConcurrentEngine`] owns one worker
+//! thread per shard and fans them out over channels — same seeds, same
+//! plans, bit-identical outputs (see the [`concurrent`] module docs for
+//! the consistency model).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -57,6 +63,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod concurrent;
 pub mod config;
 pub mod engine;
 pub mod factory;
@@ -64,11 +71,14 @@ pub mod pool;
 pub mod router;
 pub mod shard;
 pub mod snapshot;
+pub mod worker;
 
+pub use concurrent::ConcurrentEngine;
 pub use config::EngineConfig;
 pub use engine::{EngineStats, ShardedEngine};
 pub use factory::{L0Factory, LogGFactory, LpLe2Factory, PerfectLpFactory, SamplerFactory};
 pub use pool::SamplerPool;
 pub use router::ShardRouter;
-pub use shard::Shard;
+pub use shard::{Shard, ShardState};
 pub use snapshot::EngineSnapshot;
+pub use worker::ShardReport;

@@ -83,6 +83,28 @@ impl<S: TurnstileSampler> SamplerPool<S> {
         }
     }
 
+    /// Eagerly respawns every consumed slot from the current `net` state,
+    /// returning how many slots were refilled. Semantically this is the same
+    /// catch-up a lazy respawn performs at the next draw — done now, off the
+    /// query path, so the refills count toward [`SamplerPool::respawns`].
+    /// The concurrent engine fans this out across shard workers, which is
+    /// what turns the serial replay-the-whole-net-vector hot spot into a
+    /// parallel one.
+    pub fn refill<F>(&mut self, factory: &F, universe: usize, net: &BTreeMap<u64, i64>) -> usize
+    where
+        F: SamplerFactory<Sampler = S>,
+    {
+        let mut refilled = 0;
+        for j in 0..self.slots.len() {
+            if self.slots[j].is_none() {
+                self.slots[j] = Some(self.spawn(factory, universe, net));
+                refilled += 1;
+            }
+        }
+        self.respawns += refilled as u64;
+        refilled
+    }
+
     /// Builds a fresh instance with a never-reused seed and catches it up
     /// from the compact net state (exact, by linearity).
     fn spawn<F>(&mut self, factory: &F, universe: usize, net: &BTreeMap<u64, i64>) -> S
@@ -187,6 +209,21 @@ mod tests {
             }
         }
         assert!(seen[1] && seen[11], "draws locked to one coordinate");
+    }
+
+    #[test]
+    fn refill_respawns_only_consumed_slots() {
+        let f = L0Factory::default();
+        let net = net_of(&[(2, 3)]);
+        let mut pool: SamplerPool<_> = SamplerPool::new(3, 13);
+        pool.prime(&f, 16, &net);
+        assert_eq!(pool.refill(&f, 16, &net), 0, "full pool needs no refill");
+        assert!(pool.draw(&f, 16, &net).is_some());
+        assert!(pool.draw(&f, 16, &net).is_some());
+        assert_eq!(pool.live(), 1);
+        assert_eq!(pool.refill(&f, 16, &net), 2);
+        assert_eq!(pool.live(), 3);
+        assert_eq!(pool.respawns(), 2, "eager refills count as respawns");
     }
 
     #[test]

@@ -13,6 +13,19 @@
 //! 3. **Snapshot payload** — the entries are what `snapshot()` ships to a
 //!    coordinator.
 //!
+//! ## Ownership model
+//!
+//! A shard **owns everything it needs to evolve**: its factory copy, its
+//! universe bound, its pool, and its net state. Nothing outside the shard
+//! may mutate the net vector or the live instances — every mutation goes
+//! through [`Shard::apply_run`] (which advances compact state, mass, and
+//! live instances *in lockstep*) or [`Shard::draw`]/[`Shard::prime`] (which
+//! only consume/respawn pool instances and never touch the net state).
+//! This is what makes a shard a unit of concurrency: hand the whole value
+//! to a worker thread and the lockstep invariant cannot be violated from
+//! outside. The [`ShardState`] trait is the narrow, object-safe,
+//! `Send`-able surface the concurrent front-end's workers drive.
+//!
 //! Space accounting: the sparse net state is `O(nnz)` for the shard's
 //! slice — this is the price of always-queryable respawn, paid once per
 //! shard regardless of pool size, and it is the engine's only non-sketch
@@ -24,26 +37,66 @@ use pts_samplers::Sample;
 use pts_stream::Update;
 use std::collections::BTreeMap;
 
-/// A shard: pool + compact state + incremental mass.
+/// The narrow surface a shard exposes to a driver that owns it exclusively
+/// (the sequential engine, or one worker thread of the concurrent engine).
+///
+/// Everything a worker can be asked to do is here and nothing more: apply a
+/// coalesced run, draw, eagerly respawn the pool, and report state. The
+/// `Send` supertrait is the point — any implementor can be moved onto a
+/// worker thread wholesale.
+pub trait ShardState: Send {
+    /// Applies a coalesced run of updates to compact state, mass, and every
+    /// live pool instance, in lockstep.
+    fn apply_run(&mut self, run: &[Update]);
+
+    /// Draws one sample from the shard's slice (⊥ retried across the pool).
+    fn draw(&mut self) -> Option<Sample>;
+
+    /// Eagerly respawns every consumed pool slot from the net state,
+    /// returning how many slots were refilled.
+    fn prime(&mut self) -> usize;
+
+    /// The exact `G`-mass of the slice.
+    fn mass(&self) -> f64;
+
+    /// Number of non-zero coordinates in the slice.
+    fn support(&self) -> usize;
+
+    /// The sparse net entries (sorted by index), materialized for shipping.
+    fn snapshot_entries(&self) -> Vec<(u64, i64)>;
+
+    /// Lazy respawns performed by the pool (eager refills included).
+    fn respawns(&self) -> u64;
+
+    /// Live pool instances.
+    fn live(&self) -> usize;
+
+    /// Sketch bits of live instances plus compact-state bits.
+    fn space_bits(&self) -> usize;
+}
+
+/// A shard: factory + pool + compact state + incremental mass.
 #[derive(Debug, Clone)]
-pub struct Shard<S> {
-    pool: SamplerPool<S>,
+pub struct Shard<F: SamplerFactory> {
+    factory: F,
+    universe: usize,
+    pool: SamplerPool<F::Sampler>,
     /// Sparse net values of this shard's slice (zero entries removed).
     net: BTreeMap<u64, i64>,
     /// Incrementally maintained `Σ_i G(x_i)` over the slice.
     mass: f64,
 }
 
-impl<S: pts_samplers::TurnstileSampler> Shard<S> {
-    /// A shard with a primed pool of `pool_size` instances.
-    pub fn new<F>(factory: &F, universe: usize, pool_size: usize, seed: u64) -> Self
-    where
-        F: SamplerFactory<Sampler = S>,
-    {
+impl<F: SamplerFactory> Shard<F> {
+    /// A shard with a primed pool of `pool_size` instances, owning its copy
+    /// of the factory.
+    pub fn new(factory: F, universe: usize, pool_size: usize, seed: u64) -> Self {
         let mut pool = SamplerPool::new(pool_size, seed);
         let net = BTreeMap::new();
-        pool.prime(factory, universe, &net);
+        pool.prime(&factory, universe, &net);
         Self {
+            factory,
+            universe,
             pool,
             net,
             mass: 0.0,
@@ -52,15 +105,12 @@ impl<S: pts_samplers::TurnstileSampler> Shard<S> {
 
     /// Applies a coalesced run of updates: compact state, mass, and every
     /// live pool instance advance together.
-    pub fn apply_run<F>(&mut self, run: &[Update], factory: &F)
-    where
-        F: SamplerFactory<Sampler = S>,
-    {
+    pub fn apply_run(&mut self, run: &[Update]) {
         for &u in run {
             debug_assert!(u.delta != 0, "router must drop zero deltas");
             let old = self.net.get(&u.index).copied().unwrap_or(0);
             let new = old + u.delta;
-            self.mass += factory.weight(new) - factory.weight(old);
+            self.mass += self.factory.weight(new) - self.factory.weight(old);
             if new == 0 {
                 self.net.remove(&u.index);
             } else {
@@ -93,11 +143,16 @@ impl<S: pts_samplers::TurnstileSampler> Shard<S> {
 
     /// Draws one sample from this shard's slice (⊥ retried across the
     /// pool; consumed instances respawn lazily from the compact state).
-    pub fn draw<F>(&mut self, factory: &F, universe: usize) -> Option<Sample>
-    where
-        F: SamplerFactory<Sampler = S>,
-    {
-        self.pool.draw(factory, universe, &self.net)
+    pub fn draw(&mut self) -> Option<Sample> {
+        self.pool.draw(&self.factory, self.universe, &self.net)
+    }
+
+    /// Eagerly respawns every consumed pool slot by replaying the net
+    /// vector (the same catch-up a lazy respawn would do at the next draw,
+    /// done now so draws find live instances). Returns the number of slots
+    /// refilled.
+    pub fn prime(&mut self) -> usize {
+        self.pool.refill(&self.factory, self.universe, &self.net)
     }
 
     /// Lazy respawns performed by this shard's pool.
@@ -117,6 +172,48 @@ impl<S: pts_samplers::TurnstileSampler> Shard<S> {
     }
 }
 
+impl<F> ShardState for Shard<F>
+where
+    F: SamplerFactory + Send,
+    F::Sampler: Send,
+{
+    fn apply_run(&mut self, run: &[Update]) {
+        Shard::apply_run(self, run);
+    }
+
+    fn draw(&mut self) -> Option<Sample> {
+        Shard::draw(self)
+    }
+
+    fn prime(&mut self) -> usize {
+        Shard::prime(self)
+    }
+
+    fn mass(&self) -> f64 {
+        Shard::mass(self)
+    }
+
+    fn support(&self) -> usize {
+        Shard::support(self)
+    }
+
+    fn snapshot_entries(&self) -> Vec<(u64, i64)> {
+        self.entries().collect()
+    }
+
+    fn respawns(&self) -> u64 {
+        Shard::respawns(self)
+    }
+
+    fn live(&self) -> usize {
+        Shard::live(self)
+    }
+
+    fn space_bits(&self) -> usize {
+        Shard::space_bits(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,13 +222,13 @@ mod tests {
     #[test]
     fn mass_tracks_updates_incrementally() {
         let f = LpLe2Factory::for_universe(64, 2.0);
-        let mut shard: Shard<_> = Shard::new(&f, 64, 1, 3);
-        shard.apply_run(&[Update::new(5, 3)], &f);
+        let mut shard = Shard::new(f, 64, 1, 3);
+        shard.apply_run(&[Update::new(5, 3)]);
         assert!((shard.mass() - 9.0).abs() < 1e-9);
-        shard.apply_run(&[Update::new(5, -1), Update::new(9, 2)], &f);
+        shard.apply_run(&[Update::new(5, -1), Update::new(9, 2)]);
         assert!((shard.mass() - (4.0 + 4.0)).abs() < 1e-9);
         // Full cancellation: support and mass return to exactly zero.
-        shard.apply_run(&[Update::new(5, -2), Update::new(9, -2)], &f);
+        shard.apply_run(&[Update::new(5, -2), Update::new(9, -2)]);
         assert_eq!(shard.support(), 0);
         assert_eq!(shard.mass(), 0.0);
     }
@@ -139,9 +236,9 @@ mod tests {
     #[test]
     fn entries_are_net_values() {
         let f = L0Factory::default();
-        let mut shard: Shard<_> = Shard::new(&f, 32, 1, 4);
-        shard.apply_run(&[Update::new(8, 10)], &f);
-        shard.apply_run(&[Update::new(8, -3), Update::new(2, 1)], &f);
+        let mut shard = Shard::new(f, 32, 1, 4);
+        shard.apply_run(&[Update::new(8, 10)]);
+        shard.apply_run(&[Update::new(8, -3), Update::new(2, 1)]);
         let got: Vec<(u64, i64)> = shard.entries().collect();
         assert_eq!(got, vec![(2, 1), (8, 7)]);
     }
@@ -149,12 +246,46 @@ mod tests {
     #[test]
     fn draw_returns_exact_values_for_l0() {
         let f = L0Factory::default();
-        let mut shard: Shard<_> = Shard::new(&f, 32, 2, 5);
-        shard.apply_run(&[Update::new(3, -4), Update::new(21, 6)], &f);
+        let mut shard = Shard::new(f, 32, 2, 5);
+        shard.apply_run(&[Update::new(3, -4), Update::new(21, 6)]);
         for _ in 0..10 {
-            let s = shard.draw(&f, 32).expect("sparse slice must sample");
+            let s = shard.draw().expect("sparse slice must sample");
             let want = if s.index == 3 { -4.0 } else { 6.0 };
             assert_eq!(s.estimate, want);
         }
+    }
+
+    #[test]
+    fn prime_refills_consumed_slots() {
+        let f = L0Factory::default();
+        let mut shard = Shard::new(f, 32, 2, 6);
+        shard.apply_run(&[Update::new(4, 9)]);
+        assert_eq!(shard.live(), 2);
+        let _ = shard.draw();
+        let _ = shard.draw();
+        assert_eq!(shard.live(), 0);
+        // Eager catch-up: both slots respawn from the net state now.
+        assert_eq!(shard.prime(), 2);
+        assert_eq!(shard.live(), 2);
+        assert_eq!(shard.respawns(), 2);
+        // The refilled instances reflect the net vector exactly.
+        let s = shard.draw().expect("primed instance samples");
+        assert_eq!(s.index, 4);
+        assert_eq!(s.estimate, 9.0);
+    }
+
+    #[test]
+    fn shard_is_usable_through_the_narrow_trait() {
+        fn drive<C: ShardState>(cell: &mut C) -> Option<Sample> {
+            cell.apply_run(&[Update::new(7, 2)]);
+            cell.prime();
+            assert_eq!(cell.support(), 1);
+            assert_eq!(cell.snapshot_entries(), vec![(7, 2)]);
+            cell.draw()
+        }
+        let f = L0Factory::default();
+        let mut shard = Shard::new(f, 16, 1, 8);
+        let s = drive(&mut shard).expect("must sample");
+        assert_eq!(s.index, 7);
     }
 }

@@ -1,0 +1,229 @@
+//! Per-shard worker threads: the concurrency unit of the
+//! [`crate::ConcurrentEngine`].
+//!
+//! One worker owns one [`ShardState`] exclusively and drives it from a
+//! `std::sync::mpsc` request queue. Exclusive ownership is the whole
+//! concurrency story: a shard's net vector and its live pool instances only
+//! ever mutate in lockstep inside `apply_run`, and because exactly one
+//! thread holds the shard, no lock is needed to preserve that invariant —
+//! the channel *is* the synchronization. Requests from the front-end are
+//! processed strictly in FIFO order, which gives the engine sequential
+//! consistency per shard for free: a mass/draw/entries request enqueued
+//! after a set of applies observes all of them.
+//!
+//! Shutdown is by hang-up: dropping the request sender ends the worker's
+//! `recv` loop, and [`ShardWorker::drop`] joins the thread.
+
+use crate::shard::ShardState;
+use pts_samplers::Sample;
+use pts_stream::Update;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A point-in-time report of one shard's state, produced on its worker
+/// thread after all previously enqueued work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardReport {
+    /// The exact `G`-mass of the shard's slice.
+    pub mass: f64,
+    /// Non-zero coordinates in the slice.
+    pub support: usize,
+    /// Respawns performed by the shard's pool (lazy and eager).
+    pub respawns: u64,
+    /// Live pool instances.
+    pub live: usize,
+    /// Sketch bits of live instances plus compact-state bits.
+    pub space_bits: usize,
+}
+
+/// A request to a shard worker. Replies go through the sender embedded in
+/// the request, so the front-end decides per call whether to block.
+pub(crate) enum Request {
+    /// Apply a coalesced run. The emptied buffer is returned through `done`
+    /// both as a completion acknowledgement (backpressure) and so the
+    /// front-end can recycle the allocation.
+    Apply {
+        /// The coalesced per-shard run.
+        run: Vec<Update>,
+        /// Receives the cleared buffer when the run has been applied.
+        done: Sender<Vec<Update>>,
+    },
+    /// Report just the shard's `G`-mass — the query hot path. A full
+    /// [`Request::Report`] walks every live sampler's sketch tree for
+    /// `space_bits`, which is far too expensive to pay per draw.
+    Mass { reply: Sender<f64> },
+    /// Eagerly respawn consumed pool slots; replies with the refill count.
+    Prime { reply: Sender<usize> },
+    /// Draw one sample from the shard.
+    Draw { reply: Sender<Option<Sample>> },
+    /// Report mass/support/respawns/live/space.
+    Report { reply: Sender<ShardReport> },
+    /// Ship the shard's sparse net entries.
+    Entries { reply: Sender<Vec<(u64, i64)>> },
+}
+
+/// Handle to one spawned shard worker: the request sender plus the join
+/// handle. Dropping the handle hangs up the channel and joins the thread.
+#[derive(Debug)]
+pub(crate) struct ShardWorker {
+    tx: Option<Sender<Request>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ShardWorker {
+    /// Moves `shard` onto a fresh worker thread and returns its handle.
+    pub fn spawn<C: ShardState + 'static>(shard: C) -> Self {
+        let (tx, rx): (Sender<Request>, Receiver<Request>) = channel();
+        let handle = std::thread::Builder::new()
+            .name("pts-shard-worker".into())
+            .spawn(move || run_loop(shard, rx))
+            .expect("failed to spawn shard worker thread");
+        Self {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueues a request; panics if the worker died (it only dies if a
+    /// shard operation panicked, which the engine's pre-validation rules
+    /// out for well-formed input).
+    pub fn send(&self, req: Request) {
+        self.tx
+            .as_ref()
+            .expect("worker already shut down")
+            .send(req)
+            .expect("shard worker thread died");
+    }
+
+    /// Convenience round-trip: report the shard's current state.
+    #[cfg(test)]
+    pub fn report(&self) -> ShardReport {
+        let (reply, rx) = channel();
+        self.send(Request::Report { reply });
+        rx.recv().expect("shard worker thread died")
+    }
+}
+
+impl Drop for ShardWorker {
+    fn drop(&mut self) {
+        // Hang up, then join. The worker drains any queued applies first
+        // (their `done` sends may fail harmlessly if the engine is gone).
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The worker loop: exclusive shard ownership, FIFO request processing.
+fn run_loop<C: ShardState>(mut shard: C, rx: Receiver<Request>) {
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::Apply { mut run, done } => {
+                shard.apply_run(&run);
+                run.clear();
+                // The engine may already have dropped its receiver
+                // (shutdown with work in flight) — that is fine.
+                let _ = done.send(run);
+            }
+            Request::Mass { reply } => {
+                let _ = reply.send(shard.mass());
+            }
+            Request::Prime { reply } => {
+                let _ = reply.send(shard.prime());
+            }
+            Request::Draw { reply } => {
+                let _ = reply.send(shard.draw());
+            }
+            Request::Report { reply } => {
+                let _ = reply.send(ShardReport {
+                    mass: shard.mass(),
+                    support: shard.support(),
+                    respawns: shard.respawns(),
+                    live: shard.live(),
+                    space_bits: shard.space_bits(),
+                });
+            }
+            Request::Entries { reply } => {
+                let _ = reply.send(shard.snapshot_entries());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::L0Factory;
+    use crate::shard::Shard;
+
+    fn worker() -> ShardWorker {
+        ShardWorker::spawn(Shard::new(L0Factory::default(), 32, 2, 7))
+    }
+
+    #[test]
+    fn fifo_apply_then_report_sees_all_updates() {
+        let w = worker();
+        let (done, done_rx) = channel();
+        for i in 0..10u64 {
+            w.send(Request::Apply {
+                run: vec![Update::new(i, (i + 1) as i64)],
+                done: done.clone(),
+            });
+        }
+        // The report is enqueued after every apply, so FIFO guarantees it
+        // observes all of them — without waiting on the acks first.
+        let r = w.report();
+        assert_eq!(r.support, 10);
+        assert_eq!(r.live, 2);
+        // All ten buffers come back cleared for recycling.
+        for _ in 0..10 {
+            assert!(done_rx.recv().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn draw_and_prime_round_trips() {
+        let w = worker();
+        let (done, done_rx) = channel();
+        w.send(Request::Apply {
+            run: vec![Update::new(3, 5)],
+            done,
+        });
+        done_rx.recv().unwrap();
+        let (reply, rx) = channel();
+        w.send(Request::Draw { reply });
+        let s = rx.recv().unwrap().expect("non-zero shard samples");
+        assert_eq!(s.index, 3);
+        let (reply, rx) = channel();
+        w.send(Request::Prime { reply });
+        assert_eq!(rx.recv().unwrap(), 1, "one consumed slot refilled");
+    }
+
+    #[test]
+    fn entries_ship_the_net_state() {
+        let w = worker();
+        let (done, done_rx) = channel();
+        w.send(Request::Apply {
+            run: vec![Update::new(8, 4), Update::new(1, -2)],
+            done,
+        });
+        done_rx.recv().unwrap();
+        let (reply, rx) = channel();
+        w.send(Request::Entries { reply });
+        assert_eq!(rx.recv().unwrap(), vec![(1, -2), (8, 4)]);
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_work_in_flight() {
+        let w = worker();
+        let (done, _done_rx) = channel();
+        for i in 0..100u64 {
+            w.send(Request::Apply {
+                run: vec![Update::new(i % 32, 1)],
+                done: done.clone(),
+            });
+        }
+        drop(w); // must not hang or panic
+    }
+}

@@ -1,0 +1,100 @@
+//! The concurrent engine's determinism contract: under a fixed seed and
+//! the same call sequence, [`ConcurrentEngine`] is **bit-identical** to
+//! [`ShardedEngine`] — same samples in the same order, same masses, same
+//! snapshots, same stats. Threads change when shard state advances, never
+//! what it advances to: shard seeds, router plans, per-shard run order,
+//! and the query-side RNG stream are all shared, so any divergence is a
+//! real synchronization bug, not noise.
+
+use pts_engine::{
+    ConcurrentEngine, EngineConfig, L0Factory, LpLe2Factory, SamplerFactory, ShardedEngine,
+};
+use pts_stream::{Stream, StreamStyle, Update};
+use pts_util::Xoshiro256pp;
+
+fn lockstep<F>(config: EngineConfig, factory: F, seed: u64)
+where
+    F: SamplerFactory + Send + 'static,
+    F::Sampler: Send + 'static,
+{
+    let mut seq = ShardedEngine::new(config, factory.clone());
+    let mut conc = ConcurrentEngine::new(config, factory);
+
+    let x = pts_stream::gen::zipf_vector(config.universe, 1.1, 120, seed);
+    let mut rng = Xoshiro256pp::new(seed ^ 0xC0FFEE);
+    let stream = Stream::from_target(&x, StreamStyle::Turnstile { churn: 0.9 }, &mut rng);
+
+    // Interleave ingest and query bursts; compare *every* draw.
+    for (round, chunk) in stream.batches(37).enumerate() {
+        seq.ingest_batch(chunk);
+        conc.ingest_batch(chunk);
+        if round % 3 == 0 {
+            for _ in 0..4 {
+                assert_eq!(
+                    seq.sample(),
+                    conc.sample(),
+                    "draw diverged at round {round}"
+                );
+            }
+            assert_eq!(seq.mass(), conc.mass(), "mass diverged at round {round}");
+        }
+    }
+    // Final state: masses, support, snapshot, and stats all bit-identical.
+    assert_eq!(seq.shard_masses(), conc.shard_masses());
+    assert_eq!(seq.support(), conc.support());
+    assert_eq!(seq.snapshot(), conc.snapshot());
+    assert_eq!(seq.stats(), conc.stats());
+    // Tail burst: keep drawing well past pool capacity so both engines go
+    // through their (identical) lazy-respawn seed streams.
+    for i in 0..24 {
+        assert_eq!(seq.sample(), conc.sample(), "tail draw {i} diverged");
+    }
+    assert_eq!(seq.respawns(), conc.respawns());
+    assert_eq!(seq.stats(), conc.stats());
+}
+
+#[test]
+fn concurrent_engine_is_bit_identical_to_sequential_l0() {
+    for shards in [1usize, 2, 8] {
+        let config = EngineConfig::new(96)
+            .shards(shards)
+            .pool_size(2)
+            .seed(1000 + shards as u64);
+        lockstep(config, L0Factory::default(), 5 + shards as u64);
+    }
+}
+
+#[test]
+fn concurrent_engine_is_bit_identical_to_sequential_l2() {
+    let config = EngineConfig::new(64).shards(4).pool_size(3).seed(4242);
+    lockstep(config, LpLe2Factory::for_universe(64, 2.0), 99);
+}
+
+#[test]
+fn merge_paths_agree_across_engine_kinds() {
+    // A sequential engine and a concurrent engine each ingest half the
+    // stream; merging either snapshot into the other kind reproduces the
+    // exact sum, and the merged engines keep agreeing draw for draw.
+    let f = L0Factory::default();
+    let config = EngineConfig::new(48).shards(3).pool_size(2).seed(7);
+    let x = pts_stream::gen::zipf_vector(48, 1.0, 40, 21);
+    let y = pts_stream::gen::zipf_vector(48, 1.0, 40, 22);
+    let xu: Vec<Update> = x.iter_nonzero().map(|(i, v)| Update::new(i, v)).collect();
+    let yu: Vec<Update> = y.iter_nonzero().map(|(i, v)| Update::new(i, v)).collect();
+
+    let mut seq = ShardedEngine::new(config, f);
+    seq.ingest_batch(&xu);
+    let mut conc = ConcurrentEngine::new(config, f);
+    conc.ingest_batch(&xu);
+    let mut other = ShardedEngine::new(EngineConfig::new(48).shards(5).seed(99), f);
+    other.ingest_batch(&yu);
+    let snap = other.snapshot();
+
+    seq.merge(&snap);
+    conc.merge(&snap);
+    assert_eq!(seq.snapshot().to_vector(), x.add(&y));
+    assert_eq!(seq.snapshot(), conc.snapshot());
+    for _ in 0..12 {
+        assert_eq!(seq.sample(), conc.sample());
+    }
+}

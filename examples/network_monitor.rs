@@ -14,11 +14,58 @@
 //! respawns from compact per-shard state.
 //!
 //! Run with: `cargo run --release --example network_monitor`
+//!
+//! Pass `--concurrent` to serve the same traffic through the threaded
+//! front-end (`ConcurrentEngine`): one worker thread per shard, pipelined
+//! ingest, and a parallel pool catch-up (`prime`) between the mid-stream
+//! probe and the query burst. The report is identical by the engines'
+//! determinism contract — only the wall-clock changes.
 
 use perfect_sampling::prelude::*;
 use std::collections::HashMap;
 
+/// The two serving modes, behind one trait object-free facade: both
+/// engines expose the same methods, so the example abstracts them with an
+/// enum rather than generics.
+enum Monitor {
+    Sequential(ShardedEngine<PerfectLpFactory>),
+    Concurrent(ConcurrentEngine<PerfectLpFactory>),
+}
+
+impl Monitor {
+    fn ingest_batch(&mut self, batch: &[Update]) {
+        match self {
+            Monitor::Sequential(e) => e.ingest_batch(batch),
+            Monitor::Concurrent(e) => e.ingest_batch(batch),
+        }
+    }
+
+    fn sample(&mut self) -> Option<Sample> {
+        match self {
+            Monitor::Sequential(e) => e.sample(),
+            Monitor::Concurrent(e) => e.sample(),
+        }
+    }
+
+    /// Eager pool catch-up before a query burst (parallel across shards in
+    /// concurrent mode).
+    fn prime(&mut self) -> usize {
+        match self {
+            Monitor::Sequential(e) => e.prime(),
+            Monitor::Concurrent(e) => e.prime(),
+        }
+    }
+
+    fn respawns(&self) -> u64 {
+        match self {
+            Monitor::Sequential(e) => e.respawns(),
+            Monitor::Concurrent(e) => e.respawns(),
+        }
+    }
+}
+
 fn main() {
+    let concurrent = std::env::args().any(|a| a == "--concurrent");
     let n = 96; // source universe (hashed /24s, say)
     let seed = 7u64;
 
@@ -45,13 +92,19 @@ fn main() {
         .iter()
         .map(|&a| (flows.value(a).abs() as f64).powf(4.0) / f4)
         .sum();
-    println!("attackers hold {:.2}% of F4\n", attacker_share * 100.0);
+    println!("attackers hold {:.2}% of F4", attacker_share * 100.0);
 
-    // One engine, perfect L4 law, 2 shards × 2 pooled samplers.
-    let mut engine = ShardedEngine::new(
-        EngineConfig::new(n).shards(2).pool_size(2).seed(seed),
-        PerfectLpFactory::for_universe(n, 4.0),
-    );
+    // One engine, perfect L4 law, 2 shards × 2 pooled samplers — threaded
+    // or not, same seeds, same draws.
+    let config = EngineConfig::new(n).shards(2).pool_size(2).seed(seed);
+    let factory = PerfectLpFactory::for_universe(n, 4.0);
+    let mut engine = if concurrent {
+        println!("mode: concurrent (one worker thread per shard)\n");
+        Monitor::Concurrent(ConcurrentEngine::new(config, factory))
+    } else {
+        println!("mode: sequential (pass --concurrent for the threaded front-end)\n");
+        Monitor::Sequential(ShardedEngine::new(config, factory))
+    };
 
     // Ingest the first half of the traffic, then probe MID-STREAM: the
     // engine answers while the attack is still in flight.
@@ -70,10 +123,15 @@ fn main() {
         }
     );
 
-    // Finish the stream, then draw 16 L4 samples from the same engine.
+    // Finish the stream, then catch the pools up *before* the query burst
+    // (in concurrent mode every shard replays its net vector in parallel).
     for batch in second_half.chunks(128) {
         engine.ingest_batch(batch);
     }
+    let refilled = engine.prime();
+    println!("pool catch-up before the burst: {refilled} slot(s) refilled");
+
+    // Draw 16 L4 samples from the same engine.
     let draws = 16;
     let mut hits: HashMap<u64, u32> = HashMap::new();
     let mut fails = 0;
@@ -99,7 +157,7 @@ fn main() {
         .filter(|(s, c)| attackers.contains(s) && *c >= 2)
         .count();
     println!(
-        "\ndetected {caught}/{} attackers with >=2 hits ({} lazy respawns served the draws)",
+        "\ndetected {caught}/{} attackers with >=2 hits ({} respawns served the draws)",
         attackers.len(),
         engine.respawns()
     );

@@ -46,6 +46,10 @@
 //! assert!(s.index == 3 || s.index == 900);
 //! ```
 //!
+//! Under heavy traffic, [`pts_engine::ConcurrentEngine`] is the same engine
+//! with one worker thread per shard — identical outputs (bit-for-bit, same
+//! seeds), pipelined batched ingest, and parallel pool catch-up.
+//!
 //! ## Crate map
 //!
 //! * [`pts_engine`] — the sharded, mergeable, always-queryable engine
@@ -82,8 +86,8 @@ pub mod prelude {
         SubsetNormParams,
     };
     pub use pts_engine::{
-        EngineConfig, EngineSnapshot, EngineStats, L0Factory, LogGFactory, LpLe2Factory,
-        PerfectLpFactory, SamplerFactory, ShardedEngine,
+        ConcurrentEngine, EngineConfig, EngineSnapshot, EngineStats, L0Factory, LogGFactory,
+        LpLe2Factory, PerfectLpFactory, SamplerFactory, ShardedEngine,
     };
     pub use pts_samplers::{
         L0Params, LpLe2Batch, LpLe2Params, PerfectL0Sampler, PerfectLpLe2Sampler, PrecisionParams,
