@@ -1,23 +1,41 @@
 //! `reproduce` — regenerate the paper's tables and figures.
 //!
 //! Usage:
-//!   reproduce                # run every experiment in quick mode
-//!   reproduce e1 e4 a1       # run a subset
-//!   reproduce --full         # full trial counts (the EXPERIMENTS.md record)
-//!   reproduce --list         # list experiment ids
+//!   reproduce                    # run every experiment in quick mode
+//!   reproduce e1 e4 a1           # run a subset
+//!   reproduce --full             # full trial counts (the EXPERIMENTS.md record)
+//!   reproduce --list             # list experiment ids
+//!   reproduce --json <dir> s1 w1 # also write machine-readable BENCH_<id>.json
+//!                                # files into <dir> (created if missing) —
+//!                                # what CI uploads as the per-commit perf
+//!                                # artifact
 
-use pts_bench::registry;
+use pts_bench::{json, registry};
 use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let list = args.iter().any(|a| a == "--list");
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let json_dir: Option<std::path::PathBuf> =
+        args.iter()
+            .position(|a| a == "--json")
+            .map(|i| match args.get(i + 1) {
+                Some(dir) if !dir.starts_with("--") => std::path::PathBuf::from(dir),
+                _ => {
+                    eprintln!("--json requires a directory argument");
+                    std::process::exit(2);
+                }
+            });
+    let wanted: Vec<&str> = {
+        // Skip flag tokens and the --json value when collecting ids.
+        let json_value_idx = args.iter().position(|a| a == "--json").map(|i| i + 1);
+        args.iter()
+            .enumerate()
+            .filter(|(i, a)| !a.starts_with("--") && Some(*i) != json_value_idx)
+            .map(|(_, a)| a.as_str())
+            .collect()
+    };
 
     let experiments = registry();
     if list {
@@ -25,6 +43,12 @@ fn main() {
             println!("{:>4}  {}", e.id, e.title);
         }
         return;
+    }
+    if let Some(dir) = &json_dir {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --json directory {}: {err}", dir.display());
+            std::process::exit(2);
+        }
     }
 
     let mut stdout = std::io::stdout().lock();
@@ -37,13 +61,22 @@ fn main() {
         let _ = writeln!(stdout, "## {} — {}\n", e.id, e.title);
         let started = std::time::Instant::now();
         let table = (e.run)(!full);
+        let seconds = started.elapsed().as_secs_f64();
         let _ = writeln!(
             stdout,
-            "{}\n_({} rows in {:.1}s)_\n",
+            "{}\n_({} rows in {seconds:.1}s)_\n",
             table.to_markdown(),
             table.len(),
-            started.elapsed().as_secs_f64()
         );
         let _ = stdout.flush();
+        if let Some(dir) = &json_dir {
+            let doc = json::experiment_json(e.id, e.title, mode, seconds, &table);
+            let path = dir.join(format!("BENCH_{}.json", e.id));
+            if let Err(err) = std::fs::write(&path, doc) {
+                eprintln!("cannot write {}: {err}", path.display());
+                std::process::exit(2);
+            }
+            let _ = writeln!(stdout, "_json → {}_\n", path.display());
+        }
     }
 }

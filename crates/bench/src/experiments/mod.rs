@@ -13,6 +13,7 @@ pub mod space;
 pub mod table1;
 pub mod throughput;
 pub mod timing;
+pub mod wire;
 
 use pts_util::Table;
 
@@ -103,6 +104,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "t1",
             title: "T1 — concurrent engine thread scaling, T in {1,2,4,8} (pts-engine)",
             run: throughput::t1_thread_scaling,
+        },
+        Experiment {
+            id: "w1",
+            title: "W1 — durable snapshot/checkpoint bytes vs n, p, shards (wire format)",
+            run: wire::w1_snapshot_size,
         },
         Experiment {
             id: "a1",

@@ -1,0 +1,75 @@
+//! Machine-readable experiment output: one `BENCH_<id>.json` per run.
+//!
+//! The CI perf trajectory needs numbers a script can diff, not markdown a
+//! human must re-parse. Each document carries the experiment id, title,
+//! mode, wall-clock seconds, and the full table (header + rows) exactly as
+//! rendered. Hand-rolled serialization — the only JSON this workspace emits
+//! is flat strings and numbers, which does not justify a serde dependency
+//! (the build environment has no registry access anyway).
+
+use pts_util::Table;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal (quotes, backslashes,
+/// control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|c| format!("\"{}\"", escape(c))).collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// Renders one experiment run as a standalone JSON document.
+pub fn experiment_json(id: &str, title: &str, mode: &str, seconds: f64, table: &Table) -> String {
+    let rows: Vec<String> = table.rows().iter().map(|r| string_array(r)).collect();
+    format!(
+        "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"mode\": \"{}\",\n  \
+         \"seconds\": {:.3},\n  \"header\": {},\n  \"rows\": [{}]\n}}\n",
+        escape(id),
+        escape(title),
+        escape(mode),
+        seconds,
+        string_array(table.header()),
+        rows.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn renders_parseable_shape() {
+        let mut t = Table::new(["n", "rate"]);
+        t.push_row(["1024", "3.5e6"]);
+        let doc = experiment_json("s1", "title \"quoted\"", "quick", 1.25, &t);
+        assert!(doc.contains("\"id\": \"s1\""));
+        assert!(doc.contains("\\\"quoted\\\""));
+        assert!(doc.contains("[\"1024\",\"3.5e6\"]"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+}

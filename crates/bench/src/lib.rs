@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
 pub mod runner;
 
 pub use experiments::{registry, Experiment};

@@ -30,6 +30,7 @@ use pts_sketch::{AmsF2, FpTaylor, FpTaylorParams, LinearSketch};
 use pts_stream::Update;
 use pts_util::derive_seed;
 use pts_util::variates::keyed_unit;
+use pts_util::wire::{Decode, Encode, WireError, WireReader, WireWriter};
 
 /// How `x̂^{p−2}` is estimated in the rejection step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +114,82 @@ impl PerfectLpParams {
             PowerEstimator::IntegerProduct => (self.p.round() as usize) - 2,
             PowerEstimator::Taylor { terms } => terms,
         }
+    }
+}
+
+impl Encode for PowerEstimator {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        match *self {
+            PowerEstimator::IntegerProduct => w.put_u8(0),
+            PowerEstimator::Taylor { terms } => {
+                w.put_u8(1);
+                w.put_usize(terms);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Decode for PowerEstimator {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(PowerEstimator::IntegerProduct),
+            1 => {
+                let terms = r.get_usize()?;
+                if !(1..=64).contains(&terms) {
+                    return Err(WireError::Invalid("taylor term count"));
+                }
+                Ok(PowerEstimator::Taylor { terms })
+            }
+            _ => Err(WireError::Invalid("power estimator tag")),
+        }
+    }
+}
+
+impl Encode for PerfectLpParams {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_f64(self.p);
+        w.put_usize(self.attempts);
+        w.put_f64(self.slack);
+        w.put_usize(self.reps_per_group);
+        self.estimator.encode(w)?;
+        self.l2.encode(w)
+    }
+}
+
+impl Decode for PerfectLpParams {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let p = r.get_f64()?;
+        let attempts = r.get_usize()?;
+        let slack = r.get_f64()?;
+        let reps_per_group = r.get_usize()?;
+        let estimator = PowerEstimator::decode(r)?;
+        let l2 = LpLe2Params::decode(r)?;
+        // The constructor asserts these invariants; the decode path turns
+        // each into an error so malformed payloads cannot reach a panic.
+        if !(p.is_finite() && p > 2.0 && slack.is_finite()) {
+            return Err(WireError::Invalid("perfect-lp moment order"));
+        }
+        if !(1..=1 << 24).contains(&attempts) || !(1..=1 << 12).contains(&reps_per_group) {
+            return Err(WireError::Invalid("perfect-lp shape"));
+        }
+        if estimator == PowerEstimator::IntegerProduct
+            && !((p - p.round()).abs() < 1e-9 && p.round() >= 3.0)
+        {
+            return Err(WireError::Invalid("integer estimator with fractional p"));
+        }
+        let params = Self {
+            p,
+            attempts,
+            slack,
+            reps_per_group,
+            estimator,
+            l2,
+        };
+        if params.l2.extra_estimators != params.groups() * params.reps_per_group {
+            return Err(WireError::Invalid("estimator replica arity"));
+        }
+        Ok(params)
     }
 }
 
@@ -334,6 +411,53 @@ impl TurnstileSampler for PerfectLpSampler {
         }
         self.f2_est.merge(&other.f2_est);
         self.fp_est.merge(&other.fp_est);
+    }
+}
+
+impl Encode for PerfectLpSampler {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        self.params.encode(w)?;
+        w.put_usize(self.universe);
+        w.put_u64(self.accept_seed);
+        for attempt in &self.attempts {
+            attempt.encode(w)?;
+        }
+        self.f2_est.encode(w)?;
+        self.fp_est.encode(w)
+    }
+}
+
+impl Decode for PerfectLpSampler {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let params = PerfectLpParams::decode(r)?;
+        let universe = r.get_usize()?;
+        if universe < 2 {
+            return Err(WireError::Invalid("perfect-lp universe"));
+        }
+        let accept_seed = r.get_u64()?;
+        // Each inner attempt is ≥ 60 wire bytes; reject attempt counts the
+        // input cannot hold before reserving the vector.
+        if params.attempts.saturating_mul(60) > r.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let mut attempts = Vec::with_capacity(params.attempts);
+        for _ in 0..params.attempts {
+            attempts.push(PerfectLpLe2Sampler::decode(r)?);
+        }
+        let f2_est = AmsF2::decode(r)?;
+        let fp_est = FpTaylor::decode(r)?;
+        Ok(Self {
+            params,
+            universe,
+            attempts,
+            f2_est,
+            fp_est,
+            accept_seed,
+            // Last-call diagnostics are transient; `sample()` resets them
+            // before reading, so restoring defaults preserves bit-identical
+            // behavior going forward.
+            stats: RejectionStats::default(),
+        })
     }
 }
 

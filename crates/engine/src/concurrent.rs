@@ -47,7 +47,7 @@
 //! ```
 
 use crate::config::EngineConfig;
-use crate::engine::EngineStats;
+use crate::engine::{EngineImage, EngineStats};
 use crate::factory::SamplerFactory;
 use crate::router::ShardRouter;
 use crate::shard::Shard;
@@ -55,6 +55,7 @@ use crate::snapshot::EngineSnapshot;
 use crate::worker::{Request, ShardReport, ShardWorker};
 use pts_samplers::Sample;
 use pts_stream::{Stream, Update};
+use pts_util::wire::{Decode, Encode, WireError};
 use pts_util::{derive_seed, Xoshiro256pp};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
@@ -93,8 +94,8 @@ pub struct ConcurrentEngine<F: SamplerFactory> {
 
 impl<F> ConcurrentEngine<F>
 where
-    F: SamplerFactory + Send + 'static,
-    F::Sampler: Send + 'static,
+    F: SamplerFactory + Send + 'static + Encode,
+    F::Sampler: Send + 'static + Encode,
 {
     /// Builds the engine and spawns one worker thread per shard. Shard
     /// seeds match [`crate::ShardedEngine::new`] exactly.
@@ -317,9 +318,87 @@ where
             .sum()
     }
 
+    /// Serializes the engine's complete state — same payload as
+    /// [`crate::ShardedEngine::checkpoint`], so either front-end can
+    /// restore it. Shards encode their own state on their worker threads,
+    /// in parallel.
+    ///
+    /// **Quiescence.** [`ConcurrentEngine::flush`] is the engine's only
+    /// quiescence point, and `checkpoint` invokes it first: every enqueued
+    /// run is applied before any shard serializes, and the debug build
+    /// asserts no run is in flight — a checkpoint can never observe a torn
+    /// shard. (Per-shard FIFO alone already orders each shard's encoding
+    /// after its pending applies; the flush additionally pins the *stats*
+    /// counters to the shard state so the restored engine's counters match
+    /// its contents.)
+    pub fn checkpoint<W: std::io::Write>(&mut self, sink: &mut W) -> std::io::Result<()> {
+        self.flush();
+        debug_assert_eq!(
+            self.in_flight, 0,
+            "checkpoint requires quiescence: runs still in flight after flush"
+        );
+        let receivers: Vec<_> = self
+            .workers
+            .iter()
+            .map(|w| {
+                let (reply, rx) = channel();
+                w.send(Request::Checkpoint { reply });
+                rx
+            })
+            .collect();
+        let states = receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker thread died"));
+        // Collect first: lazily interleaving recv with sink writes would
+        // hold the frame open across worker round-trips for no benefit.
+        let states: Vec<Result<Vec<u8>, WireError>> = states.collect();
+        EngineImage::write_checkpoint(
+            self.config,
+            &self.factory,
+            &self.rng,
+            self.stats,
+            states.into_iter(),
+            sink,
+        )
+    }
+
+    /// Rebuilds a concurrent engine from a checkpoint written by either
+    /// front-end: shards are decoded, then moved onto fresh worker threads.
+    /// Malformed input returns a [`WireError`] and never panics.
+    pub fn restore<R: std::io::Read>(src: &mut R) -> Result<Self, WireError>
+    where
+        F: Decode,
+        F::Sampler: Decode,
+    {
+        let image: EngineImage<F> = EngineImage::read_checkpoint(src)?;
+        let router = ShardRouter::new(image.config.shards, derive_seed(image.config.seed, 0x5A4D));
+        let workers = image.shards.into_iter().map(ShardWorker::spawn).collect();
+        let plan = (0..image.config.shards).map(|_| Vec::new()).collect();
+        let (ack_tx, ack_rx) = channel();
+        Ok(Self {
+            config: image.config,
+            factory: image.factory,
+            router,
+            workers,
+            plan,
+            spare: Vec::new(),
+            ack_tx,
+            ack_rx,
+            in_flight: 0,
+            rng: image.rng,
+            stats: image.stats,
+        })
+    }
+
     /// Captures the engine's compact exact state for shipping to another
     /// engine (see [`EngineSnapshot`]); shards serialize their slices
     /// concurrently.
+    ///
+    /// Consistency: snapshot requests ride the same per-shard FIFO queues
+    /// as applies, so the capture reflects every batch enqueued before the
+    /// call even while ingest is still pipelined. For a *full-state*
+    /// capture with pinned counters, use [`ConcurrentEngine::checkpoint`],
+    /// which flushes to quiescence first.
     pub fn snapshot(&self) -> EngineSnapshot {
         let receivers: Vec<_> = self
             .workers

@@ -1,5 +1,7 @@
 //! Engine configuration.
 
+use pts_util::wire::{Decode, Encode, WireError, WireReader, WireWriter};
+
 /// Configuration for a [`crate::ShardedEngine`].
 ///
 /// The defaults are sized for "always queryable at modest cost": a handful
@@ -57,6 +59,37 @@ impl EngineConfig {
         assert!(self.universe >= 2, "universe too small");
         assert!(self.shards >= 1, "need at least one shard");
         assert!(self.pool_size >= 1, "need at least one sampler per shard");
+    }
+}
+
+impl Encode for EngineConfig {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_usize(self.universe);
+        w.put_usize(self.shards);
+        w.put_usize(self.pool_size);
+        w.put_u64(self.seed);
+        Ok(())
+    }
+}
+
+impl Decode for EngineConfig {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let universe = r.get_usize()?;
+        let shards = r.get_usize()?;
+        let pool_size = r.get_usize()?;
+        let seed = r.get_u64()?;
+        // `validate()` panics by design at construction time; the decode
+        // path rejects the same degenerate shapes as errors (plus sanity
+        // caps so corrupt counts cannot drive huge allocations).
+        if universe < 2 || !(1..=1 << 16).contains(&shards) || !(1..=1 << 16).contains(&pool_size) {
+            return Err(WireError::Invalid("engine configuration"));
+        }
+        Ok(Self {
+            universe,
+            shards,
+            pool_size,
+            seed,
+        })
     }
 }
 

@@ -25,7 +25,11 @@ use crate::shard::Shard;
 use crate::snapshot::EngineSnapshot;
 use pts_samplers::Sample;
 use pts_stream::{Stream, Update};
+use pts_util::wire::{
+    read_frame, write_frame, Decode, Encode, WireError, WireReader, WireWriter, KIND_ENGINE,
+};
 use pts_util::{derive_seed, Xoshiro256pp};
+use std::io::{Read, Write};
 
 /// Mass-proportional shard pick shared by both front-ends. The concurrent
 /// engine's bit-identical-to-sequential contract rides on this arithmetic
@@ -59,6 +63,103 @@ pub struct EngineStats {
     /// Snapshots merged in (their entries do not count as ingested
     /// updates).
     pub merges: u64,
+}
+
+impl Encode for EngineStats {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_u64(self.updates);
+        w.put_u64(self.batches);
+        w.put_u64(self.samples);
+        w.put_u64(self.fails);
+        w.put_u64(self.merges);
+        Ok(())
+    }
+}
+
+impl Decode for EngineStats {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            updates: r.get_u64()?,
+            batches: r.get_u64()?,
+            samples: r.get_u64()?,
+            fails: r.get_u64()?,
+            merges: r.get_u64()?,
+        })
+    }
+}
+
+/// The decoded interior of an engine checkpoint — shared by both
+/// front-ends, which is what makes checkpoints interchangeable: a
+/// `ShardedEngine` can restore a `ConcurrentEngine`'s file and vice versa.
+pub(crate) struct EngineImage<F: SamplerFactory> {
+    pub config: EngineConfig,
+    pub factory: F,
+    pub rng: Xoshiro256pp,
+    pub stats: EngineStats,
+    pub shards: Vec<Shard<F>>,
+}
+
+impl<F: SamplerFactory> EngineImage<F> {
+    /// Serializes the common checkpoint payload. `shard_state` yields each
+    /// shard's own wire bytes (produced inline by the sequential engine,
+    /// gathered from worker threads by the concurrent one).
+    pub(crate) fn write_checkpoint<W: Write>(
+        config: EngineConfig,
+        factory: &F,
+        rng: &Xoshiro256pp,
+        stats: EngineStats,
+        shard_state: impl Iterator<Item = Result<Vec<u8>, WireError>>,
+        sink: &mut W,
+    ) -> std::io::Result<()>
+    where
+        F: Encode,
+    {
+        let mut payload = WireWriter::new();
+        config.encode(&mut payload)?;
+        factory.encode(&mut payload)?;
+        rng.encode(&mut payload)?;
+        stats.encode(&mut payload)?;
+        let mut count = 0usize;
+        for bytes in shard_state {
+            payload.put_bytes(&bytes?);
+            count += 1;
+        }
+        debug_assert_eq!(count, config.shards, "one state blob per shard");
+        write_frame(KIND_ENGINE, payload.as_bytes(), sink)
+    }
+
+    /// Reads and validates the common checkpoint payload.
+    pub(crate) fn read_checkpoint<R: Read>(src: &mut R) -> Result<Self, WireError>
+    where
+        F: Decode,
+        F::Sampler: Decode,
+    {
+        let payload = read_frame(KIND_ENGINE, src)?;
+        let mut r = WireReader::new(&payload);
+        let config = EngineConfig::decode(&mut r)?;
+        let factory = F::decode(&mut r)?;
+        let rng = Xoshiro256pp::decode(&mut r)?;
+        let stats = EngineStats::decode(&mut r)?;
+        let mut shards = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let shard: Shard<F> = Shard::decode(&mut r)?;
+            if shard.universe() != config.universe {
+                return Err(WireError::Invalid("shard universe mismatch"));
+            }
+            if shard.pool_len() != config.pool_size {
+                return Err(WireError::Invalid("shard pool-size mismatch"));
+            }
+            shards.push(shard);
+        }
+        r.finish()?;
+        Ok(Self {
+            config,
+            factory,
+            rng,
+            stats,
+            shards,
+        })
+    }
 }
 
 /// A sharded, mergeable, always-queryable sampling engine.
@@ -234,6 +335,54 @@ impl<F: SamplerFactory> ShardedEngine<F> {
             self.apply_batch(chunk);
         }
         self.stats.merges += 1;
+    }
+
+    /// Serializes the engine's **complete** state — config, factory, query
+    /// RNG, stats, and every shard's net vector, mass, and pool (live
+    /// sampler instances included, bit-for-bit) — as one framed,
+    /// checksummed wire payload.
+    ///
+    /// The restored engine ([`ShardedEngine::restore`]) is bit-identical
+    /// going forward: the same subsequent call sequence produces the same
+    /// draws, masses, and snapshots as the uninterrupted original. The
+    /// payload is front-end-agnostic — a [`crate::ConcurrentEngine`] can
+    /// restore it too.
+    pub fn checkpoint<W: std::io::Write>(&self, sink: &mut W) -> std::io::Result<()>
+    where
+        F: Encode,
+        F::Sampler: Encode,
+    {
+        EngineImage::write_checkpoint(
+            self.config,
+            &self.factory,
+            &self.rng,
+            self.stats,
+            self.shards.iter().map(Encode::to_wire_bytes),
+            sink,
+        )
+    }
+
+    /// Rebuilds an engine from a [`ShardedEngine::checkpoint`] payload
+    /// (written by either front-end). Malformed input — truncation,
+    /// corruption, a bumped format version, a different factory type —
+    /// returns a [`WireError`] and never panics.
+    pub fn restore<R: std::io::Read>(src: &mut R) -> Result<Self, WireError>
+    where
+        F: Decode,
+        F::Sampler: Decode,
+    {
+        let image: EngineImage<F> = EngineImage::read_checkpoint(src)?;
+        let router = ShardRouter::new(image.config.shards, derive_seed(image.config.seed, 0x5A4D));
+        let plan = (0..image.config.shards).map(|_| Vec::new()).collect();
+        Ok(Self {
+            config: image.config,
+            factory: image.factory,
+            router,
+            shards: image.shards,
+            plan,
+            rng: image.rng,
+            stats: image.stats,
+        })
     }
 
     /// Eagerly respawns every consumed pool slot in every shard (the same

@@ -11,6 +11,7 @@
 
 use pts_core::{PerfectLpParams, PerfectLpSampler, RejectionGSampler};
 use pts_samplers::{L0Params, LpLe2Batch, LpLe2Params, PerfectL0Sampler, TurnstileSampler};
+use pts_util::wire::{Decode, Encode, WireError, WireReader, WireWriter};
 
 /// A recipe for spawning independent sampler instances over `[0, n)`.
 ///
@@ -137,6 +138,99 @@ impl SamplerFactory for LogGFactory {
         } else {
             (1.0 + (value.abs() as f64)).ln()
         }
+    }
+}
+
+// Factory wire encodings open with a one-byte kind tag, so restoring a
+// checkpoint into an engine parameterized by the *wrong* factory type fails
+// with a clean `WireError` instead of misreading parameter bytes.
+
+/// Wire tag of [`L0Factory`].
+const TAG_L0: u8 = 1;
+/// Wire tag of [`LpLe2Factory`].
+const TAG_LPLE2: u8 = 2;
+/// Wire tag of [`PerfectLpFactory`].
+const TAG_PERFECT_LP: u8 = 3;
+/// Wire tag of [`LogGFactory`].
+const TAG_LOG_G: u8 = 4;
+
+fn expect_tag(r: &mut WireReader<'_>, want: u8) -> Result<(), WireError> {
+    if r.get_u8()? == want {
+        Ok(())
+    } else {
+        Err(WireError::Invalid("factory kind mismatch"))
+    }
+}
+
+impl Encode for L0Factory {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_u8(TAG_L0);
+        self.params.encode(w)
+    }
+}
+
+impl Decode for L0Factory {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        expect_tag(r, TAG_L0)?;
+        Ok(Self {
+            params: L0Params::decode(r)?,
+        })
+    }
+}
+
+impl Encode for LpLe2Factory {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_u8(TAG_LPLE2);
+        self.params.encode(w)?;
+        w.put_usize(self.batch);
+        Ok(())
+    }
+}
+
+impl Decode for LpLe2Factory {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        expect_tag(r, TAG_LPLE2)?;
+        let params = LpLe2Params::decode(r)?;
+        let batch = r.get_usize()?;
+        if !(1..=1 << 16).contains(&batch) {
+            return Err(WireError::Invalid("batch width"));
+        }
+        Ok(Self { params, batch })
+    }
+}
+
+impl Encode for PerfectLpFactory {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_u8(TAG_PERFECT_LP);
+        self.params.encode(w)
+    }
+}
+
+impl Decode for PerfectLpFactory {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        expect_tag(r, TAG_PERFECT_LP)?;
+        Ok(Self {
+            params: PerfectLpParams::decode(r)?,
+        })
+    }
+}
+
+impl Encode for LogGFactory {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_u8(TAG_LOG_G);
+        w.put_u64(self.stream_bound_m);
+        Ok(())
+    }
+}
+
+impl Decode for LogGFactory {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        expect_tag(r, TAG_LOG_G)?;
+        let stream_bound_m = r.get_u64()?;
+        if stream_bound_m == 0 {
+            return Err(WireError::Invalid("stream bound"));
+        }
+        Ok(Self { stream_bound_m })
     }
 }
 

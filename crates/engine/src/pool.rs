@@ -16,6 +16,7 @@ use crate::factory::SamplerFactory;
 use pts_samplers::{Sample, TurnstileSampler};
 use pts_stream::Update;
 use pts_util::derive_seed;
+use pts_util::wire::{Decode, Encode, WireError, WireReader, WireWriter};
 use std::collections::BTreeMap;
 
 /// A pool of `k` independently seeded one-shot sampler instances.
@@ -166,6 +167,54 @@ impl<S: TurnstileSampler> SamplerPool<S> {
             .flatten()
             .map(TurnstileSampler::space_bits)
             .sum()
+    }
+}
+
+impl<S: TurnstileSampler + Encode> Encode for SamplerPool<S> {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_u64(self.seed);
+        w.put_u64(self.spawned);
+        w.put_usize(self.cursor);
+        w.put_u64(self.respawns);
+        w.put_usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                Some(instance) => {
+                    w.put_bool(true);
+                    instance.encode(w)?;
+                }
+                None => w.put_bool(false),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<S: TurnstileSampler + Decode> Decode for SamplerPool<S> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let seed = r.get_u64()?;
+        let spawned = r.get_u64()?;
+        let cursor = r.get_usize()?;
+        let respawns = r.get_u64()?;
+        let k = r.get_len(1)?;
+        if !(1..=1 << 16).contains(&k) || cursor >= k {
+            return Err(WireError::Invalid("pool shape"));
+        }
+        let mut slots = Vec::with_capacity(k);
+        for _ in 0..k {
+            slots.push(if r.get_bool()? {
+                Some(S::decode(r)?)
+            } else {
+                None
+            });
+        }
+        Ok(Self {
+            slots,
+            seed,
+            spawned,
+            cursor,
+            respawns,
+        })
     }
 }
 

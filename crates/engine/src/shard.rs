@@ -35,6 +35,7 @@ use crate::factory::SamplerFactory;
 use crate::pool::SamplerPool;
 use pts_samplers::Sample;
 use pts_stream::Update;
+use pts_util::wire::{Decode, Encode, WireError, WireReader, WireWriter};
 use std::collections::BTreeMap;
 
 /// The narrow surface a shard exposes to a driver that owns it exclusively
@@ -73,6 +74,12 @@ pub trait ShardState: Send {
 
     /// Sketch bits of live instances plus compact-state bits.
     fn space_bits(&self) -> usize;
+
+    /// The shard's complete wire encoding (factory, net vector, mass, pool
+    /// with live instances) — what a checkpoint ships per shard. Produced
+    /// on the owning thread, so the concurrent front-end serializes shards
+    /// in parallel with zero copying of live state.
+    fn encode_state(&self) -> Result<Vec<u8>, WireError>;
 }
 
 /// A shard: factory + pool + compact state + incremental mass.
@@ -136,6 +143,16 @@ impl<F: SamplerFactory> Shard<F> {
         self.net.len()
     }
 
+    /// The universe bound this shard was built over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of pool slots (live or consumed).
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
     /// The sparse net entries (sorted by index).
     pub fn entries(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
         self.net.iter().map(|(&i, &v)| (i, v))
@@ -172,10 +189,80 @@ impl<F: SamplerFactory> Shard<F> {
     }
 }
 
+impl<F> Encode for Shard<F>
+where
+    F: SamplerFactory + Encode,
+    F::Sampler: Encode,
+{
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        self.factory.encode(w)?;
+        w.put_usize(self.universe);
+        // Raw bits: the incrementally maintained mass carries its exact
+        // float history, which recomputation from `net` would not.
+        w.put_f64(self.mass);
+        w.put_usize(self.net.len());
+        let mut prev = 0u64;
+        for (k, (&i, &v)) in self.net.iter().enumerate() {
+            w.put_u64(if k == 0 { i } else { i - prev - 1 });
+            w.put_i64(v);
+            prev = i;
+        }
+        self.pool.encode(w)
+    }
+}
+
+impl<F> Decode for Shard<F>
+where
+    F: SamplerFactory + Decode,
+    F::Sampler: Decode,
+{
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let factory = F::decode(r)?;
+        let universe = r.get_usize()?;
+        if universe < 2 {
+            return Err(WireError::Invalid("shard universe"));
+        }
+        let mass = r.get_f64()?;
+        let support = r.get_len(2)?;
+        let mut net = BTreeMap::new();
+        let mut prev = 0u64;
+        for k in 0..support {
+            let gap = r.get_u64()?;
+            let i = if k == 0 {
+                gap
+            } else {
+                prev.checked_add(gap)
+                    .and_then(|v| v.checked_add(1))
+                    .ok_or(WireError::Invalid("net-vector gap overflow"))?
+            };
+            let v = r.get_i64()?;
+            if v == 0 {
+                return Err(WireError::Invalid("zero entry in net vector"));
+            }
+            // Out-of-universe entries would panic later in dense
+            // materialization (`snapshot().to_vector()`); the never-panic
+            // decode contract requires rejecting them here.
+            if (i as u128) >= universe as u128 {
+                return Err(WireError::Invalid("net entry outside universe"));
+            }
+            net.insert(i, v);
+            prev = i;
+        }
+        let pool = SamplerPool::decode(r)?;
+        Ok(Self {
+            factory,
+            universe,
+            pool,
+            net,
+            mass,
+        })
+    }
+}
+
 impl<F> ShardState for Shard<F>
 where
-    F: SamplerFactory + Send,
-    F::Sampler: Send,
+    F: SamplerFactory + Send + Encode,
+    F::Sampler: Send + Encode,
 {
     fn apply_run(&mut self, run: &[Update]) {
         Shard::apply_run(self, run);
@@ -211,6 +298,10 @@ where
 
     fn space_bits(&self) -> usize {
         Shard::space_bits(self)
+    }
+
+    fn encode_state(&self) -> Result<Vec<u8>, WireError> {
+        self.to_wire_bytes()
     }
 }
 

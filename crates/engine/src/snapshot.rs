@@ -11,6 +11,9 @@
 //! query tier.
 
 use pts_stream::{FrequencyVector, Update};
+use pts_util::wire::{
+    read_frame, write_frame, Decode, Encode, WireError, WireReader, WireWriter, KIND_SNAPSHOT,
+};
 
 /// A compact, mergeable capture of an engine's ingested state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +66,73 @@ impl EngineSnapshot {
     /// Size of the serialized payload in bits (128 per entry).
     pub fn space_bits(&self) -> usize {
         self.entries.len() * 128 + 64
+    }
+
+    /// The snapshot as a framed, checksummed wire payload — what actually
+    /// leaves the machine. Entries are gap+zigzag varint coded, so the byte
+    /// count tracks the true information content (≈ support · (Δindex +
+    /// value) bytes), usually far below the 128-bit-per-entry accounting of
+    /// [`EngineSnapshot::space_bits`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = WireWriter::new();
+        self.encode(&mut payload).expect("snapshot always encodes");
+        let mut out = Vec::with_capacity(payload.len() + 16);
+        write_frame(KIND_SNAPSHOT, payload.as_bytes(), &mut out).expect("vec write");
+        out
+    }
+
+    /// Decodes a payload produced by [`EngineSnapshot::to_bytes`].
+    /// Truncated, corrupted, or version-bumped bytes return a
+    /// [`WireError`]; decode never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let payload = read_frame(KIND_SNAPSHOT, &mut &bytes[..])?;
+        Self::from_wire_bytes(&payload)
+    }
+}
+
+impl Encode for EngineSnapshot {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_usize(self.universe);
+        w.put_usize(self.entries.len());
+        let mut prev = 0u64;
+        for (k, &(i, v)) in self.entries.iter().enumerate() {
+            w.put_u64(if k == 0 { i } else { i - prev - 1 });
+            w.put_i64(v);
+            prev = i;
+        }
+        Ok(())
+    }
+}
+
+impl Decode for EngineSnapshot {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let universe = r.get_usize()?;
+        if universe < 2 {
+            return Err(WireError::Invalid("snapshot universe"));
+        }
+        let support = r.get_len(2)?;
+        let mut entries = Vec::with_capacity(support);
+        let mut prev = 0u64;
+        for k in 0..support {
+            let gap = r.get_u64()?;
+            let i = if k == 0 {
+                gap
+            } else {
+                prev.checked_add(gap)
+                    .and_then(|v| v.checked_add(1))
+                    .ok_or(WireError::Invalid("snapshot gap overflow"))?
+            };
+            let v = r.get_i64()?;
+            if v == 0 {
+                return Err(WireError::Invalid("zero entry in snapshot"));
+            }
+            if (i as u128) >= universe as u128 {
+                return Err(WireError::Invalid("snapshot entry outside universe"));
+            }
+            entries.push((i, v));
+            prev = i;
+        }
+        Ok(Self { universe, entries })
     }
 }
 

@@ -17,6 +17,7 @@
 use crate::shard::ShardState;
 use pts_samplers::Sample;
 use pts_stream::Update;
+use pts_util::wire::WireError;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
@@ -60,6 +61,12 @@ pub(crate) enum Request {
     Report { reply: Sender<ShardReport> },
     /// Ship the shard's sparse net entries.
     Entries { reply: Sender<Vec<(u64, i64)>> },
+    /// Serialize the shard's complete state (net, mass, pool, live
+    /// instances) for a checkpoint. FIFO ordering makes the encoding
+    /// consistent with every previously enqueued apply.
+    Checkpoint {
+        reply: Sender<Result<Vec<u8>, WireError>>,
+    },
 }
 
 /// Handle to one spawned shard worker: the request sender plus the join
@@ -146,6 +153,9 @@ fn run_loop<C: ShardState>(mut shard: C, rx: Receiver<Request>) {
             }
             Request::Entries { reply } => {
                 let _ = reply.send(shard.snapshot_entries());
+            }
+            Request::Checkpoint { reply } => {
+                let _ = reply.send(shard.encode_state());
             }
         }
     }

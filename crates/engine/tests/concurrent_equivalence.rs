@@ -10,12 +10,12 @@ use pts_engine::{
     ConcurrentEngine, EngineConfig, L0Factory, LpLe2Factory, SamplerFactory, ShardedEngine,
 };
 use pts_stream::{Stream, StreamStyle, Update};
-use pts_util::Xoshiro256pp;
+use pts_util::{Encode, Xoshiro256pp};
 
 fn lockstep<F>(config: EngineConfig, factory: F, seed: u64)
 where
-    F: SamplerFactory + Send + 'static,
-    F::Sampler: Send + 'static,
+    F: SamplerFactory + Send + 'static + Encode,
+    F::Sampler: Send + 'static + Encode,
 {
     let mut seq = ShardedEngine::new(config, factory.clone());
     let mut conc = ConcurrentEngine::new(config, factory);

@@ -14,6 +14,7 @@
 use crate::traits::{Sample, TurnstileSampler};
 use pts_sketch::{LinearSketch, SparseRecovery};
 use pts_stream::Update;
+use pts_util::wire::{Decode, Encode, WireError, WireReader, WireWriter};
 use pts_util::{derive_seed, keyed_u64};
 
 /// Parameters for [`PerfectL0Sampler`].
@@ -124,6 +125,57 @@ impl TurnstileSampler for PerfectL0Sampler {
         for (a, b) in self.levels.iter_mut().zip(&other.levels) {
             a.merge(b);
         }
+    }
+}
+
+impl Encode for L0Params {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_usize(self.sparsity);
+        w.put_usize(self.rows);
+        Ok(())
+    }
+}
+
+impl Decode for L0Params {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let sparsity = r.get_usize()?;
+        let rows = r.get_usize()?;
+        if !(1..=1 << 20).contains(&sparsity) || !(1..=1024).contains(&rows) {
+            return Err(WireError::Invalid("l0 parameters"));
+        }
+        Ok(Self { sparsity, rows })
+    }
+}
+
+impl Encode for PerfectL0Sampler {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_u64(self.subsample_seed);
+        w.put_u64(self.choice_seed);
+        w.put_usize(self.levels.len());
+        for level in &self.levels {
+            level.encode(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl Decode for PerfectL0Sampler {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let subsample_seed = r.get_u64()?;
+        let choice_seed = r.get_u64()?;
+        let level_count = r.get_len(8)?;
+        if !(1..=128).contains(&level_count) {
+            return Err(WireError::Invalid("l0 level count"));
+        }
+        let mut levels = Vec::with_capacity(level_count);
+        for _ in 0..level_count {
+            levels.push(SparseRecovery::decode(r)?);
+        }
+        Ok(Self {
+            levels,
+            subsample_seed,
+            choice_seed,
+        })
     }
 }
 

@@ -32,6 +32,7 @@ use crate::traits::{Sample, TurnstileSampler};
 use pts_sketch::{CountSketch, CountSketchParams, LinearSketch};
 use pts_stream::Update;
 use pts_util::variates::keyed_exponential;
+use pts_util::wire::{Decode, Encode, WireError, WireReader, WireWriter};
 use pts_util::{derive_seed, keyed_u64};
 
 /// Parameters for [`PerfectLpLe2Sampler`].
@@ -278,6 +279,116 @@ impl TurnstileSampler for PerfectLpLe2Sampler {
         for (a, b) in self.extra.iter_mut().zip(&other.extra) {
             a.merge(b);
         }
+    }
+}
+
+impl Encode for LpLe2Params {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_f64(self.p);
+        w.put_usize(self.rows);
+        w.put_usize(self.buckets);
+        w.put_f64(self.dup_c);
+        w.put_f64(self.test_factor);
+        w.put_usize(self.extra_estimators);
+        Ok(())
+    }
+}
+
+impl Decode for LpLe2Params {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let p = r.get_f64()?;
+        let rows = r.get_usize()?;
+        let buckets = r.get_usize()?;
+        let dup_c = r.get_f64()?;
+        let test_factor = r.get_f64()?;
+        let extra_estimators = r.get_usize()?;
+        // Ranges mirror the constructor asserts, turned into errors so a
+        // hostile payload cannot reach a panicking constructor.
+        let p_ok = p.is_finite() && p > 0.0 && p <= 2.0;
+        let dup_ok = dup_c.is_finite() && dup_c >= 0.0;
+        if !p_ok || !dup_ok || !test_factor.is_finite() {
+            return Err(WireError::Invalid("lp-le2 parameters"));
+        }
+        if !(1..=1024).contains(&rows) || buckets == 0 || extra_estimators > 1 << 16 {
+            return Err(WireError::Invalid("lp-le2 shape"));
+        }
+        Ok(Self {
+            p,
+            rows,
+            buckets,
+            dup_c,
+            test_factor,
+            extra_estimators,
+        })
+    }
+}
+
+impl Encode for PerfectLpLe2Sampler {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        self.params.encode(w)?;
+        w.put_usize(self.universe);
+        w.put_f64(self.dup_factor);
+        w.put_u64(self.scale_seed);
+        w.put_u64(self.second_copy_seed);
+        w.put_f64(self.mu);
+        self.main.encode(w)?;
+        for cs in &self.extra {
+            cs.encode(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl Decode for PerfectLpLe2Sampler {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let params = LpLe2Params::decode(r)?;
+        let universe = r.get_usize()?;
+        if universe < 2 {
+            return Err(WireError::Invalid("lp-le2 universe"));
+        }
+        let dup_factor = r.get_f64()?;
+        let scale_seed = r.get_u64()?;
+        let second_copy_seed = r.get_u64()?;
+        let mu = r.get_f64()?;
+        let main = CountSketch::decode(r)?;
+        let mut extra = Vec::with_capacity(params.extra_estimators);
+        for _ in 0..params.extra_estimators {
+            extra.push(CountSketch::decode(r)?);
+        }
+        Ok(Self {
+            params,
+            universe,
+            dup_factor,
+            scale_seed,
+            second_copy_seed,
+            main,
+            extra,
+            mu,
+        })
+    }
+}
+
+impl Encode for LpLe2Batch {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_usize(self.instances.len());
+        for inst in &self.instances {
+            inst.encode(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl Decode for LpLe2Batch {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let k = r.get_len(16)?;
+        if k == 0 {
+            return Err(WireError::Invalid("empty lp-le2 batch"));
+        }
+        let mut instances = Vec::with_capacity(k);
+        for _ in 0..k {
+            instances.push(PerfectLpLe2Sampler::decode(r)?);
+        }
+        Ok(Self { instances })
     }
 }
 

@@ -13,6 +13,7 @@
 use crate::countsketch::median_in_place;
 use crate::traits::LinearSketch;
 use pts_util::variates::keyed_gaussian;
+use pts_util::wire::{Decode, Encode, WireError, WireReader, WireWriter};
 use pts_util::{derive_seed, KWiseHash, Xoshiro256pp};
 
 /// Median of `|N(0,1)|`, i.e. `Φ^{-1}(3/4)` — the normalizer for
@@ -98,6 +99,50 @@ impl LinearSketch for AmsF2 {
     }
 }
 
+impl Encode for AmsF2 {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_usize(self.rows);
+        w.put_usize(self.cols);
+        w.put_f64s(&self.counters);
+        w.put_usize(self.signs.len());
+        for h in &self.signs {
+            h.encode(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl Decode for AmsF2 {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let rows = r.get_usize()?;
+        let cols = r.get_usize()?;
+        if !(1..=1024).contains(&rows) || !(1..=1 << 20).contains(&cols) {
+            return Err(WireError::Invalid("ams shape"));
+        }
+        let cells = rows
+            .checked_mul(cols)
+            .ok_or(WireError::Invalid("ams shape overflow"))?;
+        let counters = r.get_f64s()?;
+        if counters.len() != cells {
+            return Err(WireError::Invalid("ams counter length"));
+        }
+        let sign_count = r.get_len(2)?;
+        if sign_count != cells {
+            return Err(WireError::Invalid("ams sign-hash length"));
+        }
+        let mut signs = Vec::with_capacity(sign_count);
+        for _ in 0..sign_count {
+            signs.push(KWiseHash::decode(r)?);
+        }
+        Ok(Self {
+            rows,
+            cols,
+            counters,
+            signs,
+        })
+    }
+}
+
 /// Gaussian 2-stable L₂ estimator (`R` in Algorithm 4).
 #[derive(Debug, Clone)]
 pub struct GaussianL2 {
@@ -155,6 +200,25 @@ impl LinearSketch for GaussianL2 {
     fn space_bits(&self) -> usize {
         // Counters plus one 64-bit seed (Gaussians are keyed, not stored).
         self.counters.len() * 64 + 64
+    }
+}
+
+impl Encode for GaussianL2 {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_u64(self.seed);
+        w.put_f64s(&self.counters);
+        Ok(())
+    }
+}
+
+impl Decode for GaussianL2 {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let seed = r.get_u64()?;
+        let counters = r.get_f64s()?;
+        if counters.is_empty() {
+            return Err(WireError::Invalid("gaussian-l2 needs a repetition"));
+        }
+        Ok(Self { counters, seed })
     }
 }
 

@@ -17,6 +17,7 @@
 //! validate the behaviour empirically.
 
 use crate::traits::LinearSketch;
+use pts_util::wire::{Decode, Encode, WireError, WireReader, WireWriter};
 use pts_util::{derive_seed, keyed_u64};
 
 /// Configuration for a [`CountSketch`].
@@ -161,6 +162,44 @@ impl LinearSketch for CountSketch {
     fn space_bits(&self) -> usize {
         // Counters plus one 64-bit seed per row.
         self.table.len() * 64 + self.row_seeds.len() * 64
+    }
+}
+
+impl Encode for CountSketch {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_usize(self.rows);
+        w.put_usize(self.buckets);
+        w.put_u64(self.seed);
+        w.put_f64s(&self.table);
+        Ok(())
+    }
+}
+
+impl Decode for CountSketch {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let rows = r.get_usize()?;
+        let buckets = r.get_usize()?;
+        let seed = r.get_u64()?;
+        if !(1..=1024).contains(&rows) || buckets == 0 {
+            return Err(WireError::Invalid("countsketch shape"));
+        }
+        let cells = rows
+            .checked_mul(buckets)
+            .ok_or(WireError::Invalid("countsketch shape overflow"))?;
+        let table = r.get_f64s()?;
+        if table.len() != cells {
+            return Err(WireError::Invalid("countsketch table length"));
+        }
+        // Row seeds are pure functions of the seed — recomputed, not shipped.
+        let base = derive_seed(seed, 0x6353);
+        let row_seeds = (0..rows).map(|row| derive_seed(base, row as u64)).collect();
+        Ok(Self {
+            rows,
+            buckets,
+            table,
+            row_seeds,
+            seed,
+        })
     }
 }
 

@@ -16,6 +16,7 @@ use crate::ams::AmsF2;
 use crate::countsketch::{CountSketch, CountSketchParams};
 use crate::traits::LinearSketch;
 use pts_util::derive_seed;
+use pts_util::wire::{Decode, Encode, WireError, WireReader, WireWriter};
 
 /// Parameters for [`FpTaylor`].
 #[derive(Debug, Clone, Copy)]
@@ -123,6 +124,48 @@ impl LinearSketch for FpTaylor {
 
     fn space_bits(&self) -> usize {
         self.countsketch.space_bits() + self.ams.space_bits()
+    }
+}
+
+impl Encode for FpTaylor {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_f64(self.params.p);
+        w.put_usize(self.params.buckets);
+        w.put_usize(self.params.rows);
+        w.put_f64(self.params.threshold_sigmas);
+        w.put_usize(self.universe);
+        self.countsketch.encode(w)?;
+        self.ams.encode(w)
+    }
+}
+
+impl Decode for FpTaylor {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let p = r.get_f64()?;
+        let buckets = r.get_usize()?;
+        let rows = r.get_usize()?;
+        let threshold_sigmas = r.get_f64()?;
+        let universe = r.get_usize()?;
+        if !(p.is_finite() && p > 2.0) || universe < 2 {
+            return Err(WireError::Invalid("taylor-fp parameters"));
+        }
+        let params = FpTaylorParams {
+            p,
+            buckets,
+            rows,
+            threshold_sigmas,
+        };
+        let countsketch = CountSketch::decode(r)?;
+        if countsketch.rows() != rows || countsketch.buckets() != buckets {
+            return Err(WireError::Invalid("taylor-fp sketch shape"));
+        }
+        let ams = AmsF2::decode(r)?;
+        Ok(Self {
+            params,
+            universe,
+            countsketch,
+            ams,
+        })
     }
 }
 

@@ -14,6 +14,7 @@
 use crate::countsketch::{CountSketch, CountSketchParams};
 use crate::traits::LinearSketch;
 use pts_util::derive_seed;
+use pts_util::wire::{Decode, Encode, WireError, WireReader, WireWriter};
 
 /// Dyadic tree of CountSketches over `[0, 2^levels)`.
 #[derive(Debug, Clone)]
@@ -106,6 +107,30 @@ impl LinearSketch for DyadicHeavyHitters {
 
     fn space_bits(&self) -> usize {
         self.sketches.iter().map(LinearSketch::space_bits).sum()
+    }
+}
+
+impl Encode for DyadicHeavyHitters {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_usize(self.levels);
+        for cs in &self.sketches {
+            cs.encode(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl Decode for DyadicHeavyHitters {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let levels = r.get_usize()?;
+        if levels == 0 || levels > 63 {
+            return Err(WireError::Invalid("dyadic level count"));
+        }
+        let mut sketches = Vec::with_capacity(levels + 1);
+        for _ in 0..=levels {
+            sketches.push(CountSketch::decode(r)?);
+        }
+        Ok(Self { sketches, levels })
     }
 }
 

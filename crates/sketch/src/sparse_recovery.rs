@@ -12,6 +12,7 @@
 
 use crate::traits::LinearSketch;
 use pts_util::hashing::MERSENNE_P;
+use pts_util::wire::{Decode, Encode, WireError, WireReader, WireWriter};
 use pts_util::{derive_seed, keyed_u64, KWiseHash, Xoshiro256pp};
 
 /// Modular exponentiation `r^e mod 2^61−1`.
@@ -221,6 +222,63 @@ impl LinearSketch for SparseRecovery {
         self.cells.len() * cell_bits
             + self.hashes.iter().map(KWiseHash::space_bits).sum::<usize>()
             + 64
+    }
+}
+
+impl Encode for SparseRecovery {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_usize(self.sparsity);
+        w.put_usize(self.rows);
+        w.put_u64(self.fingerprint_base);
+        for h in &self.hashes {
+            h.encode(w)?;
+        }
+        for cell in &self.cells {
+            w.put_i128(cell.weight);
+            w.put_i128(cell.index_weighted);
+            w.put_u64(cell.fingerprint);
+        }
+        Ok(())
+    }
+}
+
+impl Decode for SparseRecovery {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let sparsity = r.get_usize()?;
+        let rows = r.get_usize()?;
+        let fingerprint_base = r.get_u64()?;
+        if !(1..=1 << 20).contains(&sparsity) || !(1..=1024).contains(&rows) {
+            return Err(WireError::Invalid("sparse-recovery shape"));
+        }
+        let buckets = 2 * sparsity;
+        let cell_count = rows
+            .checked_mul(buckets)
+            .ok_or(WireError::Invalid("sparse-recovery shape overflow"))?;
+        let mut hashes = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            hashes.push(KWiseHash::decode(r)?);
+        }
+        // Each cell occupies at least 33 bytes on the wire; reject shapes
+        // the remaining input cannot hold before allocating the grid.
+        if cell_count.saturating_mul(33) > r.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let mut cells = Vec::with_capacity(cell_count);
+        for _ in 0..cell_count {
+            cells.push(OneSparseCell {
+                weight: r.get_i128()?,
+                index_weighted: r.get_i128()?,
+                fingerprint: r.get_u64()?,
+            });
+        }
+        Ok(Self {
+            sparsity,
+            rows,
+            buckets,
+            cells,
+            hashes,
+            fingerprint_base,
+        })
     }
 }
 

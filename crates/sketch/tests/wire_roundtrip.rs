@@ -1,0 +1,150 @@
+//! Wire-contract property tests for every sketch: `decode(encode(x))`
+//! reproduces `x` bit-for-bit (checked through re-encoding, since sketches
+//! deliberately do not implement `PartialEq`), and malformed bytes —
+//! truncations and single-byte corruptions at every offset — return a
+//! `WireError` or a differently-valued object, but never panic.
+
+use proptest::prelude::*;
+use pts_sketch::{
+    AmsF2, CountSketch, CountSketchParams, DyadicHeavyHitters, FpMaxStab, FpMaxStabParams,
+    FpTaylor, FpTaylorParams, LinearSketch, ModCountSketch, SparseRecovery,
+};
+use pts_util::wire::{Decode, Encode, WireReader};
+
+/// Round-trips `x` and asserts byte-identical state via re-encode; then
+/// fuzzes the encoding: every truncation must fail cleanly, and a byte flip
+/// at every position must either fail cleanly or decode to *some* value —
+/// under no circumstances panic.
+fn assert_wire_contract<T: Encode + Decode>(x: &T) {
+    let bytes = x.to_wire_bytes().expect("sketches always encode");
+    let back = T::from_wire_bytes(&bytes).expect("own encoding must decode");
+    assert_eq!(
+        back.to_wire_bytes().unwrap(),
+        bytes,
+        "re-encode diverged from original encoding"
+    );
+    // Sample ~64 positions (always including the edges) so the fuzz pass
+    // stays fast on multi-kilobyte encodings.
+    let stride = (bytes.len() / 64).max(1);
+    for cut in (0..bytes.len()).step_by(stride).chain([bytes.len() - 1]) {
+        assert!(
+            T::from_wire_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut} decoded"
+        );
+    }
+    for i in (0..bytes.len()).step_by(stride) {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 0x55;
+        // No checksum at this layer: a flip may still decode (to different
+        // state) or fail — both fine; panicking or looping is the bug.
+        let _ = T::from_wire_bytes(&flipped);
+    }
+}
+
+/// Feeds a deterministic batch of signed updates derived from `seed`.
+fn feed<S: LinearSketch>(s: &mut S, n: u64, updates: u64, seed: u64) {
+    let mut rng = pts_util::Xoshiro256pp::new(seed);
+    for _ in 0..updates {
+        let i = rng.next_below(n);
+        let delta = rng.next_sign() * (1 + rng.next_below(50) as i64);
+        s.update(i, delta as f64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn countsketch_wire_contract(seed in 0u64..1000, rows in 1usize..6, buckets in 4usize..40) {
+        let mut cs = CountSketch::new(CountSketchParams { rows, buckets }, seed);
+        feed(&mut cs, 256, 60, seed ^ 1);
+        assert_wire_contract(&cs);
+    }
+
+    #[test]
+    fn mod_countsketch_wire_contract(seed in 0u64..1000, rows in 1usize..6, buckets in 4usize..40) {
+        let mut cs = ModCountSketch::new(rows, buckets, seed);
+        feed(&mut cs, 256, 60, seed ^ 2);
+        assert_wire_contract(&cs);
+    }
+
+    #[test]
+    fn ams_wire_contract(seed in 0u64..1000, rows in 1usize..4, cols in 1usize..8) {
+        let mut ams = AmsF2::new(rows, cols, seed);
+        feed(&mut ams, 128, 40, seed ^ 3);
+        assert_wire_contract(&ams);
+        let decoded = AmsF2::from_wire_bytes(&ams.to_wire_bytes().unwrap()).unwrap();
+        prop_assert_eq!(decoded.estimate().to_bits(), ams.estimate().to_bits());
+    }
+
+    #[test]
+    fn sparse_recovery_wire_contract(seed in 0u64..1000, sparsity in 1usize..8, rows in 1usize..4) {
+        let mut sr = SparseRecovery::new(sparsity, rows, seed);
+        sr.update_int(3, 17);
+        sr.update_int(90, -4);
+        sr.update_int(3, -17);
+        assert_wire_contract(&sr);
+        let decoded = SparseRecovery::from_wire_bytes(&sr.to_wire_bytes().unwrap()).unwrap();
+        prop_assert_eq!(decoded.recover(), sr.recover());
+    }
+
+    #[test]
+    fn fp_maxstab_wire_contract(seed in 0u64..1000, p_tenths in 21u64..50) {
+        let p = p_tenths as f64 / 10.0;
+        let mut est = FpMaxStab::new(64, FpMaxStabParams::for_universe(64, p), seed);
+        feed(&mut est, 64, 50, seed ^ 4);
+        assert_wire_contract(&est);
+        let decoded = FpMaxStab::from_wire_bytes(&est.to_wire_bytes().unwrap()).unwrap();
+        prop_assert_eq!(decoded.lp_estimate().to_bits(), est.lp_estimate().to_bits());
+    }
+
+    #[test]
+    fn fp_taylor_wire_contract(seed in 0u64..1000, p_tenths in 21u64..50) {
+        let p = p_tenths as f64 / 10.0;
+        let mut est = FpTaylor::new(64, FpTaylorParams::for_universe(64, p), seed);
+        feed(&mut est, 64, 50, seed ^ 5);
+        assert_wire_contract(&est);
+        let decoded = FpTaylor::from_wire_bytes(&est.to_wire_bytes().unwrap()).unwrap();
+        prop_assert_eq!(decoded.estimate().to_bits(), est.estimate().to_bits());
+    }
+
+    #[test]
+    fn dyadic_heavy_wire_contract(seed in 0u64..1000) {
+        let params = CountSketchParams { rows: 3, buckets: 16 };
+        let mut hh = DyadicHeavyHitters::new(64, params, seed);
+        feed(&mut hh, 64, 40, seed ^ 6);
+        assert_wire_contract(&hh);
+        let decoded = DyadicHeavyHitters::from_wire_bytes(&hh.to_wire_bytes().unwrap()).unwrap();
+        prop_assert_eq!(decoded.argmax(4), hh.argmax(4));
+    }
+}
+
+#[test]
+fn gaussian_l2_wire_contract() {
+    use pts_sketch::GaussianL2;
+    let mut g = GaussianL2::new(5, 77);
+    feed(&mut g, 64, 30, 9);
+    assert_wire_contract(&g);
+    let decoded = GaussianL2::from_wire_bytes(&g.to_wire_bytes().unwrap()).unwrap();
+    assert_eq!(decoded.estimate().to_bits(), g.estimate().to_bits());
+}
+
+#[test]
+fn decode_rejects_byte_soup_without_panicking() {
+    // Deterministic pseudo-random garbage of many lengths: every decoder
+    // must return (usually an error), never panic or hang.
+    let mut rng = pts_util::Xoshiro256pp::new(0xF00D);
+    for len in [0usize, 1, 7, 64, 513] {
+        for _ in 0..20 {
+            let soup: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let mut r = WireReader::new(&soup);
+            let _ = CountSketch::decode(&mut r);
+            let _ = ModCountSketch::from_wire_bytes(&soup);
+            let _ = AmsF2::from_wire_bytes(&soup);
+            let _ = SparseRecovery::from_wire_bytes(&soup);
+            let _ = FpMaxStab::from_wire_bytes(&soup);
+            let _ = FpTaylor::from_wire_bytes(&soup);
+            let _ = DyadicHeavyHitters::from_wire_bytes(&soup);
+        }
+    }
+}

@@ -74,6 +74,23 @@ impl KWiseHash {
         self.coeffs.len()
     }
 
+    /// The polynomial coefficients (constant term last) — the function's
+    /// complete seed material, exposed for wire encoding.
+    #[inline]
+    pub fn coefficients(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Rebuilds a function from captured [`KWiseHash::coefficients`].
+    ///
+    /// # Panics
+    /// Panics if `coeffs` is empty (callers on the decode path validate
+    /// first and return a `WireError` instead).
+    pub fn from_coefficients(coeffs: Vec<u64>) -> Self {
+        assert!(!coeffs.is_empty(), "hash needs at least one coefficient");
+        Self { coeffs }
+    }
+
     /// Evaluates the hash: a value uniform on `[0, 2^61 − 1)`.
     #[inline]
     pub fn hash(&self, x: u64) -> u64 {

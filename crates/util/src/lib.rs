@@ -19,8 +19,10 @@ pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod variates;
+pub mod wire;
 
 pub use discretize::EtaGrid;
 pub use hashing::KWiseHash;
 pub use rng::{derive_seed, keyed_u64, mix64, SplitMix64, Xoshiro256pp};
 pub use table::Table;
+pub use wire::{Decode, Encode, WireError, WireReader, WireWriter};

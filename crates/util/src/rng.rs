@@ -100,6 +100,25 @@ impl Xoshiro256pp {
         Self::new(derive_seed(seed, stream))
     }
 
+    /// The raw 256-bit generator state (for checkpointing; see `wire`).
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a captured [`Xoshiro256pp::state`].
+    /// The all-zero state is a fixed point of xoshiro, so it maps to the
+    /// same non-zero fallback `new` uses.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            Self {
+                s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+            }
+        } else {
+            Self { s }
+        }
+    }
+
     /// Returns the next 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -34,6 +34,16 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows (each padded to the header width).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// True if the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

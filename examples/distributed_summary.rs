@@ -1,12 +1,17 @@
 //! Distributed summaries on the engine: shard a turnstile stream across
-//! "datacenters", run a `ShardedEngine` in each, ship compact snapshots to
-//! a coordinator, and query the merged engine as if it had seen the whole
-//! stream — the §1.3 distributed-databases motivation, now with repeated
-//! draws and query-at-any-time semantics instead of one-shot samplers.
+//! "datacenters", run a `ShardedEngine` in each, ship each site's state to
+//! a coordinator **as real wire bytes**, and query the merged engine as if
+//! it had seen the whole stream — the §1.3 distributed-databases
+//! motivation, now with repeated draws, query-at-any-time semantics, and a
+//! payload that could actually cross a network: framed, versioned,
+//! checksummed, decoded on the receiving side with full validation.
 //!
-//! Two merge levels are on display:
-//! * **engine level** — `snapshot()`/`merge()` is router-agnostic (the
-//!   coordinator here runs a different shard count than the ingest tier);
+//! Three levels are on display:
+//! * **wire level** — `EngineSnapshot::to_bytes()` → ship `Vec<u8>` →
+//!   `EngineSnapshot::from_bytes()`; the gap+varint coded payload is what
+//!   Theorem 1.2's space story looks like on a socket;
+//! * **engine level** — `merge()` is router-agnostic (the coordinator here
+//!   runs a different shard count than the ingest tier);
 //! * **sketch level** — the same-seeded `PerfectLpSampler::merge` path the
 //!   paper's linearity gives for free, kept as the exactness cross-check.
 //!
@@ -57,21 +62,39 @@ fn main() {
             .collect()
     });
 
-    // Ship snapshots to the coordinator — note the different shard count:
-    // snapshots are router-agnostic.
-    let snapshots: Vec<EngineSnapshot> = site_engines.iter().map(|e| e.snapshot()).collect();
-    let payload_bits: usize = snapshots.iter().map(EngineSnapshot::space_bits).sum();
+    // Ship each site's snapshot as REAL bytes: frame it, move the buffer
+    // (that is the network hop), decode and validate it on the coordinator.
+    // Note the different shard count — snapshots are router-agnostic.
+    let site_snapshots: Vec<EngineSnapshot> = site_engines.iter().map(|e| e.snapshot()).collect();
+    let wire_payloads: Vec<Vec<u8>> = site_snapshots
+        .iter()
+        .map(EngineSnapshot::to_bytes)
+        .collect();
+    let wire_bytes: usize = wire_payloads.iter().map(Vec::len).sum();
+    let accounting_bits: usize = site_snapshots.iter().map(EngineSnapshot::space_bits).sum();
     let mut coordinator = ShardedEngine::new(
         EngineConfig::new(n).shards(8).pool_size(3).seed(seed + 99),
         factory,
     );
-    for snap in &snapshots {
-        coordinator.merge(snap);
+    for payload in &wire_payloads {
+        let snap = EngineSnapshot::from_bytes(payload).expect("valid site payload");
+        coordinator.merge(&snap);
     }
     println!(
-        "sites shipped {} of snapshots total; coordinator state is exact: {}",
-        pts_util::table::fmt_bits(payload_bits),
+        "sites shipped {wire_bytes} wire bytes total (vs {} at the 128-bit/entry accounting); \
+         coordinator state is exact: {}",
+        pts_util::table::fmt_bits(accounting_bits),
         coordinator.snapshot().to_vector() == global,
+    );
+
+    // A corrupted payload cannot poison the coordinator: flip one byte and
+    // the frame checksum rejects it at decode time.
+    let mut tampered = wire_payloads[0].clone();
+    let mid = tampered.len() / 2;
+    tampered[mid] ^= 0x01;
+    println!(
+        "tampered payload rejected: {}",
+        EngineSnapshot::from_bytes(&tampered).is_err()
     );
 
     // The merged engine serves repeated perfect L3 draws at any time.

@@ -20,6 +20,14 @@
 //! ingest, and a parallel pool catch-up (`prime`) between the mid-stream
 //! probe and the query burst. The report is identical by the engines'
 //! determinism contract — only the wall-clock changes.
+//!
+//! New in this version: the monitor **crashes** halfway through the attack.
+//! Right after the mid-stream probe it checkpoints its complete state to a
+//! byte buffer (in production: disk/S3), the engine value is dropped, and a
+//! fresh process-equivalent restores from the bytes and keeps serving. A
+//! control engine that never crashed runs the identical call sequence, and
+//! the example asserts the two reports agree **draw for draw** — crash
+//! recovery is invisible, which is the wire format's whole contract.
 
 use perfect_sampling::prelude::*;
 use std::collections::HashMap;
@@ -62,6 +70,28 @@ impl Monitor {
             Monitor::Concurrent(e) => e.respawns(),
         }
     }
+
+    /// Serializes the complete engine state (the durable-snapshot wire
+    /// format; the concurrent front-end flushes to quiescence first).
+    fn checkpoint(&mut self) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        match self {
+            Monitor::Sequential(e) => e.checkpoint(&mut bytes).expect("checkpoint"),
+            Monitor::Concurrent(e) => e.checkpoint(&mut bytes).expect("checkpoint"),
+        }
+        bytes
+    }
+
+    /// Rebuilds a monitor from checkpoint bytes — the payload is
+    /// front-end-agnostic, so recovery picks its mode independently of the
+    /// mode that wrote it.
+    fn restore(concurrent: bool, bytes: &[u8]) -> Monitor {
+        if concurrent {
+            Monitor::Concurrent(ConcurrentEngine::restore(&mut &bytes[..]).expect("restore"))
+        } else {
+            Monitor::Sequential(ShardedEngine::restore(&mut &bytes[..]).expect("restore"))
+        }
+    }
 }
 
 fn main() {
@@ -95,16 +125,24 @@ fn main() {
     println!("attackers hold {:.2}% of F4", attacker_share * 100.0);
 
     // One engine, perfect L4 law, 2 shards × 2 pooled samplers — threaded
-    // or not, same seeds, same draws.
+    // or not, same seeds, same draws. The `control` twin runs the identical
+    // call sequence without ever crashing, to prove recovery is invisible.
     let config = EngineConfig::new(n).shards(2).pool_size(2).seed(seed);
     let factory = PerfectLpFactory::for_universe(n, 4.0);
-    let mut engine = if concurrent {
+    let build = |concurrent: bool| {
+        if concurrent {
+            Monitor::Concurrent(ConcurrentEngine::new(config, factory))
+        } else {
+            Monitor::Sequential(ShardedEngine::new(config, factory))
+        }
+    };
+    if concurrent {
         println!("mode: concurrent (one worker thread per shard)\n");
-        Monitor::Concurrent(ConcurrentEngine::new(config, factory))
     } else {
         println!("mode: sequential (pass --concurrent for the threaded front-end)\n");
-        Monitor::Sequential(ShardedEngine::new(config, factory))
-    };
+    }
+    let mut engine = build(concurrent);
+    let mut control = build(concurrent);
 
     // Ingest the first half of the traffic, then probe MID-STREAM: the
     // engine answers while the attack is still in flight.
@@ -112,8 +150,10 @@ fn main() {
     let (first_half, second_half) = updates.split_at(updates.len() / 2);
     for batch in first_half.chunks(128) {
         engine.ingest_batch(batch);
+        control.ingest_batch(batch);
     }
     let early = engine.sample();
+    let _ = control.sample();
     println!(
         "mid-stream probe after {} updates: {}",
         first_half.len(),
@@ -123,24 +163,50 @@ fn main() {
         }
     );
 
+    // CRASH. The monitor checkpoints its full state — net vectors, masses,
+    // live sampler sketches, RNG positions — and the process "dies"; a
+    // replacement restores from the bytes and keeps serving as if nothing
+    // happened.
+    let snapshot_bytes = engine.checkpoint();
+    drop(engine);
+    let mut engine = Monitor::restore(concurrent, &snapshot_bytes);
+    println!(
+        "crash + recovery: {} checkpoint bytes restored mid-attack",
+        snapshot_bytes.len()
+    );
+
     // Finish the stream, then catch the pools up *before* the query burst
     // (in concurrent mode every shard replays its net vector in parallel).
     for batch in second_half.chunks(128) {
         engine.ingest_batch(batch);
+        control.ingest_batch(batch);
     }
     let refilled = engine.prime();
+    let _ = control.prime();
     println!("pool catch-up before the burst: {refilled} slot(s) refilled");
 
-    // Draw 16 L4 samples from the same engine.
+    // Draw 16 L4 samples from the recovered engine — each checked against
+    // the never-crashed control, draw for draw.
     let draws = 16;
     let mut hits: HashMap<u64, u32> = HashMap::new();
     let mut fails = 0;
+    let mut divergences = 0;
     for _ in 0..draws {
-        match engine.sample() {
+        let recovered = engine.sample();
+        let uninterrupted = control.sample();
+        if recovered != uninterrupted {
+            divergences += 1;
+        }
+        match recovered {
             Some(s) => *hits.entry(s.index).or_default() += 1,
             None => fails += 1,
         }
     }
+    assert_eq!(
+        divergences, 0,
+        "recovered engine diverged from the uninterrupted control"
+    );
+    println!("recovered vs uninterrupted control: 0/{draws} draws diverged");
     let mut report: Vec<(u64, u32)> = hits.into_iter().collect();
     report.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     println!("\nperfect L4 sampling report ({draws} draws, {fails} ⊥):");

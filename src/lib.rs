@@ -81,7 +81,7 @@ pub use pts_util;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use pts_core::{
-        ApproxLpBatch, ApproxLpParams, ApproxLpSampler, PerfectLpParams, PerfectLpSampler,
+        ApproxLpBatch, ApproxLpParams, ApproxLpSampler, GSpec, PerfectLpParams, PerfectLpSampler,
         Polynomial, PolynomialParams, PolynomialSampler, RejectionGSampler, SubsetNormEstimator,
         SubsetNormParams,
     };
@@ -95,4 +95,5 @@ pub mod prelude {
     };
     pub use pts_sketch::LinearSketch;
     pub use pts_stream::{FrequencyVector, Stream, StreamStyle, Update};
+    pub use pts_util::wire::{Decode, Encode, WireError};
 }

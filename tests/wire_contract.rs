@@ -1,0 +1,156 @@
+//! Wire contract across the sampler stack: every sampler's compact state
+//! round-trips bit-exactly (`decode(encode(x))` re-encodes to the same
+//! bytes **and** produces the same draw), truncations fail cleanly, and the
+//! one legitimately non-encodable value — a custom G-closure — reports
+//! `WireError::Unsupported` instead of shipping garbage.
+
+use perfect_sampling::prelude::*;
+use pts_core::GSpec;
+use pts_util::wire::{Decode, Encode, WireError};
+
+fn feed<S: TurnstileSampler>(s: &mut S, n: u64, updates: u64, seed: u64) {
+    let mut rng = pts_util::Xoshiro256pp::new(seed);
+    for _ in 0..updates {
+        let i = rng.next_below(n);
+        let delta = rng.next_sign() * (1 + rng.next_below(20) as i64);
+        s.process(Update::new(i, delta));
+    }
+}
+
+/// Round-trip plus truncation fuzz; returns the decoded twin for
+/// behavioral comparison.
+fn roundtrip<T: Encode + Decode>(x: &T) -> T {
+    let bytes = x.to_wire_bytes().expect("must encode");
+    let back = T::from_wire_bytes(&bytes).expect("own encoding must decode");
+    assert_eq!(
+        back.to_wire_bytes().unwrap(),
+        bytes,
+        "re-encode diverged from original"
+    );
+    let stride = (bytes.len() / 48).max(1);
+    for cut in (0..bytes.len()).step_by(stride) {
+        assert!(
+            T::from_wire_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut} decoded"
+        );
+    }
+    back
+}
+
+#[test]
+fn perfect_l0_roundtrips_with_identical_draw() {
+    let mut s = PerfectL0Sampler::new(64, L0Params::default(), 7);
+    feed(&mut s, 64, 50, 1);
+    let mut twin = roundtrip(&s);
+    assert_eq!(s.sample(), twin.sample());
+}
+
+#[test]
+fn lp_le2_batch_roundtrips_with_identical_draw() {
+    let params = LpLe2Params::for_universe(64, 1.5).with_extra_estimators(2);
+    let mut s = LpLe2Batch::new(64, params, 3, 11);
+    feed(&mut s, 64, 60, 2);
+    let mut twin = roundtrip(&s);
+    assert_eq!(s.sample(), twin.sample());
+}
+
+#[test]
+fn precision_sampler_roundtrips_with_identical_draw() {
+    let mut s = PrecisionSampler::new(32, PrecisionParams::for_universe(32, 2.0, 0.4), 13);
+    feed(&mut s, 32, 40, 3);
+    let mut twin = roundtrip(&s);
+    assert_eq!(s.sample(), twin.sample());
+}
+
+#[test]
+fn reservoir_roundtrips_with_identical_future_stream() {
+    let mut s = ReservoirSampler::new(5);
+    for i in 0..30u64 {
+        s.process(Update::new(i % 8, 1 + (i % 3) as i64));
+    }
+    let mut twin = roundtrip(&s);
+    // Same held item now, and — because the RNG state shipped too — the
+    // same replacement decisions on every future insertion.
+    for i in 0..50u64 {
+        let u = Update::new(i % 8, 1);
+        s.process(u);
+        twin.process(u);
+        assert_eq!(s.sample(), twin.sample(), "diverged at arrival {i}");
+    }
+}
+
+#[test]
+fn perfect_lp_sampler_roundtrips_with_identical_draw() {
+    let params = PerfectLpParams::for_universe(16, 3.0);
+    let mut s = PerfectLpSampler::new(16, params, 17);
+    feed(&mut s, 16, 40, 4);
+    let mut twin = roundtrip(&s);
+    assert_eq!(s.sample(), twin.sample());
+}
+
+#[test]
+fn approx_lp_sampler_roundtrips_with_identical_draw() {
+    let params = ApproxLpParams::for_universe(32, 3.0, 0.3);
+    let mut s = ApproxLpSampler::new(32, params, 19);
+    feed(&mut s, 32, 40, 5);
+    let mut twin = roundtrip(&s);
+    assert_eq!(s.sample(), twin.sample());
+}
+
+#[test]
+fn named_g_samplers_roundtrip_with_identical_draw() {
+    type Builder = Box<dyn Fn(u64) -> RejectionGSampler>;
+    let builders: Vec<(&str, Builder)> = vec![
+        (
+            "log",
+            Box::new(|s| RejectionGSampler::log_sampler(32, 500, s)),
+        ),
+        (
+            "cap",
+            Box::new(|s| RejectionGSampler::cap_sampler(32, 8.0, 2.0, s)),
+        ),
+        (
+            "huber",
+            Box::new(|s| RejectionGSampler::huber_sampler(32, 3.0, 500, s)),
+        ),
+        (
+            "fair",
+            Box::new(|s| RejectionGSampler::fair_sampler(32, 3.0, 500, s)),
+        ),
+        (
+            "soft-cap",
+            Box::new(|s| RejectionGSampler::soft_cap_sampler(32, 0.5, s)),
+        ),
+        (
+            "l1l2",
+            Box::new(|s| RejectionGSampler::l1l2_sampler(32, 500, s)),
+        ),
+    ];
+    for (name, build) in builders {
+        let mut s = build(23);
+        feed(&mut s, 32, 30, 6);
+        let mut twin = roundtrip(&s);
+        assert_eq!(s.spec(), twin.spec(), "{name}: spec diverged");
+        assert_eq!(s.sample(), twin.sample(), "{name}: draw diverged");
+    }
+}
+
+#[test]
+fn polynomial_sampler_roundtrips_with_identical_draw() {
+    let poly = Polynomial::new(vec![(1.0, 2.0), (2.0, 3.0)]);
+    let params = PolynomialParams::for_universe(16, poly);
+    let mut s = PolynomialSampler::new(16, params, 29);
+    feed(&mut s, 16, 30, 7);
+    let mut twin = roundtrip(&s);
+    assert_eq!(s.sample(), twin.sample());
+}
+
+#[test]
+fn custom_g_closure_refuses_to_encode() {
+    let custom = RejectionGSampler::new(16, std::sync::Arc::new(|z| z.abs().min(3.0)), 3.0, 4, 1);
+    assert_eq!(custom.spec(), GSpec::Custom);
+    match custom.to_wire_bytes() {
+        Err(WireError::Unsupported(_)) => {}
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+}
