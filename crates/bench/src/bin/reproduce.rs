@@ -1,14 +1,15 @@
 //! `reproduce` — regenerate the paper's tables and figures.
 //!
-//! Usage:
-//!   reproduce                    # run every experiment in quick mode
-//!   reproduce e1 e4 a1           # run a subset
-//!   reproduce --full             # full trial counts (the EXPERIMENTS.md record)
-//!   reproduce --list             # list experiment ids
-//!   reproduce --json <dir> s1 w1 # also write machine-readable BENCH_<id>.json
-//!                                # files into <dir> (created if missing) —
-//!                                # what CI uploads as the per-commit perf
-//!                                # artifact
+//! ```text
+//! reproduce                    # run every experiment in quick mode
+//! reproduce e1 e4 a1           # run a subset
+//! reproduce --full             # full trial counts (the EXPERIMENTS.md record)
+//! reproduce --list             # list experiment ids
+//! reproduce --json <dir> s1 w1 # also write machine-readable BENCH_<id>.json
+//!                              # files into <dir> (created if missing) —
+//!                              # what CI uploads as the per-commit perf
+//!                              # artifact
+//! ```
 
 use pts_bench::{json, registry};
 use std::io::Write;

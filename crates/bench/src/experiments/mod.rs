@@ -9,6 +9,7 @@ pub mod ablations;
 pub mod accuracy;
 pub mod distribution;
 pub mod lower_bound;
+pub mod service;
 pub mod space;
 pub mod table1;
 pub mod throughput;
@@ -19,7 +20,7 @@ use pts_util::Table;
 
 /// A runnable experiment.
 pub struct Experiment {
-    /// Identifier (`tab1`, `e1`, …, `s1`, `t1`, `a3`).
+    /// Identifier (`tab1`, `e1`, …, `s1`, `t1`, `w1`, `n1`, `a3`).
     pub id: &'static str,
     /// What it reproduces.
     pub title: &'static str,
@@ -109,6 +110,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "w1",
             title: "W1 — durable snapshot/checkpoint bytes vs n, p, shards (wire format)",
             run: wire::w1_snapshot_size,
+        },
+        Experiment {
+            id: "n1",
+            title: "N1 — service requests/sec over loopback vs batch size (pts-server)",
+            run: service::n1_service_throughput,
         },
         Experiment {
             id: "a1",

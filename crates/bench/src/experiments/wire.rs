@@ -6,7 +6,7 @@
 //! of bytes a checkpoint writes to disk**. This experiment measures, per
 //! `(factory, p, n, S)` configuration:
 //!
-//! * the framed [`EngineSnapshot`] payload (gap+varint coded sparse net
+//! * the framed [`pts_engine::EngineSnapshot`] payload (gap+varint coded sparse net
 //!   vector — the merge-layer shipping unit, `O(support)` bytes);
 //! * the full engine checkpoint (config + RNG + stats + every shard's pool
 //!   with live sampler sketches — the crash-recovery unit, dominated by the

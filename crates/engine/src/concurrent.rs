@@ -323,20 +323,29 @@ where
     /// restore it. Shards encode their own state on their worker threads,
     /// in parallel.
     ///
-    /// **Quiescence.** [`ConcurrentEngine::flush`] is the engine's only
-    /// quiescence point, and `checkpoint` invokes it first: every enqueued
-    /// run is applied before any shard serializes, and the debug build
-    /// asserts no run is in flight — a checkpoint can never observe a torn
-    /// shard. (Per-shard FIFO alone already orders each shard's encoding
-    /// after its pending applies; the flush additionally pins the *stats*
-    /// counters to the shard state so the restored engine's counters match
-    /// its contents.)
+    /// **Quiescence guarantee (documented, release-mode-checked).**
+    /// [`ConcurrentEngine::flush`] is the engine's only quiescence point,
+    /// and `checkpoint` invokes it first: every enqueued run is applied
+    /// before any shard serializes, so a checkpoint can never observe a
+    /// torn shard. (Per-shard FIFO alone already orders each shard's
+    /// encoding after its pending applies; the flush additionally pins the
+    /// *stats* counters to the shard state so the restored engine's
+    /// counters match its contents.) Because all engine methods take
+    /// `&mut self`, no ingest can race this call on a correctly shared
+    /// engine — but a server path funnels checkpoint requests from remote
+    /// clients, so the guarantee is verified in release builds too: if a
+    /// run is somehow still in flight after the flush, `checkpoint`
+    /// returns an [`std::io::ErrorKind::InvalidData`] error (carrying a
+    /// [`WireError`]) instead of serializing a torn state — never a
+    /// `debug_assert` that release builds would skip.
     pub fn checkpoint<W: std::io::Write>(&mut self, sink: &mut W) -> std::io::Result<()> {
         self.flush();
-        debug_assert_eq!(
-            self.in_flight, 0,
-            "checkpoint requires quiescence: runs still in flight after flush"
-        );
+        if self.in_flight != 0 {
+            return Err(WireError::Invalid(
+                "checkpoint requires quiescence: runs still in flight after flush",
+            )
+            .into());
+        }
         let receivers: Vec<_> = self
             .workers
             .iter()

@@ -69,6 +69,7 @@ pub mod engine;
 pub mod factory;
 pub mod pool;
 pub mod router;
+pub mod service;
 pub mod shard;
 pub mod snapshot;
 pub mod worker;
@@ -79,6 +80,7 @@ pub use engine::{EngineStats, ShardedEngine};
 pub use factory::{L0Factory, LogGFactory, LpLe2Factory, PerfectLpFactory, SamplerFactory};
 pub use pool::SamplerPool;
 pub use router::ShardRouter;
+pub use service::SamplingService;
 pub use shard::{Shard, ShardState};
 pub use snapshot::EngineSnapshot;
 pub use worker::ShardReport;

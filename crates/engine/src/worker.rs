@@ -12,7 +12,7 @@
 //! after a set of applies observes all of them.
 //!
 //! Shutdown is by hang-up: dropping the request sender ends the worker's
-//! `recv` loop, and [`ShardWorker::drop`] joins the thread.
+//! `recv` loop, and the `ShardWorker` drop impl joins the thread.
 
 use crate::shard::ShardState;
 use pts_samplers::Sample;

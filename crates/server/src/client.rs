@@ -1,0 +1,203 @@
+//! The blocking client: typed request/response methods over one
+//! persistent connection.
+//!
+//! Each method sends exactly one request frame and reads exactly one
+//! response frame (the protocol's lockstep contract), converting protocol
+//! payloads back into engine types at the boundary: raw `(index, delta)`
+//! pairs become [`pts_stream::Update`]s on the way out and
+//! [`pts_samplers::Sample`]s on the way back, snapshot bytes decode into
+//! [`pts_engine::EngineSnapshot`]. Server-reported failures surface as
+//! [`ClientError::Server`] carrying the wire-stable
+//! [`pts_util::protocol::ErrorCode`].
+
+use pts_engine::EngineSnapshot;
+use pts_samplers::Sample;
+use pts_stream::Update;
+use pts_util::protocol::{
+    read_response, write_request, Request, Response, ServiceError, ServiceStats,
+};
+use pts_util::wire::WireError;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed at the socket level.
+    Io(std::io::Error),
+    /// The server's bytes could not be decoded as a response frame.
+    Wire(WireError),
+    /// The server answered with an in-band error response.
+    Server(ServiceError),
+    /// The server answered with a well-formed response of the wrong kind
+    /// for the request that was sent.
+    UnexpectedResponse(&'static str),
+    /// A checkpoint too large to ship in one `Restore` request
+    /// ([`pts_util::protocol::MAX_RESTORE_BYTES`]); restore it out-of-band
+    /// by starting the replacement server from the bytes directly
+    /// (`ShardedEngine::restore` / `ConcurrentEngine::restore`). Detected
+    /// client-side, before anything is sent, so the connection survives.
+    CheckpointTooLarge {
+        /// The oversized checkpoint's byte count.
+        bytes: usize,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol decode error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::UnexpectedResponse(what) => {
+                write!(f, "unexpected response kind (wanted {what})")
+            }
+            ClientError::CheckpointTooLarge { bytes } => write!(
+                f,
+                "checkpoint of {bytes} bytes exceeds the Restore request cap \
+                 ({} bytes); restore it out-of-band",
+                pts_util::protocol::MAX_RESTORE_BYTES
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to a [`crate::Server`].
+///
+/// Not `Clone` and not thread-safe by design: the protocol is lockstep
+/// per connection, so concurrent callers should each open their own
+/// connection (the server spawns one handler per connection).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// One lockstep round trip: send `request`, read one response. An
+    /// error response becomes [`ClientError::Server`].
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_request(request, &mut self.writer)?;
+        self.writer.flush()?;
+        match read_response(&mut self.reader)? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Ok(other),
+        }
+    }
+
+    /// Applies a batch of turnstile updates; returns the accepted count.
+    pub fn ingest_batch(&mut self, batch: &[Update]) -> Result<u64, ClientError> {
+        let pairs = batch.iter().map(|u| (u.index, u.delta)).collect();
+        match self.round_trip(&Request::IngestBatch(pairs))? {
+            Response::Ingested { accepted } => Ok(accepted),
+            _ => Err(ClientError::UnexpectedResponse("Ingested")),
+        }
+    }
+
+    /// Draws one sample from the served engine (`None` is the paper's ⊥).
+    pub fn sample(&mut self) -> Result<Option<Sample>, ClientError> {
+        Ok(self.sample_many(1)?.pop().flatten())
+    }
+
+    /// Draws `count` samples in one round trip, in draw order.
+    pub fn sample_many(&mut self, count: u64) -> Result<Vec<Option<Sample>>, ClientError> {
+        match self.round_trip(&Request::Sample { count })? {
+            Response::Samples(draws) => Ok(draws
+                .into_iter()
+                .map(|d| d.map(|(index, estimate)| Sample { index, estimate }))
+                .collect()),
+            _ => Err(ClientError::UnexpectedResponse("Samples")),
+        }
+    }
+
+    /// Fetches the engine's compact mergeable snapshot.
+    pub fn snapshot(&mut self) -> Result<EngineSnapshot, ClientError> {
+        match self.round_trip(&Request::Snapshot)? {
+            Response::Snapshot(bytes) => Ok(EngineSnapshot::from_bytes(&bytes)?),
+            _ => Err(ClientError::UnexpectedResponse("Snapshot")),
+        }
+    }
+
+    /// Fetches the engine's counters, mass, and support.
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            _ => Err(ClientError::UnexpectedResponse("Stats")),
+        }
+    }
+
+    /// Pulls a complete engine checkpoint (a framed `KIND_ENGINE` payload
+    /// — feed it to an engine `restore`, persist it, or send it back via
+    /// [`Client::restore`]).
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, ClientError> {
+        match self.round_trip(&Request::Checkpoint)? {
+            Response::Checkpoint(bytes) => Ok(bytes),
+            _ => Err(ClientError::UnexpectedResponse("Checkpoint")),
+        }
+    }
+
+    /// Replaces the served engine's state with a previously captured
+    /// checkpoint. Checkpoints above
+    /// [`pts_util::protocol::MAX_RESTORE_BYTES`] are refused here, before
+    /// anything is sent (shipping one would hit the server's frame cap
+    /// and fatally close the connection); restore those out-of-band via
+    /// the engine's own `restore`.
+    pub fn restore(&mut self, checkpoint: &[u8]) -> Result<(), ClientError> {
+        if checkpoint.len() as u64 > pts_util::protocol::MAX_RESTORE_BYTES {
+            return Err(ClientError::CheckpointTooLarge {
+                bytes: checkpoint.len(),
+            });
+        }
+        match self.round_trip(&Request::Restore(checkpoint.to_vec()))? {
+            Response::Restored => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("Restored")),
+        }
+    }
+
+    /// Asks the server to shut down (acknowledged before the server's
+    /// accept loop exits).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("ShuttingDown")),
+        }
+    }
+
+    /// Sends raw bytes **instead of** a well-formed request frame — the
+    /// fuzz tests' hostile-client hook. The server's reply (if any) is
+    /// read with [`Client::recv_response`].
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Reads one response frame without sending anything first (pairs
+    /// with [`Client::send_raw`]).
+    pub fn recv_response(&mut self) -> Result<Response, ClientError> {
+        Ok(read_response(&mut self.reader)?)
+    }
+}

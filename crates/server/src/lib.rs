@@ -1,0 +1,73 @@
+//! # pts-server
+//!
+//! A wire-native TCP sampling service: a [`pts_engine`] front-end behind
+//! the framed request/response protocol of [`pts_util::protocol`], built
+//! on nothing but `std::net`.
+//!
+//! The ROADMAP's serving story in one picture:
+//!
+//! ```text
+//!  Client ──TCP──►  [ accept loop ]          one handler thread
+//!  Client ──TCP──►      │    │               per connection
+//!                   handler  handler
+//!                        \    /
+//!                   Mutex<SamplingService>   ShardedEngine or
+//!                        │                   ConcurrentEngine
+//!                   shard workers …          (engine-internal threads)
+//! ```
+//!
+//! * **[`Server`]** binds a listener, hosts any
+//!   [`pts_engine::SamplingService`] implementor, and spawns one handler
+//!   thread per accepted connection. Handlers answer every readable
+//!   request frame — malformed payloads included — with exactly one
+//!   response frame; protocol-recoverable errors keep the connection,
+//!   framing-fatal ones close it (see `pts_util::protocol` for the
+//!   normative classification).
+//! * **[`Client`]** is the matching blocking client: typed methods
+//!   (ingest / sample / snapshot / stats / checkpoint / restore /
+//!   shutdown) over one persistent connection.
+//! * **[`serve`]** is the one-call entry point `examples/serve_demo.rs`
+//!   uses.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pts_engine::{ConcurrentEngine, EngineConfig, L0Factory};
+//! use pts_server::{serve, Client};
+//! use pts_stream::Update;
+//!
+//! // Any SamplingService implementor works; loopback port 0 = ephemeral.
+//! let engine = ConcurrentEngine::new(
+//!     EngineConfig::new(1 << 10).shards(2).pool_size(2).seed(7),
+//!     L0Factory::default(),
+//! );
+//! let server = serve("127.0.0.1:0", engine).unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.ingest_batch(&[Update::new(3, 5), Update::new(900, -2)]).unwrap();
+//! let draw = client.sample().unwrap().expect("non-zero state samples");
+//! assert!(draw.index == 3 || draw.index == 900);
+//!
+//! let checkpoint = client.checkpoint().unwrap(); // full engine state, framed
+//! client.shutdown_server().unwrap();
+//! server.join();
+//! # let _ = checkpoint;
+//! ```
+//!
+//! Durability composes with serving: the checkpoint bytes a client pulls
+//! are the same framed `KIND_ENGINE` payload `engine.checkpoint()` writes
+//! to disk, so "checkpoint over the wire, kill the process, restore into
+//! a fresh server" yields draw-for-draw identical behavior (pinned by
+//! `tests/loopback.rs` and demonstrated by `examples/serve_demo.rs`).
+//!
+//! See `PROTOCOL.md` at the repository root for the byte-level frame
+//! grammar and worked hex examples.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use server::{serve, Server};

@@ -1,0 +1,385 @@
+//! The server: accept loop, per-connection handler threads, and the
+//! request dispatcher over a shared [`SamplingService`].
+//!
+//! Threading model: the engine lives in one `Mutex` shared by all handler
+//! threads — requests on different connections serialize at the engine,
+//! which is exactly the consistency clients want (every response reflects
+//! all previously *answered* requests, across connections). Concurrency
+//! inside the engine is the engine's own business: a hosted
+//! [`pts_engine::ConcurrentEngine`] still applies runs on its per-shard
+//! worker threads while the mutex only serializes front-end calls.
+//!
+//! Shutdown: a `Shutdown` request (or [`Server::shutdown`]) sets a shared
+//! flag; the accept loop is woken by a loopback connection and exits, and
+//! handler threads observe the flag at their next idle poll and close.
+//! [`Server::join`] then completes once every handler has returned.
+
+use pts_engine::SamplingService;
+use pts_stream::Update;
+use pts_util::protocol::{
+    read_frame_lenient, write_response, ErrorCode, FrameError, Request, Response, ServiceError,
+    MAX_FRAME_BYTES,
+};
+use pts_util::wire::{Decode, WireError, KIND_REQUEST};
+use std::io::{BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a handler blocks waiting for the *first* byte of a request
+/// before re-checking the shutdown flag. Bounds shutdown latency without
+/// burning CPU on idle connections.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// The whole-frame deadline: once a request's first byte has arrived, the
+/// complete frame must follow within this window. A peer that stalls — or
+/// trickles bytes to keep individual reads alive — is treated as gone
+/// when the deadline passes (fatal; the connection closes) rather than
+/// pinning the handler, and [`FrameBodyReader`] re-checks the shutdown
+/// flag on every retry so teardown never waits on a slow peer.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Wraps the mid-frame reads of a connection: retries the socket's short
+/// [`IDLE_POLL`] timeouts until data arrives, the whole-frame `deadline`
+/// passes, or shutdown is flagged — converting both expiries into a
+/// `TimedOut` error the frame reader classifies as fatal.
+struct FrameBodyReader<'a> {
+    stream: &'a mut TcpStream,
+    deadline: Instant,
+    shutdown: &'a AtomicBool,
+}
+
+impl Read for FrameBodyReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "server shutting down mid-frame",
+                ));
+            }
+            if Instant::now() >= self.deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "frame deadline exceeded",
+                ));
+            }
+            match self.stream.read(buf) {
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// The state all handler threads share. The shutdown flag lives in its
+/// own `Arc` so the non-generic [`Server`] handle can hold it too.
+struct Shared<E> {
+    engine: Mutex<E>,
+    shutdown: Arc<AtomicBool>,
+    /// The listener's address — what a handler pokes to wake a blocking
+    /// `accept` after flagging shutdown.
+    listen_addr: SocketAddr,
+}
+
+/// A running sampling service bound to a TCP listener.
+///
+/// Dropping the server shuts it down and joins every thread; use
+/// [`Server::join`] for an explicit, blocking teardown.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// Binds `addr` and serves `engine` until shut down — the one-call entry
+/// point (`examples/serve_demo.rs` is the tour). Equivalent to
+/// [`Server::bind`].
+pub fn serve<E>(addr: impl ToSocketAddrs, engine: E) -> std::io::Result<Server>
+where
+    E: SamplingService + Send + 'static,
+{
+    Server::bind(addr, engine)
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral loopback port) and starts
+    /// the accept loop on a background thread. The engine moves into the
+    /// server; clients observe and mutate it only through the protocol.
+    pub fn bind<E>(addr: impl ToSocketAddrs, engine: E) -> std::io::Result<Self>
+    where
+        E: SamplingService + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(engine),
+            shutdown: Arc::clone(&shutdown),
+            listen_addr: addr,
+        });
+        let accept = std::thread::Builder::new()
+            .name("pts-server-accept".into())
+            .spawn(move || accept_loop(listener, shared))?;
+        Ok(Self {
+            addr,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the server is listening on (with the real port when
+    /// bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a shutdown (request-driven or programmatic) has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Initiates shutdown without a client: sets the flag and wakes the
+    /// accept loop. Returns immediately; use [`Server::join`] to wait.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake a blocking accept; if the listener is already gone the
+        // connect fails, which is equally fine.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Blocks until the accept loop and every handler thread have exited.
+    /// (A `Shutdown` request from a client triggers the same teardown.)
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Accepts connections until the shutdown flag is set, then joins every
+/// handler it spawned.
+fn accept_loop<E>(listener: TcpListener, shared: Arc<Shared<E>>)
+where
+    E: SamplingService + Send + 'static,
+{
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let conn = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("pts-server-conn".into())
+                    .spawn(move || handle_connection(stream, shared))
+                {
+                    handlers.push(handle);
+                }
+            }
+            // Transient accept errors (peer reset mid-handshake, fd
+            // pressure) should not kill the service.
+            Err(_) => continue,
+        }
+        // Reap finished handlers so a long-lived server does not
+        // accumulate joinable threads.
+        handlers.retain(|h| !h.is_finished());
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// Serves one connection: reads request frames, answers each with exactly
+/// one response frame, until EOF, a fatal framing error, or shutdown.
+fn handle_connection<E: SamplingService>(stream: TcpStream, shared: Arc<Shared<E>>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = read_half;
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Wait for the first byte with a short poll so shutdown stays
+        // responsive, then read the rest of the frame under a whole-frame
+        // deadline: the socket keeps its short timeout and the body
+        // reader re-checks the deadline and the shutdown flag on every
+        // retry, so neither a stalled peer nor one trickling a byte at a
+        // time can pin the handler past FRAME_TIMEOUT (or past shutdown).
+        let first = match poll_first_byte(&mut reader, &shared.shutdown) {
+            Ok(Some(b)) => b,
+            Ok(None) => return, // EOF or shutdown
+            Err(_) => return,
+        };
+        let body = FrameBodyReader {
+            stream: &mut reader,
+            deadline: Instant::now() + FRAME_TIMEOUT,
+            shutdown: &shared.shutdown,
+        };
+        let mut src = std::io::Cursor::new([first]).chain(body);
+        let outcome = read_frame_lenient(KIND_REQUEST, MAX_FRAME_BYTES, &mut src);
+        match outcome {
+            Ok(payload) => match Request::from_wire_bytes(&payload) {
+                Ok(request) => {
+                    let (response, shutdown) = dispatch(&shared, request);
+                    if respond(&mut writer, &response).is_err() {
+                        return;
+                    }
+                    if shutdown {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        // Wake the accept loop so it observes the flag.
+                        let _ = TcpStream::connect(shared.listen_addr);
+                        return;
+                    }
+                }
+                // The frame was sound but its payload was not: answer
+                // in-band and keep the connection.
+                Err(err) => {
+                    let response = error_response(ErrorCode::Malformed, &err);
+                    if respond(&mut writer, &response).is_err() {
+                        return;
+                    }
+                }
+            },
+            // Frame boundary survived: report and continue.
+            Err(FrameError::Recoverable(err)) => {
+                let response = error_response(ErrorCode::Malformed, &err);
+                if respond(&mut writer, &response).is_err() {
+                    return;
+                }
+            }
+            // Framing destroyed: best-effort report, then close.
+            Err(FrameError::Fatal(err)) => {
+                let _ = respond(&mut writer, &error_response(ErrorCode::Malformed, &err));
+                return;
+            }
+            Err(FrameError::TooLarge(err)) => {
+                let _ = respond(&mut writer, &error_response(ErrorCode::TooLarge, &err));
+                return;
+            }
+        }
+    }
+}
+
+/// Blocks (in [`IDLE_POLL`] slices) until one byte arrives, the peer
+/// closes, or shutdown is flagged. `Ok(None)` means "close this
+/// connection quietly".
+fn poll_first_byte(reader: &mut TcpStream, shutdown: &AtomicBool) -> std::io::Result<Option<u8>> {
+    reader.set_read_timeout(Some(IDLE_POLL))?;
+    let mut byte = [0u8; 1];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match reader.read(&mut byte) {
+            Ok(0) => return Ok(None), // EOF
+            Ok(_) => return Ok(Some(byte[0])),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Writes one response frame and flushes it.
+fn respond<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
+    write_response(response, writer)?;
+    writer.flush()
+}
+
+/// An error response carrying the wire error's rendering as its message.
+fn error_response(code: ErrorCode, err: &dyn std::fmt::Display) -> Response {
+    Response::Error(ServiceError::new(code, err.to_string()))
+}
+
+/// Executes one request against the shared engine. Returns the response
+/// plus whether the server should shut down afterwards.
+fn dispatch<E: SamplingService>(shared: &Shared<E>, request: Request) -> (Response, bool) {
+    let Ok(mut engine) = shared.engine.lock() else {
+        return (
+            Response::Error(ServiceError::new(
+                ErrorCode::Internal,
+                "engine lock poisoned",
+            )),
+            false,
+        );
+    };
+    let response = match request {
+        Request::IngestBatch(pairs) => {
+            // Validate before touching the engine: an out-of-universe
+            // index must become an in-band error, not an engine panic,
+            // and a rejected batch must not be partially applied.
+            let universe = engine.universe() as u64;
+            match pairs.iter().find(|&&(index, _)| index >= universe) {
+                Some(&(index, _)) => Response::Error(ServiceError::new(
+                    ErrorCode::OutOfUniverse,
+                    format!("index {index} outside universe [0, {universe})"),
+                )),
+                None => {
+                    let batch: Vec<Update> = pairs
+                        .iter()
+                        .map(|&(index, delta)| Update::new(index, delta))
+                        .collect();
+                    engine.ingest_batch(&batch);
+                    Response::Ingested {
+                        accepted: batch.len() as u64,
+                    }
+                }
+            }
+        }
+        Request::Sample { count } => {
+            let draws = (0..count)
+                .map(|_| engine.sample().map(|s| (s.index, s.estimate)))
+                .collect();
+            Response::Samples(draws)
+        }
+        Request::Snapshot => Response::Snapshot(engine.snapshot().to_bytes()),
+        Request::Stats => Response::Stats(engine.service_stats()),
+        Request::Checkpoint => match engine.checkpoint_bytes() {
+            Ok(bytes) => Response::Checkpoint(bytes),
+            Err(err) => error_response(checkpoint_error_code(&err), &err),
+        },
+        Request::Restore(bytes) => match engine.restore_bytes(&bytes) {
+            Ok(()) => Response::Restored,
+            Err(err @ WireError::Unsupported(_)) => error_response(ErrorCode::Unsupported, &err),
+            Err(err) => error_response(ErrorCode::Malformed, &err),
+        },
+        Request::Shutdown => return (Response::ShuttingDown, true),
+    };
+    (response, false)
+}
+
+/// Classifies a checkpoint failure: a factory that cannot cross the wire
+/// (custom G closure) is the client's problem (`Unsupported`); anything
+/// else is the server's (`Internal`).
+fn checkpoint_error_code(err: &std::io::Error) -> ErrorCode {
+    match err.get_ref().and_then(|e| e.downcast_ref::<WireError>()) {
+        Some(WireError::Unsupported(_)) => ErrorCode::Unsupported,
+        _ => ErrorCode::Internal,
+    }
+}

@@ -1,0 +1,205 @@
+//! Protocol fuzz against a **live** loopback server, in the style of
+//! `wire_roundtrip.rs`: hostile bytes must yield clean in-band error
+//! responses — never a panic, never a hang — and the connection must
+//! remain usable whenever the stream is still at a frame boundary (the
+//! normative recoverable/fatal split in `pts_util::protocol`).
+//!
+//! Recoverable (same connection keeps working): byte-soup payloads inside
+//! a valid envelope, truncation at every prefix of a request payload,
+//! oversized *inner* length prefixes, checksum flips, version bumps,
+//! wrong frame kinds. Fatal (error response, then the server closes that
+//! connection — and only that connection): bad magic, envelope length
+//! over the service cap.
+
+use pts_engine::{ConcurrentEngine, EngineConfig, L0Factory};
+use pts_server::{serve, Client, ClientError};
+use pts_stream::Update;
+use pts_util::protocol::{ErrorCode, Request, Response, ServiceError};
+use pts_util::wire::{write_frame, Encode, WireWriter, KIND_REQUEST, WIRE_MAGIC, WIRE_VERSION};
+use pts_util::Xoshiro256pp;
+
+/// A live server over a small L0 engine, plus one connected client.
+fn live_server() -> (pts_server::Server, Client) {
+    let engine = ConcurrentEngine::new(
+        EngineConfig::new(64).shards(2).pool_size(1).seed(13),
+        L0Factory::default(),
+    );
+    let server = serve("127.0.0.1:0", engine).unwrap();
+    let client = Client::connect(server.local_addr()).unwrap();
+    (server, client)
+}
+
+/// Frames `payload` as a well-formed `KIND_REQUEST` envelope (valid magic,
+/// version, length, checksum) so only the *payload* is hostile.
+fn enveloped(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_frame(KIND_REQUEST, payload, &mut out).unwrap();
+    out
+}
+
+/// Asserts the next response is an in-band error of `code`.
+fn expect_error(client: &mut Client, code: ErrorCode, context: &str) {
+    match client.recv_response() {
+        Ok(Response::Error(ServiceError { code: got, .. })) => {
+            assert_eq!(got, code, "{context}: wrong error code");
+        }
+        other => panic!("{context}: wanted error response, got {other:?}"),
+    }
+}
+
+/// Asserts the connection still answers a real request correctly.
+fn assert_usable(client: &mut Client, context: &str) {
+    let stats = client.stats().unwrap_or_else(|e| {
+        panic!("{context}: connection unusable afterwards: {e}");
+    });
+    assert_eq!(stats.updates, 0, "{context}: fuzz must not mutate state");
+}
+
+#[test]
+fn byte_soup_payloads_yield_errors_and_connection_survives() {
+    let (server, mut client) = live_server();
+    let mut rng = Xoshiro256pp::new(0xF00D);
+    for round in 0..200 {
+        let len = (rng.next_u64() % 40) as usize;
+        let soup: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        // Skip the rare soup that *is* a valid request (e.g. a lone Stats
+        // tag): the point is malformed payloads.
+        if pts_util::wire::Decode::from_wire_bytes(&soup)
+            .map(|_: Request| ())
+            .is_ok()
+        {
+            continue;
+        }
+        client.send_raw(&enveloped(&soup)).unwrap();
+        expect_error(&mut client, ErrorCode::Malformed, &format!("soup {round}"));
+    }
+    assert_usable(&mut client, "after 200 soup rounds");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+#[test]
+fn truncation_at_every_prefix_yields_errors_on_one_connection() {
+    let (server, mut client) = live_server();
+    let request = Request::IngestBatch(vec![(3, 5), (900, -2), (17, 1 << 40)]);
+    let payload = request.to_wire_bytes().unwrap();
+    // Every proper prefix of this payload is malformed (the update count
+    // promises more pairs than the bytes deliver), each inside a fresh
+    // valid envelope: error response every time, same connection
+    // throughout.
+    for cut in 0..payload.len() {
+        client.send_raw(&enveloped(&payload[..cut])).unwrap();
+        expect_error(&mut client, ErrorCode::Malformed, &format!("cut {cut}"));
+    }
+    assert_usable(&mut client, "after truncation sweep");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+#[test]
+fn oversized_inner_length_prefix_is_rejected_without_allocation() {
+    let (server, mut client) = live_server();
+    // An IngestBatch whose count varint claims ~2^62 updates backed by
+    // two bytes: the allocation-capped decode must reject it in-band.
+    let mut w = WireWriter::new();
+    w.put_u8(0x01); // IngestBatch tag
+    w.put_u64(1 << 62);
+    w.put_u8(0x00);
+    w.put_u8(0x00);
+    client.send_raw(&enveloped(w.as_bytes())).unwrap();
+    expect_error(&mut client, ErrorCode::Malformed, "oversized count");
+
+    // Same attack through the Restore blob length.
+    let mut w = WireWriter::new();
+    w.put_u8(0x06); // Restore tag
+    w.put_u64(u64::MAX); // blob "length"
+    client.send_raw(&enveloped(w.as_bytes())).unwrap();
+    expect_error(&mut client, ErrorCode::Malformed, "oversized blob");
+
+    assert_usable(&mut client, "after oversized-length attacks");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+#[test]
+fn checksum_flip_version_bump_and_wrong_kind_are_recoverable() {
+    let (server, mut client) = live_server();
+
+    let mut good = Vec::new();
+    pts_util::protocol::write_request(&Request::Stats, &mut good).unwrap();
+
+    // Flip each payload/checksum byte in turn: every flip is caught and
+    // answered, connection intact. (The Stats frame is magic(4) ‖ version ‖
+    // kind ‖ len, so payload + checksum start at offset 7; flipping the
+    // *length* byte destroys framing itself and is fatal by design, and
+    // the version byte is exercised separately below.)
+    for i in 7..good.len() {
+        let mut corrupt = good.clone();
+        corrupt[i] ^= 0x40;
+        client.send_raw(&corrupt).unwrap();
+        expect_error(&mut client, ErrorCode::Malformed, &format!("flip {i}"));
+    }
+
+    // Unknown envelope version.
+    let mut bumped = good.clone();
+    bumped[4] = WIRE_VERSION + 1;
+    client.send_raw(&bumped).unwrap();
+    expect_error(&mut client, ErrorCode::Malformed, "version bump");
+
+    // A response frame where a request belongs.
+    let mut as_response = Vec::new();
+    pts_util::protocol::write_response(&Response::Restored, &mut as_response).unwrap();
+    client.send_raw(&as_response).unwrap();
+    expect_error(&mut client, ErrorCode::Malformed, "wrong kind");
+
+    assert_usable(&mut client, "after framing corruption sweep");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+#[test]
+fn bad_magic_gets_an_error_then_a_clean_close_and_server_survives() {
+    let (server, mut client) = live_server();
+
+    // Raw soup on the wire (no envelope): framing is unrecoverable. The
+    // server still answers in-band — then closes this connection only.
+    client.send_raw(b"GARBAGE GARBAGE GARBAGE!").unwrap();
+    expect_error(&mut client, ErrorCode::Malformed, "raw soup");
+    // The connection is now closed: the next round trip fails cleanly.
+    assert!(matches!(
+        client.stats(),
+        Err(ClientError::Io(_) | ClientError::Wire(_))
+    ));
+
+    // The server itself is fine: fresh connections work.
+    let mut fresh = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(fresh.ingest_batch(&[Update::new(1, 1)]).unwrap(), 1);
+    fresh.shutdown_server().unwrap();
+    server.join();
+}
+
+#[test]
+fn envelope_length_over_cap_is_too_large_then_close() {
+    let (server, mut client) = live_server();
+
+    // magic | version | kind | len = MAX_FRAME_BYTES + 1 — rejected from
+    // the length field alone, before any "payload" is read.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&WIRE_MAGIC);
+    frame.push(WIRE_VERSION);
+    frame.push(KIND_REQUEST);
+    let mut w = WireWriter::new();
+    w.put_u64(pts_util::protocol::MAX_FRAME_BYTES + 1);
+    frame.extend_from_slice(w.as_bytes());
+    client.send_raw(&frame).unwrap();
+    expect_error(&mut client, ErrorCode::TooLarge, "over-cap length");
+    assert!(matches!(
+        client.stats(),
+        Err(ClientError::Io(_) | ClientError::Wire(_))
+    ));
+
+    let mut fresh = Client::connect(server.local_addr()).unwrap();
+    assert_usable(&mut fresh, "server after over-cap frame");
+    fresh.shutdown_server().unwrap();
+    server.join();
+}

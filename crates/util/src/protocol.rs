@@ -1,0 +1,750 @@
+//! The service protocol: framed request/response messages for driving a
+//! sampling engine over a byte stream.
+//!
+//! [`crate::wire`] gives engine state a durable byte encoding; this module
+//! gives a *conversation* one. A client sends [`Request`] frames, a server
+//! answers each with exactly one [`Response`] frame, in order, over any
+//! reliable byte stream (`pts-server` runs it over TCP). The module is
+//! transport-agnostic and dependency-free: everything here is plain
+//! `std::io`.
+//!
+//! # Frame layout (normative)
+//!
+//! Every protocol message is one [`crate::wire`] envelope:
+//!
+//! ```text
+//! offset  bytes  field
+//! 0       4      magic        "PTSW" (0x50 0x54 0x53 0x57)
+//! 4       1      version      WIRE_VERSION (currently 0x01)
+//! 5       1      kind         KIND_REQUEST (0x04) or KIND_RESPONSE (0x05)
+//! 6       1–10   len          payload length, LEB128 varint
+//! 6+|len| len    payload      the message body (grammar below)
+//! …       8      checksum     FNV-1a 64 over version ‖ kind ‖ payload,
+//!                             little-endian (see [`crate::wire::fnv1a64`])
+//! ```
+//!
+//! Primitive encodings inside a payload are the wire vocabulary:
+//! `varint` is LEB128 (7 value bits per byte, high bit = continue, max 10
+//! bytes), `zigzag` is a varint of `(v << 1) ^ (v >> 63)`, `f64` is the raw
+//! little-endian IEEE-754 bit pattern (8 bytes), `blob` and `string` are a
+//! varint byte count followed by that many raw bytes (strings must be
+//! UTF-8).
+//!
+//! # Request grammar (normative)
+//!
+//! A request payload is a one-byte request tag followed by the tag's body:
+//!
+//! ```text
+//! 0x01 IngestBatch   varint count, then per update:
+//!                    varint index ‖ zigzag delta
+//! 0x02 Sample        varint count          (1 ..= 65 536)
+//! 0x03 Snapshot      (empty body)
+//! 0x04 Stats         (empty body)
+//! 0x05 Checkpoint    (empty body)
+//! 0x06 Restore       blob                  (a framed KIND_ENGINE payload)
+//! 0x07 Shutdown      (empty body)
+//! ```
+//!
+//! # Response grammar (normative)
+//!
+//! A response payload is a one-byte response tag followed by the body:
+//!
+//! ```text
+//! 0x00 Error         u8 code ‖ string message     (codes below)
+//! 0x01 Ingested      varint accepted-update-count
+//! 0x02 Samples       varint count, then per draw:
+//!                    0x00                         (⊥ — the sampler FAILed)
+//!                    0x01 ‖ varint index ‖ f64 estimate
+//! 0x03 Snapshot      blob                         (a framed KIND_SNAPSHOT payload)
+//! 0x04 Stats         varint updates ‖ varint batches ‖ varint samples ‖
+//!                    varint fails ‖ varint merges ‖ f64 mass ‖
+//!                    varint support
+//! 0x05 Checkpoint    blob                         (a framed KIND_ENGINE payload)
+//! 0x06 Restored      (empty body)
+//! 0x07 ShuttingDown  (empty body)
+//! ```
+//!
+//! # Error-response semantics
+//!
+//! A server must answer *every* readable request frame, malformed payloads
+//! included, with exactly one response — malformed input yields an
+//! [`ErrorCode`]-carrying [`Response::Error`], never a dropped request,
+//! a panic, or a hang. Whether the connection survives the error depends
+//! only on whether the *stream position* is still a frame boundary:
+//!
+//! * **Recoverable** ([`FrameError::Recoverable`]): the envelope's length
+//!   field was readable and the full frame extent (payload + checksum) was
+//!   consumed, so the next byte is the start of the next frame. Bad
+//!   checksum, wrong frame kind, unknown wire version, and every payload
+//!   decode failure are in this class: the server sends an error response
+//!   and keeps serving the connection.
+//! * **Fatal** ([`FrameError::Fatal`], or [`FrameError::TooLarge`] for a
+//!   length field over the cap): framing itself is destroyed — bad magic,
+//!   an unparseable or over-cap length field, or the stream ending
+//!   mid-frame. The server sends a best-effort error response and closes
+//!   the connection (there is no trustworthy next-frame position in a byte
+//!   stream).
+//!
+//! # Version compatibility
+//!
+//! The envelope version byte is [`crate::wire::WIRE_VERSION`] and the
+//! rules of DESIGN.md S27–S29 apply unchanged: readers reject unknown
+//! versions, payload grammars are never extended in place, and any layout
+//! change bumps the version. Request tags, response tags, and error codes
+//! may gain *new* values within a version (an unknown tag decodes to a
+//! [`WireError`], which a server answers with [`ErrorCode::Malformed`] and
+//! a client surfaces as a protocol error); existing values are frozen.
+//!
+//! See `PROTOCOL.md` at the repository root for worked hex examples (pinned
+//! byte-for-byte by this module's tests).
+
+use crate::wire::{
+    read_frame, write_frame, Decode, Encode, WireError, WireReader, WireWriter, KIND_REQUEST,
+    KIND_RESPONSE,
+};
+use std::io::{Read, Write};
+
+/// The largest envelope payload a service endpoint accepts, in bytes
+/// (64 MiB). A frame whose length field exceeds this is rejected before
+/// any payload byte is read — a hostile length can neither allocate nor
+/// make the server consume gigabytes hunting for a checksum.
+pub const MAX_FRAME_BYTES: u64 = 1 << 26;
+
+/// The largest `count` a [`Request::Sample`] may carry (65 536): one
+/// request cannot pin a worker arbitrarily long, and the reply stays far
+/// under [`MAX_FRAME_BYTES`].
+pub const MAX_SAMPLE_COUNT: u64 = 1 << 16;
+
+/// The largest checkpoint blob a [`Request::Restore`] can carry:
+/// [`MAX_FRAME_BYTES`] minus the request tag byte and a maximal blob
+/// length varint. [`Response::Checkpoint`] payloads are *not* capped on
+/// the client's read path, so a checkpoint can exceed this (experiment
+/// `w1` shows `p > 2` factories reach tens of MiB at toy universes) —
+/// such a checkpoint must be restored out-of-band (start the replacement
+/// server from the bytes via the engine's own `restore`) instead of being
+/// shipped back through a request. The client refuses to send an
+/// over-cap `Restore` up front rather than letting the server kill the
+/// connection.
+pub const MAX_RESTORE_BYTES: u64 = MAX_FRAME_BYTES - 11;
+
+/// Request tag: [`Request::IngestBatch`].
+const REQ_INGEST: u8 = 0x01;
+/// Request tag: [`Request::Sample`].
+const REQ_SAMPLE: u8 = 0x02;
+/// Request tag: [`Request::Snapshot`].
+const REQ_SNAPSHOT: u8 = 0x03;
+/// Request tag: [`Request::Stats`].
+const REQ_STATS: u8 = 0x04;
+/// Request tag: [`Request::Checkpoint`].
+const REQ_CHECKPOINT: u8 = 0x05;
+/// Request tag: [`Request::Restore`].
+const REQ_RESTORE: u8 = 0x06;
+/// Request tag: [`Request::Shutdown`].
+const REQ_SHUTDOWN: u8 = 0x07;
+
+/// Response tag: [`Response::Error`].
+const RESP_ERROR: u8 = 0x00;
+/// Response tag: [`Response::Ingested`].
+const RESP_INGESTED: u8 = 0x01;
+/// Response tag: [`Response::Samples`].
+const RESP_SAMPLES: u8 = 0x02;
+/// Response tag: [`Response::Snapshot`].
+const RESP_SNAPSHOT: u8 = 0x03;
+/// Response tag: [`Response::Stats`].
+const RESP_STATS: u8 = 0x04;
+/// Response tag: [`Response::Checkpoint`].
+const RESP_CHECKPOINT: u8 = 0x05;
+/// Response tag: [`Response::Restored`].
+const RESP_RESTORED: u8 = 0x06;
+/// Response tag: [`Response::ShuttingDown`].
+const RESP_SHUTDOWN: u8 = 0x07;
+
+/// One client→server message.
+///
+/// Updates travel as raw `(index, signed delta)` pairs — the protocol
+/// layer sits below the stream model, so it does not depend on
+/// `pts_stream::Update`; `pts-server` converts at the boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Apply a batch of turnstile updates `(index, delta)`.
+    IngestBatch(Vec<(u64, i64)>),
+    /// Draw `count` samples from the engine's current state (each draw may
+    /// independently come back ⊥).
+    Sample {
+        /// How many draws to perform (`1 ..= MAX_SAMPLE_COUNT`).
+        count: u64,
+    },
+    /// Capture the compact mergeable net vector as framed snapshot bytes.
+    Snapshot,
+    /// Report the engine's running counters, mass, and support.
+    Stats,
+    /// Serialize the engine's complete state as framed checkpoint bytes.
+    Checkpoint,
+    /// Replace the engine's state with a previously captured checkpoint
+    /// (the blob is a full framed `KIND_ENGINE` payload).
+    Restore(Vec<u8>),
+    /// Stop the server: every connection is answered-then-closed and the
+    /// accept loop exits.
+    Shutdown,
+}
+
+impl Encode for Request {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        match self {
+            Request::IngestBatch(updates) => {
+                w.put_u8(REQ_INGEST);
+                w.put_usize(updates.len());
+                for &(index, delta) in updates {
+                    w.put_u64(index);
+                    w.put_i64(delta);
+                }
+            }
+            Request::Sample { count } => {
+                w.put_u8(REQ_SAMPLE);
+                w.put_u64(*count);
+            }
+            Request::Snapshot => w.put_u8(REQ_SNAPSHOT),
+            Request::Stats => w.put_u8(REQ_STATS),
+            Request::Checkpoint => w.put_u8(REQ_CHECKPOINT),
+            Request::Restore(bytes) => {
+                w.put_u8(REQ_RESTORE);
+                w.put_blob(bytes);
+            }
+            Request::Shutdown => w.put_u8(REQ_SHUTDOWN),
+        }
+        Ok(())
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            REQ_INGEST => {
+                // Each pair costs at least two bytes (varint + zigzag), so
+                // the length prefix is capped by the bytes actually present.
+                let len = r.get_len(2)?;
+                let mut updates = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let index = r.get_u64()?;
+                    let delta = r.get_i64()?;
+                    updates.push((index, delta));
+                }
+                Ok(Request::IngestBatch(updates))
+            }
+            REQ_SAMPLE => {
+                let count = r.get_u64()?;
+                if count == 0 || count > MAX_SAMPLE_COUNT {
+                    return Err(WireError::Invalid("sample count out of range"));
+                }
+                Ok(Request::Sample { count })
+            }
+            REQ_SNAPSHOT => Ok(Request::Snapshot),
+            REQ_STATS => Ok(Request::Stats),
+            REQ_CHECKPOINT => Ok(Request::Checkpoint),
+            REQ_RESTORE => Ok(Request::Restore(r.get_blob()?)),
+            REQ_SHUTDOWN => Ok(Request::Shutdown),
+            _ => Err(WireError::Invalid("unknown request tag")),
+        }
+    }
+}
+
+/// Why a request failed, as a wire-stable one-byte code.
+///
+/// Codes are frozen once shipped; new failure modes get new codes. The
+/// accompanying message string is human-readable detail and carries no
+/// protocol meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request frame or its payload could not be decoded.
+    Malformed = 1,
+    /// An update addressed a coordinate outside the engine's universe.
+    OutOfUniverse = 2,
+    /// A valid request the engine cannot serve (e.g. restoring bytes
+    /// written by a different factory type).
+    Unsupported = 3,
+    /// The request frame exceeded [`MAX_FRAME_BYTES`].
+    TooLarge = 4,
+    /// A server-side failure unrelated to the request bytes.
+    Internal = 5,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::OutOfUniverse,
+            3 => ErrorCode::Unsupported,
+            4 => ErrorCode::TooLarge,
+            5 => ErrorCode::Internal,
+            _ => return Err(WireError::Invalid("unknown error code")),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::OutOfUniverse => "out-of-universe",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::TooLarge => "too-large",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An in-band failure report: the error response's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// The wire-stable failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail (no protocol meaning).
+    pub message: String,
+}
+
+impl ServiceError {
+    /// A service error with the given code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A point-in-time view of the served engine, as reported by
+/// [`Response::Stats`]: the engine's running counters plus its current
+/// `G`-mass and support.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServiceStats {
+    /// Updates ingested (pre-coalescing).
+    pub updates: u64,
+    /// Batches ingested.
+    pub batches: u64,
+    /// Successful samples served.
+    pub samples: u64,
+    /// Draws that returned ⊥.
+    pub fails: u64,
+    /// Snapshots merged in.
+    pub merges: u64,
+    /// The exact global `G`-mass `Σ_j G(x_j)`.
+    pub mass: f64,
+    /// Number of non-zero coordinates.
+    pub support: u64,
+}
+
+impl Encode for ServiceStats {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_u64(self.updates);
+        w.put_u64(self.batches);
+        w.put_u64(self.samples);
+        w.put_u64(self.fails);
+        w.put_u64(self.merges);
+        w.put_f64(self.mass);
+        w.put_u64(self.support);
+        Ok(())
+    }
+}
+
+impl Decode for ServiceStats {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            updates: r.get_u64()?,
+            batches: r.get_u64()?,
+            samples: r.get_u64()?,
+            fails: r.get_u64()?,
+            merges: r.get_u64()?,
+            mass: r.get_f64()?,
+            support: r.get_u64()?,
+        })
+    }
+}
+
+/// One server→client message: the answer to exactly one [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request failed; see [`ServiceError`] and the module docs for
+    /// which failures keep the connection alive.
+    Error(ServiceError),
+    /// An ingest batch was applied; carries the accepted update count.
+    Ingested {
+        /// Updates applied from the batch (pre-coalescing).
+        accepted: u64,
+    },
+    /// Sample draws, in request order. `None` is the paper's ⊥ (the
+    /// chosen shard's entire pool FAILed) — an honest outcome, not an
+    /// error.
+    Samples(Vec<Option<(u64, f64)>>),
+    /// A framed `KIND_SNAPSHOT` payload (decode with
+    /// `EngineSnapshot::from_bytes`).
+    Snapshot(Vec<u8>),
+    /// The engine's counters, mass, and support.
+    Stats(ServiceStats),
+    /// A framed `KIND_ENGINE` payload (feed to an engine `restore`, or
+    /// send back in a [`Request::Restore`]).
+    Checkpoint(Vec<u8>),
+    /// A [`Request::Restore`] succeeded; subsequent requests observe the
+    /// restored state.
+    Restored,
+    /// A [`Request::Shutdown`] was accepted; the server stops accepting
+    /// connections and this connection closes after the frame is flushed.
+    ShuttingDown,
+}
+
+impl Encode for Response {
+    fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        match self {
+            Response::Error(e) => {
+                w.put_u8(RESP_ERROR);
+                w.put_u8(e.code as u8);
+                w.put_str(&e.message);
+            }
+            Response::Ingested { accepted } => {
+                w.put_u8(RESP_INGESTED);
+                w.put_u64(*accepted);
+            }
+            Response::Samples(draws) => {
+                w.put_u8(RESP_SAMPLES);
+                w.put_usize(draws.len());
+                for draw in draws {
+                    match draw {
+                        None => w.put_u8(0),
+                        Some((index, estimate)) => {
+                            w.put_u8(1);
+                            w.put_u64(*index);
+                            w.put_f64(*estimate);
+                        }
+                    }
+                }
+            }
+            Response::Snapshot(bytes) => {
+                w.put_u8(RESP_SNAPSHOT);
+                w.put_blob(bytes);
+            }
+            Response::Stats(stats) => {
+                w.put_u8(RESP_STATS);
+                stats.encode(w)?;
+            }
+            Response::Checkpoint(bytes) => {
+                w.put_u8(RESP_CHECKPOINT);
+                w.put_blob(bytes);
+            }
+            Response::Restored => w.put_u8(RESP_RESTORED),
+            Response::ShuttingDown => w.put_u8(RESP_SHUTDOWN),
+        }
+        Ok(())
+    }
+}
+
+impl Decode for Response {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            RESP_ERROR => {
+                let code = ErrorCode::from_u8(r.get_u8()?)?;
+                let message = r.get_str()?;
+                Ok(Response::Error(ServiceError { code, message }))
+            }
+            RESP_INGESTED => Ok(Response::Ingested {
+                accepted: r.get_u64()?,
+            }),
+            RESP_SAMPLES => {
+                let len = r.get_len(1)?;
+                let mut draws = Vec::with_capacity(len);
+                for _ in 0..len {
+                    draws.push(match r.get_u8()? {
+                        0 => None,
+                        1 => Some((r.get_u64()?, r.get_f64()?)),
+                        _ => return Err(WireError::Invalid("sample presence byte")),
+                    });
+                }
+                Ok(Response::Samples(draws))
+            }
+            RESP_SNAPSHOT => Ok(Response::Snapshot(r.get_blob()?)),
+            RESP_STATS => Ok(Response::Stats(ServiceStats::decode(r)?)),
+            RESP_CHECKPOINT => Ok(Response::Checkpoint(r.get_blob()?)),
+            RESP_RESTORED => Ok(Response::Restored),
+            RESP_SHUTDOWN => Ok(Response::ShuttingDown),
+            _ => Err(WireError::Invalid("unknown response tag")),
+        }
+    }
+}
+
+/// Writes one request as a framed `KIND_REQUEST` envelope.
+pub fn write_request<W: Write>(req: &Request, sink: &mut W) -> std::io::Result<()> {
+    let payload = req.to_wire_bytes().expect("requests always encode");
+    write_frame(KIND_REQUEST, &payload, sink)
+}
+
+/// Reads one framed request (strict: any malformation is an error; servers
+/// wanting to keep the connection should use [`read_frame_lenient`] and
+/// decode the payload themselves).
+pub fn read_request<R: Read>(src: &mut R) -> Result<Request, WireError> {
+    Request::from_wire_bytes(&read_frame(KIND_REQUEST, src)?)
+}
+
+/// Writes one response as a framed `KIND_RESPONSE` envelope.
+pub fn write_response<W: Write>(resp: &Response, sink: &mut W) -> std::io::Result<()> {
+    let payload = resp.to_wire_bytes().expect("responses always encode");
+    write_frame(KIND_RESPONSE, &payload, sink)
+}
+
+/// Reads one framed response.
+pub fn read_response<R: Read>(src: &mut R) -> Result<Response, WireError> {
+    Response::from_wire_bytes(&read_frame(KIND_RESPONSE, src)?)
+}
+
+// The lenient frame reader and its recoverable/fatal classification live
+// beside the envelope in `wire` (one frame-parsing implementation for
+// strict and lenient readers alike); re-exported here because they are
+// the protocol's error-response semantics.
+pub use crate::wire::{read_frame_lenient, FrameError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{WIRE_MAGIC, WIRE_VERSION};
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        write_request(&req, &mut buf).unwrap();
+        let back = read_request(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut buf = Vec::new();
+        write_response(&resp, &mut buf).unwrap();
+        let back = read_response(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn every_request_kind_roundtrips() {
+        roundtrip_request(Request::IngestBatch(vec![(3, 5), (900, -2), (0, 1)]));
+        roundtrip_request(Request::IngestBatch(vec![]));
+        roundtrip_request(Request::Sample { count: 1 });
+        roundtrip_request(Request::Sample {
+            count: MAX_SAMPLE_COUNT,
+        });
+        roundtrip_request(Request::Snapshot);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Checkpoint);
+        roundtrip_request(Request::Restore(vec![0xDE, 0xAD, 0xBE, 0xEF]));
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_kind_roundtrips() {
+        roundtrip_response(Response::Error(ServiceError::new(
+            ErrorCode::Malformed,
+            "bad request tag",
+        )));
+        roundtrip_response(Response::Ingested { accepted: 42 });
+        roundtrip_response(Response::Samples(vec![
+            Some((7, 10.0)),
+            None,
+            Some((21, -9.5)),
+        ]));
+        roundtrip_response(Response::Samples(vec![]));
+        roundtrip_response(Response::Snapshot(vec![1, 2, 3]));
+        roundtrip_response(Response::Stats(ServiceStats {
+            updates: 10,
+            batches: 2,
+            samples: 5,
+            fails: 1,
+            merges: 0,
+            mass: 123.5,
+            support: 9,
+        }));
+        roundtrip_response(Response::Checkpoint(vec![9; 100]));
+        roundtrip_response(Response::Restored);
+        roundtrip_response(Response::ShuttingDown);
+    }
+
+    #[test]
+    fn sample_count_bounds_enforced_on_decode() {
+        for count in [0u64, MAX_SAMPLE_COUNT + 1, u64::MAX] {
+            let mut w = WireWriter::new();
+            w.put_u8(0x02);
+            w.put_u64(count);
+            assert!(
+                Request::from_wire_bytes(w.as_bytes()).is_err(),
+                "count {count} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_cap_fits_the_frame_cap() {
+        // A Restore carrying a MAX_RESTORE_BYTES blob must frame within
+        // MAX_FRAME_BYTES: tag byte + length varint + blob.
+        let mut w = WireWriter::new();
+        w.put_u8(0x06);
+        w.put_u64(MAX_RESTORE_BYTES);
+        assert!(w.len() as u64 + MAX_RESTORE_BYTES <= MAX_FRAME_BYTES);
+    }
+
+    #[test]
+    fn unknown_tags_and_codes_rejected() {
+        assert!(Request::from_wire_bytes(&[0xAA]).is_err());
+        assert!(Response::from_wire_bytes(&[0xAA]).is_err());
+        let mut w = WireWriter::new();
+        w.put_u8(RESP_ERROR);
+        w.put_u8(99); // unknown error code
+        w.put_str("x");
+        assert!(Response::from_wire_bytes(w.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn request_truncation_at_every_prefix_errors() {
+        let req = Request::IngestBatch(vec![(3, 5), (900, -2)]);
+        let payload = req.to_wire_bytes().unwrap();
+        for cut in 0..payload.len() {
+            assert!(
+                Request::from_wire_bytes(&payload[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    /// The PROTOCOL.md §"Worked examples" hex bytes, pinned so the document
+    /// cannot drift from the implementation.
+    #[test]
+    fn protocol_md_worked_examples_are_exact() {
+        // Example 1: a Stats request.
+        let mut stats = Vec::new();
+        write_request(&Request::Stats, &mut stats).unwrap();
+        assert_eq!(
+            stats,
+            [
+                0x50, 0x54, 0x53, 0x57, 0x01, 0x04, 0x01, 0x04, 0x34, 0xAB, 0x1B, 0x67, 0x18, 0x03,
+                0x96, 0xD0
+            ],
+            "Stats request frame drifted: {stats:02X?}"
+        );
+        // Example 2: IngestBatch [(3, +5), (900, -2)].
+        let mut ingest = Vec::new();
+        write_request(&Request::IngestBatch(vec![(3, 5), (900, -2)]), &mut ingest).unwrap();
+        assert_eq!(
+            ingest,
+            [
+                0x50, 0x54, 0x53, 0x57, 0x01, 0x04, 0x07, 0x01, 0x02, 0x03, 0x0A, 0x84, 0x07, 0x03,
+                0xF0, 0x8C, 0x48, 0xBD, 0x2D, 0xA5, 0xEE, 0x2E
+            ],
+            "IngestBatch request frame drifted: {ingest:02X?}"
+        );
+        // Example 3: a Samples response carrying one draw of index 3,
+        // estimate 5.0, and one ⊥.
+        let mut samples = Vec::new();
+        write_response(&Response::Samples(vec![Some((3, 5.0)), None]), &mut samples).unwrap();
+        assert_eq!(
+            samples,
+            [
+                0x50, 0x54, 0x53, 0x57, 0x01, 0x05, 0x0D, 0x02, 0x02, 0x01, 0x03, 0x00, 0x00, 0x00,
+                0x00, 0x00, 0x00, 0x14, 0x40, 0x00, 0xC9, 0x19, 0xAD, 0x51, 0x17, 0xE5, 0xC6, 0x1B
+            ],
+            "Samples response frame drifted: {samples:02X?}"
+        );
+        // Example 4: an error response (Malformed, "unknown request tag").
+        let mut error = Vec::new();
+        write_response(
+            &Response::Error(ServiceError::new(
+                ErrorCode::Malformed,
+                "unknown request tag",
+            )),
+            &mut error,
+        )
+        .unwrap();
+        assert_eq!(
+            error,
+            [
+                0x50, 0x54, 0x53, 0x57, 0x01, 0x05, 0x16, 0x00, 0x01, 0x13, 0x75, 0x6E, 0x6B, 0x6E,
+                0x6F, 0x77, 0x6E, 0x20, 0x72, 0x65, 0x71, 0x75, 0x65, 0x73, 0x74, 0x20, 0x74, 0x61,
+                0x67, 0x70, 0xF7, 0xB7, 0xB1, 0xD0, 0xB8, 0x57, 0x00
+            ],
+            "Error response frame drifted: {error:02X?}"
+        );
+    }
+
+    #[test]
+    fn lenient_read_classifies_fatal_vs_recoverable() {
+        let mut good = Vec::new();
+        write_request(&Request::Stats, &mut good).unwrap();
+
+        // Clean read.
+        let payload = read_frame_lenient(KIND_REQUEST, MAX_FRAME_BYTES, &mut good.as_slice())
+            .expect("well-formed frame reads");
+        assert_eq!(Request::from_wire_bytes(&payload).unwrap(), Request::Stats);
+
+        // Bad magic: fatal.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_frame_lenient(KIND_REQUEST, MAX_FRAME_BYTES, &mut bad.as_slice()),
+            Err(FrameError::Fatal(WireError::BadMagic))
+        ));
+
+        // Version bump: recoverable, and the whole frame was consumed.
+        let mut bumped = good.clone();
+        bumped[4] = WIRE_VERSION + 1;
+        let mut src = bumped.as_slice();
+        assert!(matches!(
+            read_frame_lenient(KIND_REQUEST, MAX_FRAME_BYTES, &mut src),
+            Err(FrameError::Recoverable(WireError::BadVersion { .. }))
+        ));
+        assert!(src.is_empty(), "recoverable error must consume the frame");
+
+        // Kind mismatch: recoverable, frame consumed.
+        let mut src = good.as_slice();
+        assert!(matches!(
+            read_frame_lenient(KIND_RESPONSE, MAX_FRAME_BYTES, &mut src),
+            Err(FrameError::Recoverable(WireError::Invalid(_)))
+        ));
+        assert!(src.is_empty());
+
+        // Payload corruption: recoverable (checksum), frame consumed.
+        let mut corrupt = good.clone();
+        let p = corrupt.len() - 9; // last payload byte
+        corrupt[p] ^= 0x40;
+        let mut src = corrupt.as_slice();
+        assert!(matches!(
+            read_frame_lenient(KIND_REQUEST, MAX_FRAME_BYTES, &mut src),
+            Err(FrameError::Recoverable(WireError::BadChecksum))
+        ));
+        assert!(src.is_empty());
+
+        // Oversized length field: fatal, via the structured cap variant,
+        // before consuming the "payload".
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&WIRE_MAGIC);
+        oversized.push(WIRE_VERSION);
+        oversized.push(KIND_REQUEST);
+        let mut w = WireWriter::new();
+        w.put_u64(MAX_FRAME_BYTES + 1);
+        oversized.extend_from_slice(w.as_bytes());
+        assert!(matches!(
+            read_frame_lenient(KIND_REQUEST, MAX_FRAME_BYTES, &mut oversized.as_slice()),
+            Err(FrameError::TooLarge(_))
+        ));
+
+        // Truncation at every prefix: always an error, never a panic; cuts
+        // inside the payload/checksum are fatal (stream ended mid-frame).
+        for cut in 0..good.len() {
+            assert!(
+                read_frame_lenient(KIND_REQUEST, MAX_FRAME_BYTES, &mut good[..cut].as_ref())
+                    .is_err(),
+                "cut at {cut} read"
+            );
+        }
+    }
+}

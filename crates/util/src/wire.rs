@@ -41,11 +41,17 @@ pub const WIRE_VERSION: u8 = 1;
 /// per-shard state).
 pub const KIND_ENGINE: u8 = 1;
 
-/// Frame kind: a compact [`EngineSnapshot`-style] sparse net vector.
+/// Frame kind: a compact `EngineSnapshot`-style sparse net vector.
 pub const KIND_SNAPSHOT: u8 = 2;
 
 /// Frame kind: a standalone sketch or sampler object.
 pub const KIND_OBJECT: u8 = 3;
+
+/// Frame kind: a service request ([`crate::protocol::Request`]).
+pub const KIND_REQUEST: u8 = 4;
+
+/// Frame kind: a service response ([`crate::protocol::Response`]).
+pub const KIND_RESPONSE: u8 = 5;
 
 /// Everything that can go wrong while decoding wire bytes.
 #[derive(Debug)]
@@ -234,6 +240,18 @@ impl WireWriter {
             self.put_f64(v);
         }
     }
+
+    /// A raw byte blob with a length prefix (an opaque nested payload, e.g.
+    /// a framed checkpoint riding inside a protocol response).
+    pub fn put_blob(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// A UTF-8 string as a length-prefixed byte blob.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_blob(s.as_bytes());
+    }
 }
 
 /// Bounds-checked cursor over wire bytes.
@@ -365,6 +383,23 @@ impl<'a> WireReader<'a> {
         }
         Ok(out)
     }
+
+    /// A length-prefixed raw byte blob (the inverse of
+    /// [`WireWriter::put_blob`]). The length is validated against the bytes
+    /// actually present before allocating.
+    pub fn get_blob(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.get_len(1)?;
+        let end = self.pos.checked_add(len).ok_or(WireError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(bytes.to_vec())
+    }
+
+    /// A length-prefixed UTF-8 string; invalid UTF-8 is a [`WireError`],
+    /// never a panic.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.get_blob()?).map_err(|_| WireError::Invalid("non-UTF-8 string"))
+    }
 }
 
 /// A value with a binary wire encoding.
@@ -415,34 +450,92 @@ pub fn write_frame<W: Write>(kind: u8, payload: &[u8], sink: &mut W) -> std::io:
     Ok(())
 }
 
-/// Reads one framed payload, validating magic, version, kind, and checksum.
-/// Truncated, corrupted, or version-bumped frames return a [`WireError`];
-/// nothing panics and no attacker-chosen allocation happens up front (the
-/// payload is read incrementally through a length-capped reader).
-pub fn read_frame<R: Read>(expect_kind: u8, src: &mut R) -> Result<Vec<u8>, WireError> {
+/// A frame-read failure, classified by whether the byte stream is still
+/// at a frame boundary afterwards — what lets a *server* decide between
+/// answering in-band and closing the connection (see
+/// [`crate::protocol`]'s error-response semantics).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The full frame extent was consumed; the next byte is the start of
+    /// the next frame. Report in-band and keep the connection.
+    Recoverable(WireError),
+    /// Framing is destroyed (or the peer is gone); report best-effort and
+    /// close.
+    Fatal(WireError),
+    /// Fatal, specifically because the length field exceeded the caller's
+    /// cap — split out so a server can answer with its wire-stable
+    /// "too large" code without matching on error text.
+    TooLarge(WireError),
+}
+
+impl FrameError {
+    /// The underlying wire error, regardless of class.
+    pub fn wire_error(&self) -> &WireError {
+        match self {
+            FrameError::Recoverable(e) | FrameError::Fatal(e) | FrameError::TooLarge(e) => e,
+        }
+    }
+
+    /// Collapses the classification back into the plain wire error
+    /// (strict readers treat every class as failure).
+    pub fn into_wire_error(self) -> WireError {
+        match self {
+            FrameError::Recoverable(e) | FrameError::Fatal(e) | FrameError::TooLarge(e) => e,
+        }
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Recoverable(e) => write!(f, "recoverable frame error: {e}"),
+            FrameError::Fatal(e) => write!(f, "fatal frame error: {e}"),
+            FrameError::TooLarge(e) => write!(f, "fatal frame error (over size cap): {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads one envelope of `expect_kind`, consuming **exactly one frame
+/// extent whenever the length field is readable and within `max_len`** —
+/// the property that lets a server answer a corrupt frame in-band and
+/// keep the connection at a valid boundary.
+///
+/// Validation order is therefore deliberate: magic and length first
+/// (their failure is [`FrameError::Fatal`] / [`FrameError::TooLarge`] —
+/// the stream position is unrecoverable), then the payload and checksum
+/// bytes are consumed in full, and only *then* are version, kind, and
+/// checksum judged (their failure is [`FrameError::Recoverable`]). A
+/// hostile length neither allocates up front (the payload is read
+/// through a length-capped reader) nor makes the caller consume more
+/// than `max_len` bytes.
+///
+/// This is the one frame-parsing implementation; the strict
+/// [`read_frame`] delegates to it.
+pub fn read_frame_lenient<R: Read>(
+    expect_kind: u8,
+    max_len: u64,
+    src: &mut R,
+) -> Result<Vec<u8>, FrameError> {
+    let fatal = |e: WireError| FrameError::Fatal(e);
     let mut magic = [0u8; 4];
-    src.read_exact(&mut magic)?;
+    src.read_exact(&mut magic).map_err(|e| fatal(e.into()))?;
     if magic != WIRE_MAGIC {
-        return Err(WireError::BadMagic);
+        return Err(fatal(WireError::BadMagic));
     }
     let mut head = [0u8; 2];
-    src.read_exact(&mut head)?;
+    src.read_exact(&mut head).map_err(|e| fatal(e.into()))?;
     let (version, kind) = (head[0], head[1]);
-    if version != WIRE_VERSION {
-        return Err(WireError::BadVersion { got: version });
-    }
-    if kind != expect_kind {
-        return Err(WireError::Invalid("frame kind mismatch"));
-    }
-    // Varint length, one byte at a time off the reader.
+    // The length varint, byte-at-a-time off the reader.
     let mut len: u64 = 0;
     let mut done = false;
     for shift in (0..64).step_by(7) {
         let mut b = [0u8; 1];
-        src.read_exact(&mut b)?;
+        src.read_exact(&mut b).map_err(|e| fatal(e.into()))?;
         let chunk = (b[0] & 0x7F) as u64;
         if shift == 63 && chunk > 1 {
-            return Err(WireError::Invalid("varint overflow"));
+            return Err(fatal(WireError::Invalid("varint overflow")));
         }
         len |= chunk << shift;
         if b[0] & 0x80 == 0 {
@@ -451,21 +544,51 @@ pub fn read_frame<R: Read>(expect_kind: u8, src: &mut R) -> Result<Vec<u8>, Wire
         }
     }
     if !done {
-        return Err(WireError::Invalid("overlong varint"));
+        return Err(fatal(WireError::Invalid("overlong varint")));
     }
-    // `take` bounds the read; the Vec grows only as real bytes arrive, so a
-    // hostile length cannot force a giant allocation.
+    if len > max_len {
+        return Err(FrameError::TooLarge(WireError::Invalid(
+            "frame exceeds size cap",
+        )));
+    }
+    // Consume the full frame extent: payload + checksum. `take` bounds the
+    // read; the Vec grows only as real bytes arrive, so a hostile length
+    // cannot force a giant allocation. From here on the stream is at a
+    // frame boundary, so failures become recoverable.
     let mut payload = Vec::new();
-    let read = src.take(len).read_to_end(&mut payload)?;
+    let read = src
+        .take(len)
+        .read_to_end(&mut payload)
+        .map_err(|e| fatal(e.into()))?;
     if (read as u64) < len {
-        return Err(WireError::Truncated);
+        return Err(fatal(WireError::Truncated));
     }
     let mut sum = [0u8; 8];
-    src.read_exact(&mut sum)?;
+    src.read_exact(&mut sum).map_err(|e| fatal(e.into()))?;
+    if version != WIRE_VERSION {
+        return Err(FrameError::Recoverable(WireError::BadVersion {
+            got: version,
+        }));
+    }
+    if kind != expect_kind {
+        return Err(FrameError::Recoverable(WireError::Invalid(
+            "frame kind mismatch",
+        )));
+    }
     if u64::from_le_bytes(sum) != frame_checksum(version, kind, &payload) {
-        return Err(WireError::BadChecksum);
+        return Err(FrameError::Recoverable(WireError::BadChecksum));
     }
     Ok(payload)
+}
+
+/// Reads one framed payload, validating magic, version, kind, and checksum.
+/// Truncated, corrupted, or version-bumped frames return a [`WireError`];
+/// nothing panics and no attacker-chosen allocation happens up front (the
+/// payload is read incrementally through a length-capped reader). Strict:
+/// any malformation is a plain error; servers that must keep a connection
+/// alive across bad frames use [`read_frame_lenient`] directly.
+pub fn read_frame<R: Read>(expect_kind: u8, src: &mut R) -> Result<Vec<u8>, WireError> {
+    read_frame_lenient(expect_kind, u64::MAX, src).map_err(FrameError::into_wire_error)
 }
 
 impl Encode for Xoshiro256pp {
@@ -594,6 +717,37 @@ mod tests {
         ));
         let mut r2 = WireReader::new(&bytes);
         assert!(r2.get_f64s().is_err());
+    }
+
+    #[test]
+    fn blob_and_str_roundtrip_and_reject_malformed() {
+        let mut w = WireWriter::new();
+        w.put_blob(&[1, 2, 3]);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_blob().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        r.finish().unwrap();
+        // Truncated blob bodies error at every cut.
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            let ok = (|| -> Result<(), WireError> {
+                r.get_blob()?;
+                r.get_str()?;
+                Ok(())
+            })();
+            assert!(ok.is_err(), "cut at {cut} still decoded");
+        }
+        // A length-prefixed blob that is not valid UTF-8 is an error as a
+        // string, not a panic.
+        let mut w = WireWriter::new();
+        w.put_blob(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            WireReader::new(&bytes).get_str(),
+            Err(WireError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! The engine as a network service: a real TCP session over loopback.
+//!
+//! Everything previous examples did in-process now crosses a socket:
+//! a `pts-server` hosts a `ConcurrentEngine`, and a blocking `Client`
+//! drives it through the framed request/response protocol (PROTOCOL.md) —
+//! batched turnstile ingest, mid-stream sampling, live stats, and a full
+//! engine checkpoint pulled *over the wire*.
+//!
+//! The second act is the crash-recovery story at service granularity:
+//! the demo **kills the server process-equivalent** (shuts it down and
+//! drops it), brings up a fresh server on a new port hosting a blank
+//! stand-in engine, and restores the checkpoint into it with one request.
+//! The restored service then serves **exactly** the draws the killed one
+//! would have — asserted draw for draw, the S29 bit-identity contract
+//! measured through two sockets and a restart.
+//!
+//! Run with: `cargo run --release --example serve_demo`
+
+use perfect_sampling::prelude::*;
+use pts_server::{serve, Client};
+
+fn main() {
+    // ---- Act 1: a live sampling service -------------------------------
+    let universe = 1 << 12;
+    let config = EngineConfig::new(universe).shards(4).pool_size(2).seed(42);
+    let factory = LpLe2Factory::for_universe(universe, 2.0);
+    let engine = ConcurrentEngine::new(config, factory);
+
+    // Port 0 = ephemeral: the OS picks a free loopback port.
+    let server = serve("127.0.0.1:0", engine).expect("bind loopback");
+    let addr = server.local_addr();
+    println!("server A listening on {addr}");
+
+    let mut client = Client::connect(addr).expect("connect");
+
+    // A zipfian turnstile workload, ingested in batches like a real feed.
+    let x = pts_stream::gen::zipf_vector(universe, 1.1, 800, 7);
+    let updates: Vec<Update> = x.iter_nonzero().map(|(i, v)| Update::new(i, v)).collect();
+    for chunk in updates.chunks(256) {
+        client.ingest_batch(chunk).expect("ingest");
+    }
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "ingested {} updates over {} batches; mass {:.1}, support {}",
+        stats.updates, stats.batches, stats.mass, stats.support
+    );
+
+    // Sample mid-stream, over the wire.
+    print!("6 draws from the L2 law:");
+    for draw in client.sample_many(6).expect("sample") {
+        match draw {
+            Some(s) => print!("  {}:{}", s.index, s.estimate),
+            None => print!("  ⊥"),
+        }
+    }
+    println!();
+
+    // ---- Act 2: checkpoint over the wire, kill, restore ---------------
+    let checkpoint = client.checkpoint().expect("checkpoint");
+    println!("pulled a {}-byte engine checkpoint", checkpoint.len());
+
+    // What would the service serve next? Record it, then kill the server.
+    let expected: Vec<Option<Sample>> = client.sample_many(8).expect("post-checkpoint draws");
+    client.shutdown_server().expect("shutdown");
+    server.join();
+    println!("server A is gone (accept loop exited, handlers joined)");
+
+    // A fresh server, fresh port, hosting a blank engine of the same
+    // type — one Restore request replaces its state wholesale.
+    let stand_in = ConcurrentEngine::new(config.seed(999), factory);
+    let server_b = serve("127.0.0.1:0", stand_in).expect("bind replacement");
+    let mut client_b = Client::connect(server_b.local_addr()).expect("reconnect");
+    client_b.restore(&checkpoint).expect("restore");
+    println!(
+        "server B restored the checkpoint on {}",
+        server_b.local_addr()
+    );
+
+    let replayed = client_b.sample_many(8).expect("replayed draws");
+    assert_eq!(
+        replayed, expected,
+        "restored service must serve identical draws"
+    );
+    print!("8 post-restart draws, identical to the killed server's:");
+    for draw in &replayed {
+        match draw {
+            Some(s) => print!("  {}:{}", s.index, s.estimate),
+            None => print!("  ⊥"),
+        }
+    }
+    println!();
+
+    client_b.shutdown_server().expect("shutdown B");
+    server_b.join();
+    println!("crash-recovered service verified: draw-for-draw identical ✔");
+}

@@ -50,8 +50,15 @@
 //! with one worker thread per shard — identical outputs (bit-for-bit, same
 //! seeds), pipelined batched ingest, and parallel pool catch-up.
 //!
+//! Behind a socket, [`pts_server`] serves either engine over a framed
+//! TCP protocol (see `PROTOCOL.md`) with a matching blocking client —
+//! `examples/serve_demo.rs` runs the full ingest → sample → checkpoint →
+//! kill → restore arc over loopback.
+//!
 //! ## Crate map
 //!
+//! * [`pts_server`] — the TCP sampling service + client (start at
+//!   [`pts_server::serve`]).
 //! * [`pts_engine`] — the sharded, mergeable, always-queryable engine
 //!   (start at [`pts_engine::ShardedEngine`]).
 //! * [`pts_core`] — the paper's samplers (start at
@@ -74,6 +81,7 @@
 pub use pts_core;
 pub use pts_engine;
 pub use pts_samplers;
+pub use pts_server;
 pub use pts_sketch;
 pub use pts_stream;
 pub use pts_util;
@@ -87,13 +95,15 @@ pub mod prelude {
     };
     pub use pts_engine::{
         ConcurrentEngine, EngineConfig, EngineSnapshot, EngineStats, L0Factory, LogGFactory,
-        LpLe2Factory, PerfectLpFactory, SamplerFactory, ShardedEngine,
+        LpLe2Factory, PerfectLpFactory, SamplerFactory, SamplingService, ShardedEngine,
     };
     pub use pts_samplers::{
         L0Params, LpLe2Batch, LpLe2Params, PerfectL0Sampler, PerfectLpLe2Sampler, PrecisionParams,
         PrecisionSampler, ReservoirSampler, Sample, TurnstileSampler,
     };
+    pub use pts_server::{serve, Client, ClientError, Server};
     pub use pts_sketch::LinearSketch;
     pub use pts_stream::{FrequencyVector, Stream, StreamStyle, Update};
+    pub use pts_util::protocol::{ErrorCode, ServiceError, ServiceStats};
     pub use pts_util::wire::{Decode, Encode, WireError};
 }
