@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod accuracy;
+pub mod cluster;
 pub mod distribution;
 pub mod lower_bound;
 pub mod service;
@@ -20,7 +21,7 @@ use pts_util::Table;
 
 /// A runnable experiment.
 pub struct Experiment {
-    /// Identifier (`tab1`, `e1`, …, `s1`, `t1`, `w1`, `n1`, `a3`).
+    /// Identifier (`tab1`, `e1`, …, `s1`, `t1`, `w1`, `n1`, `c1`, `a3`).
     pub id: &'static str,
     /// What it reproduces.
     pub title: &'static str,
@@ -115,6 +116,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "n1",
             title: "N1 — service requests/sec over loopback vs batch size (pts-server)",
             run: service::n1_service_throughput,
+        },
+        Experiment {
+            id: "c1",
+            title: "C1 — cluster throughput + sample latency vs node count (pts-cluster)",
+            run: cluster::c1_cluster_scaling,
         },
         Experiment {
             id: "a1",

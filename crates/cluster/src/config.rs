@@ -1,0 +1,130 @@
+//! Cluster configuration.
+
+use pts_server::ClientConfig;
+
+/// One node in a [`ClusterConfig`]: an address plus whether the node
+/// starts as a slice owner or a standby.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// The node's `pts-server` address (`host:port`).
+    pub addr: String,
+    /// Standby nodes own no slice at startup; they exist to receive
+    /// rebalanced slices.
+    pub standby: bool,
+}
+
+/// Configuration for a [`crate::Coordinator`], in the `EngineConfig`
+/// builder style.
+///
+/// The universe `[0, n)` is statically partitioned into one contiguous
+/// slice per **active** node, in declaration order: active node `i` of
+/// `A` owns `[⌊i·n/A⌋, ⌊(i+1)·n/A⌋)`. Standby nodes own nothing until a
+/// [`crate::Coordinator::rebalance`] hands them a slice. Every node must
+/// serve an engine built over the *full* universe `n` — slices are a
+/// coordinator-side routing concern, which is what lets a checkpoint
+/// move between nodes unchanged — and the coordinator verifies this
+/// against each node's `Stats` report (wire version 2) at connect time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Universe size `n`: every update index must lie in `[0, n)`.
+    pub universe: usize,
+    /// Master seed for the coordinator's node-pick RNG.
+    pub seed: u64,
+    /// The nodes, in declaration order (slice assignment follows actives).
+    pub nodes: Vec<NodeSpec>,
+    /// Connection knobs applied to every per-node client. The coordinator
+    /// wants real deadlines here — a dead node should become a typed
+    /// error, not a hang (see [`crate::ClusterError`]).
+    pub client: ClientConfig,
+}
+
+impl ClusterConfig {
+    /// A config over universe `[0, n)` with no nodes yet and no client
+    /// deadlines.
+    pub fn new(universe: usize) -> Self {
+        Self {
+            universe,
+            seed: 0,
+            nodes: Vec::new(),
+            client: ClientConfig::default(),
+        }
+    }
+
+    /// Appends an active node (owns the next slice of the partition).
+    pub fn node(mut self, addr: impl Into<String>) -> Self {
+        self.nodes.push(NodeSpec {
+            addr: addr.into(),
+            standby: false,
+        });
+        self
+    }
+
+    /// Appends a standby node (owns no slice until a rebalance).
+    pub fn standby(mut self, addr: impl Into<String>) -> Self {
+        self.nodes.push(NodeSpec {
+            addr: addr.into(),
+            standby: true,
+        });
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-node client connection configuration.
+    pub fn client(mut self, client: ClientConfig) -> Self {
+        self.client = client;
+        self
+    }
+
+    /// Number of active (slice-owning) nodes.
+    pub fn active_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.standby).count()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on a degenerate configuration (universe below 2, no active
+    /// node, or more active nodes than universe points).
+    pub fn validate(&self) {
+        assert!(self.universe >= 2, "universe too small");
+        let active = self.active_nodes();
+        assert!(active >= 1, "need at least one active node");
+        assert!(
+            active <= self.universe,
+            "more active nodes than universe points"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn builder_chains() {
+        let c = ClusterConfig::new(1 << 10)
+            .node("a:1")
+            .node("b:2")
+            .standby("c:3")
+            .seed(9)
+            .client(ClientConfig::new().read_timeout(Duration::from_secs(2)));
+        assert_eq!(c.universe, 1 << 10);
+        assert_eq!(c.nodes.len(), 3);
+        assert_eq!(c.active_nodes(), 2);
+        assert!(c.nodes[2].standby);
+        assert_eq!(c.client.read_timeout, Some(Duration::from_secs(2)));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one active node")]
+    fn standby_only_cluster_rejected() {
+        ClusterConfig::new(16).standby("a:1").validate();
+    }
+}

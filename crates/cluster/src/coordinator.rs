@@ -1,0 +1,696 @@
+//! The coordinator: N `pts-server` nodes behind one engine-shaped surface.
+//!
+//! ## The distributed two-stage law
+//!
+//! Every node hosts a full engine over the same universe `[0, n)`; the
+//! coordinator routes each update to the node owning its slice, so node
+//! `v`'s engine holds exactly the sub-vector `x|slice(v)` and its `Stats`
+//! report carries the exact slice mass `M_v = Σ_{i ∈ slice(v)} G(x_i)`.
+//! A cluster draw composes two stages, exactly like
+//! [`pts_engine::ShardedEngine::sample`] does across in-process shards:
+//!
+//! ```text
+//! Pr[i] = (M_v / Σ_w M_w) · G(x_i) / M_v = G(x_i) / Σ_j G(x_j)
+//! ```
+//!
+//! — scatter a `Stats` query for the masses, pick a node with
+//! [`pts_engine::pick_by_mass`] (the *same code* both engine front-ends
+//! use for the shard pick), then fetch the draw from that node, whose
+//! own two-stage shard draw serves its slice law. Linearity is what
+//! makes the composition exact: disjoint slices add, so the per-node
+//! masses are the global mass decomposition, for any node count. The ⊥
+//! caveat of the engine docs carries over per node (a node's FAIL
+//! probability depends on its slice), which is why a cluster draw
+//! returns ⊥ honestly rather than re-picking.
+//!
+//! ## Consistency
+//!
+//! All coordinator methods take `&mut self` and every per-node
+//! conversation is lockstep, so a single-coordinator cluster serializes
+//! exactly like a single engine: the mass scatter of a draw observes
+//! every previously acknowledged ingest (the server answers a `Stats`
+//! only after applying prior requests on that connection, and
+//! cross-connection consistency is the server's mutex). What a cluster
+//! does **not** provide is cluster-wide ingest atomicity: each per-node
+//! batch applies atomically on its node, but a scatter that fails
+//! mid-way (a node died) leaves the already-written nodes written — the
+//! typed [`ClusterError`] tells the caller which node broke so it can
+//! rejoin-and-retry (updates are deltas; replaying an *unacknowledged*
+//! batch is the caller's idempotence decision).
+//!
+//! ## Failure model
+//!
+//! A node that errors at the transport level (I/O, torn frame) is
+//! marked **down**; operations that need it return typed errors, and
+//! [`Coordinator::stats`] keeps reporting per-node health so an
+//! operator can see the degraded topology. Recovery has two paths,
+//! matched to what actually failed:
+//!
+//! * [`Coordinator::reconnect`] — the *connection* failed (network
+//!   blip, expired client deadline) but the server survived: re-attach
+//!   to the same address, restore nothing, lose nothing.
+//! * [`Coordinator::rejoin`] — the *server* died: point the slot at a
+//!   restarted server and restore the node's last checkpoint through
+//!   the wire. The node rejoins **draw-for-draw identical** —
+//!   checkpoints are bit-exact (DESIGN.md S29), so a cluster that lost
+//!   and recovered a node serves the same draws as one that never did
+//!   (pinned by `tests/cluster_law.rs`).
+//!
+//! [`Coordinator::rebalance`] is the same checkpoint stream pointed at
+//! a live standby instead of a restart.
+
+use crate::config::ClusterConfig;
+use pts_engine::pick_by_mass;
+use pts_samplers::Sample;
+use pts_server::{Client, ClientConfig, ClientError};
+use pts_stream::Update;
+use pts_util::protocol::{ServiceStats, MAX_SAMPLE_COUNT};
+use pts_util::Xoshiro256pp;
+use std::collections::VecDeque;
+
+/// Seed stream tag for the coordinator's node-pick RNG (disjoint from the
+/// engine's internal streams by construction — different consumer).
+const NODE_PICK_STREAM: u64 = 0xC157;
+
+/// Everything a cluster operation can fail with. Transport-level failures
+/// mark the node down ([`NodeHealth::Down`]); the error names the node so
+/// the caller can [`Coordinator::rejoin`] it.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Talking to a node failed. I/O and frame-level failures
+    /// additionally mark the node down (the connection is lockstep — its
+    /// stream position is unknowable after a torn exchange); in-band
+    /// server errors do not.
+    Node {
+        /// The node's index in the cluster topology.
+        node: usize,
+        /// The node's address.
+        addr: String,
+        /// The underlying client failure.
+        source: ClientError,
+    },
+    /// The operation needed a node that is already marked down.
+    NodeDown {
+        /// The node's index in the cluster topology.
+        node: usize,
+        /// The node's address.
+        addr: String,
+    },
+    /// A node serves an engine over the wrong universe — its slice
+    /// assignment would be meaningless (detected at connect/rejoin time
+    /// from the version-2 `Stats` report).
+    UniverseMismatch {
+        /// The node's index in the cluster topology.
+        node: usize,
+        /// The universe the node's engine reports.
+        got: u64,
+        /// The universe the cluster is configured for.
+        want: u64,
+    },
+    /// An ingested update addresses a coordinate outside the cluster
+    /// universe (rejected before anything is sent — cluster batches are
+    /// validated atomically like server batches).
+    OutOfUniverse {
+        /// The offending coordinate.
+        index: u64,
+    },
+    /// A topology operation was misused (bad node index, rebalance from
+    /// a node that owns nothing or onto one that is not standby, …).
+    Topology(&'static str),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Node { node, addr, source } => {
+                write!(f, "node {node} ({addr}) failed: {source}")
+            }
+            ClusterError::NodeDown { node, addr } => {
+                write!(f, "node {node} ({addr}) is down")
+            }
+            ClusterError::UniverseMismatch { node, got, want } => {
+                write!(f, "node {node} serves universe {got}, cluster wants {want}")
+            }
+            ClusterError::OutOfUniverse { index } => {
+                write!(f, "index {index} outside the cluster universe")
+            }
+            ClusterError::Topology(what) => write!(f, "topology error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Node { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A node's liveness as the coordinator sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Connected and answering.
+    Up,
+    /// Marked down after a transport failure (or never reached); needs a
+    /// [`Coordinator::rejoin`].
+    Down,
+}
+
+/// One node's row in a [`ClusterStats`] report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStatus {
+    /// The node's address.
+    pub addr: String,
+    /// Liveness at report time.
+    pub health: NodeHealth,
+    /// The slice this node owns (`None` = standby, or drained by a
+    /// rebalance).
+    pub slice: Option<usize>,
+    /// The node's own service report (`None` when down).
+    pub service: Option<ServiceStats>,
+}
+
+/// A point-in-time view of the whole cluster: per-node health plus the
+/// aggregated engine counters of every live slice owner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStats {
+    /// Per-node status, in topology order.
+    pub nodes: Vec<NodeStatus>,
+    /// Number of slices in the static partition.
+    pub slices: usize,
+    /// Exact cluster `G`-mass: the sum of live owners' masses.
+    pub total_mass: f64,
+    /// Updates applied across live owners (as they report them).
+    pub total_updates: u64,
+    /// Non-zero coordinates across live owners.
+    pub total_support: u64,
+    /// Successful draws served by the coordinator.
+    pub samples: u64,
+    /// Coordinator draws that came back ⊥.
+    pub fails: u64,
+    /// Completed [`Coordinator::rebalance`] migrations.
+    pub rebalances: u64,
+}
+
+impl ClusterStats {
+    /// Whether any slice owner is down — i.e. whether sampling and
+    /// full-universe ingest are currently impossible.
+    pub fn degraded(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| n.slice.is_some() && n.health == NodeHealth::Down)
+    }
+}
+
+/// A node slot: its address and (when up) its client connection.
+#[derive(Debug)]
+struct Node {
+    addr: String,
+    /// `None` = down.
+    client: Option<Client>,
+}
+
+/// The multi-node coordinator: one logical always-queryable sampler over
+/// N `pts-server` nodes (see the module docs for the law and the failure
+/// model).
+#[derive(Debug)]
+pub struct Coordinator {
+    universe: usize,
+    /// Slice boundaries: slice `s` covers `[cuts[s], cuts[s+1])`.
+    cuts: Vec<u64>,
+    /// Which node owns each slice.
+    slice_owner: Vec<usize>,
+    nodes: Vec<Node>,
+    client_config: ClientConfig,
+    /// Drives the node pick at query time — the cluster analogue of the
+    /// engine's shard-selection RNG.
+    rng: Xoshiro256pp,
+    /// Reusable per-slice scatter buffers for batched ingest.
+    plan: Vec<Vec<Update>>,
+    samples: u64,
+    fails: u64,
+    rebalances: u64,
+}
+
+impl Coordinator {
+    /// Connects to every configured node and validates that each serves
+    /// an engine over the cluster universe (via the version-2 `Stats`
+    /// report). Active nodes receive their slices in declaration order.
+    ///
+    /// # Panics
+    /// Panics on a degenerate configuration
+    /// ([`ClusterConfig::validate`]).
+    pub fn connect(config: ClusterConfig) -> Result<Self, ClusterError> {
+        config.validate();
+        let active = config.active_nodes();
+        let cuts: Vec<u64> = (0..=active)
+            .map(|i| ((i as u128 * config.universe as u128) / active as u128) as u64)
+            .collect();
+        let slice_owner: Vec<usize> = config
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, spec)| !spec.standby)
+            .map(|(node, _)| node)
+            .collect();
+        let mut coordinator = Self {
+            universe: config.universe,
+            cuts,
+            slice_owner,
+            nodes: config
+                .nodes
+                .iter()
+                .map(|spec| Node {
+                    addr: spec.addr.clone(),
+                    client: None,
+                })
+                .collect(),
+            client_config: config.client,
+            rng: Xoshiro256pp::from_seed_stream(config.seed, NODE_PICK_STREAM),
+            plan: (0..active).map(|_| Vec::new()).collect(),
+            samples: 0,
+            fails: 0,
+            rebalances: 0,
+        };
+        for node in 0..coordinator.nodes.len() {
+            coordinator.attach(node, None)?;
+        }
+        Ok(coordinator)
+    }
+
+    /// The cluster universe bound.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of slices in the static partition.
+    pub fn slices(&self) -> usize {
+        self.cuts.len() - 1
+    }
+
+    /// The half-open coordinate range of slice `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` is not a slice index.
+    pub fn slice_range(&self, s: usize) -> (u64, u64) {
+        (self.cuts[s], self.cuts[s + 1])
+    }
+
+    /// The node currently owning the slice that contains `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is outside the universe.
+    pub fn owner_of(&self, index: u64) -> usize {
+        assert!(
+            (index as u128) < self.universe as u128,
+            "index outside universe"
+        );
+        self.slice_owner[self.slice_of(index)]
+    }
+
+    /// The address a node slot currently points at.
+    ///
+    /// # Panics
+    /// Panics if `node` is not a node index.
+    pub fn node_addr(&self, node: usize) -> &str {
+        &self.nodes[node].addr
+    }
+
+    /// A node's current liveness.
+    ///
+    /// # Panics
+    /// Panics if `node` is not a node index.
+    pub fn node_health(&self, node: usize) -> NodeHealth {
+        if self.nodes[node].client.is_some() {
+            NodeHealth::Up
+        } else {
+            NodeHealth::Down
+        }
+    }
+
+    /// The slice a node currently owns (`None` = standby or drained).
+    ///
+    /// # Panics
+    /// Panics if `node` is not a node index.
+    pub fn node_slice(&self, node: usize) -> Option<usize> {
+        self.slice_owner.iter().position(|&owner| owner == node)
+    }
+
+    fn slice_of(&self, index: u64) -> usize {
+        self.cuts.partition_point(|&c| c <= index) - 1
+    }
+
+    /// Connects (or reconnects) a node slot, optionally to a new address,
+    /// and verifies its universe.
+    fn attach(&mut self, node: usize, new_addr: Option<String>) -> Result<(), ClusterError> {
+        if let Some(addr) = new_addr {
+            self.nodes[node].addr = addr;
+        }
+        let addr = self.nodes[node].addr.clone();
+        let mut client =
+            Client::connect_with(&addr, &self.client_config).map_err(|e| ClusterError::Node {
+                node,
+                addr: addr.clone(),
+                source: ClientError::Io(e),
+            })?;
+        let stats = client.stats().map_err(|source| ClusterError::Node {
+            node,
+            addr: addr.clone(),
+            source,
+        })?;
+        if stats.universe != self.universe as u64 {
+            return Err(ClusterError::UniverseMismatch {
+                node,
+                got: stats.universe,
+                want: self.universe as u64,
+            });
+        }
+        self.nodes[node].client = Some(client);
+        Ok(())
+    }
+
+    /// Runs one lockstep exchange against a node's client. Transport
+    /// failures (I/O, torn frames) mark the node down; in-band server
+    /// errors leave it up. Both surface as [`ClusterError::Node`].
+    fn with_node<T>(
+        &mut self,
+        node: usize,
+        op: impl FnOnce(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClusterError> {
+        let addr = self.nodes[node].addr.clone();
+        let Some(client) = self.nodes[node].client.as_mut() else {
+            return Err(ClusterError::NodeDown { node, addr });
+        };
+        match op(client) {
+            Ok(v) => Ok(v),
+            Err(source) => {
+                if matches!(source, ClientError::Io(_) | ClientError::Wire(_)) {
+                    self.nodes[node].client = None;
+                }
+                Err(ClusterError::Node { node, addr, source })
+            }
+        }
+    }
+
+    /// The distinct slice-owning nodes, in slice order (deterministic —
+    /// the draw-for-draw contracts depend on a canonical scatter order).
+    fn owner_nodes(&self) -> Vec<usize> {
+        let mut owners: Vec<usize> = Vec::with_capacity(self.slice_owner.len());
+        for &node in &self.slice_owner {
+            if !owners.contains(&node) {
+                owners.push(node);
+            }
+        }
+        owners
+    }
+
+    /// Routes a batch of turnstile updates to their owning nodes (one
+    /// `IngestBatch` per touched node, preserving in-batch order) and
+    /// returns the accepted update count.
+    ///
+    /// Cluster-level validation is atomic — an out-of-universe index
+    /// rejects the whole batch before anything is sent. Cluster-level
+    /// *application* is per-node atomic only: if a node fails mid-scatter
+    /// the other nodes' sub-batches stay applied (see the module docs).
+    pub fn ingest_batch(&mut self, batch: &[Update]) -> Result<u64, ClusterError> {
+        if let Some(u) = batch
+            .iter()
+            .find(|u| (u.index as u128) >= self.universe as u128)
+        {
+            return Err(ClusterError::OutOfUniverse { index: u.index });
+        }
+        for run in &mut self.plan {
+            run.clear();
+        }
+        for &u in batch {
+            let slice = self.slice_of(u.index);
+            self.plan[slice].push(u);
+        }
+        let mut accepted = 0u64;
+        for slice in 0..self.plan.len() {
+            if self.plan[slice].is_empty() {
+                continue;
+            }
+            let node = self.slice_owner[slice];
+            let run = std::mem::take(&mut self.plan[slice]);
+            let sent = self.with_node(node, |client| client.ingest_batch(&run));
+            self.plan[slice] = run;
+            accepted += sent?;
+        }
+        Ok(accepted)
+    }
+
+    /// The exact cluster `G`-mass `Σ_j G(x_j)`: a `Stats` scatter over
+    /// the slice owners, summed.
+    pub fn mass(&mut self) -> Result<f64, ClusterError> {
+        Ok(self.scatter_masses()?.2)
+    }
+
+    /// Scatters a `Stats` query to every slice owner; returns the owners,
+    /// their exact masses (owner order), and the total.
+    fn scatter_masses(&mut self) -> Result<(Vec<usize>, Vec<f64>, f64), ClusterError> {
+        let owners = self.owner_nodes();
+        let mut masses = Vec::with_capacity(owners.len());
+        let mut total = 0.0;
+        for &node in &owners {
+            let stats = self.with_node(node, |client| client.stats())?;
+            masses.push(stats.mass);
+            total += stats.mass;
+        }
+        Ok((owners, masses, total))
+    }
+
+    /// Draws one sample from the cluster-wide law `G(x_i)/Σ_j G(x_j)`
+    /// (`None` is the paper's ⊥, an honest outcome — see the module
+    /// docs).
+    pub fn sample(&mut self) -> Result<Option<Sample>, ClusterError> {
+        Ok(self.sample_many(1)?.pop().flatten())
+    }
+
+    /// Draws `count` samples: one mass scatter, `count` node picks, then
+    /// one batched `Sample` fetch per picked node (split into
+    /// protocol-sized requests as needed), reassembled in draw order.
+    ///
+    /// The node picks all use the scatter's mass snapshot — for a burst
+    /// this is the cluster analogue of the engine's consistent-mass
+    /// two-stage draw, and it keeps the per-draw round-trip cost at one
+    /// scatter per *burst* rather than per draw.
+    ///
+    /// An error burst delivers nothing and **consumes no coordinator
+    /// randomness**: a failure at the scatter stage happens before any
+    /// pick, and a mid-fetch failure (a picked node died between
+    /// answering `Stats` and its `Sample` fetch) rolls the node-pick RNG
+    /// back to its pre-burst state. A node that was already dead when
+    /// the burst started always fails at scatter time — so recover-and-
+    /// retry stays draw-for-draw identical to a never-failed cluster.
+    /// The one side effect a *mid-fetch* failure cannot undo is draws
+    /// already consumed from other nodes' pools: those cost pool
+    /// instances (which respawn; the law is unaffected), and only exact
+    /// draw-for-draw identity with an uninterrupted control is lost in
+    /// that narrow window.
+    pub fn sample_many(&mut self, count: u64) -> Result<Vec<Option<Sample>>, ClusterError> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let (owners, masses, total) = self.scatter_masses()?;
+        if total <= 0.0 {
+            // The zero vector: ⊥ without consuming RNG, like the engine.
+            return Ok(vec![None; count as usize]);
+        }
+        let rng_before = self.rng.state();
+        let picks: Vec<usize> = (0..count)
+            .map(|_| pick_by_mass(&mut self.rng, &masses, total))
+            .collect();
+        let mut per_owner = vec![0u64; owners.len()];
+        for &p in &picks {
+            per_owner[p] += 1;
+        }
+        let mut fetched: Vec<VecDeque<Option<Sample>>> = Vec::with_capacity(owners.len());
+        for (o, &node) in owners.iter().enumerate() {
+            if per_owner[o] == 0 {
+                fetched.push(VecDeque::new());
+                continue;
+            }
+            let want = per_owner[o];
+            // One request per MAX_SAMPLE_COUNT chunk: a coordinator burst
+            // may exceed what one Sample request is allowed to carry.
+            let draws = self.with_node(node, |client| {
+                let mut out = Vec::with_capacity(want as usize);
+                let mut remaining = want;
+                while remaining > 0 {
+                    let take = remaining.min(MAX_SAMPLE_COUNT);
+                    out.extend(client.sample_many(take)?);
+                    remaining -= take;
+                }
+                Ok(out)
+            });
+            let draws = match draws {
+                Ok(draws) => draws,
+                Err(err) => {
+                    // Un-consume the burst's picks (see the doc comment);
+                    // draws already fetched from other nodes are discarded
+                    // — an error burst delivers nothing.
+                    self.rng = Xoshiro256pp::from_state(rng_before);
+                    return Err(err);
+                }
+            };
+            fetched.push(draws.into());
+        }
+        let draws: Vec<Option<Sample>> = picks
+            .iter()
+            .map(|&p| {
+                fetched[p]
+                    .pop_front()
+                    .expect("node returned fewer draws than requested")
+            })
+            .collect();
+        for draw in &draws {
+            match draw {
+                Some(_) => self.samples += 1,
+                None => self.fails += 1,
+            }
+        }
+        Ok(draws)
+    }
+
+    /// A full cluster report: per-node health and service stats plus
+    /// aggregates over the live slice owners. Never fails — a node that
+    /// cannot answer is reported down (and marked so), which is the
+    /// point of the report.
+    pub fn stats(&mut self) -> ClusterStats {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        let mut total_mass = 0.0;
+        let mut total_updates = 0;
+        let mut total_support = 0;
+        for node in 0..self.nodes.len() {
+            let slice = self.node_slice(node);
+            let service = self.with_node(node, |client| client.stats()).ok();
+            if let (Some(s), Some(_)) = (&service, slice) {
+                total_mass += s.mass;
+                total_updates += s.updates;
+                total_support += s.support;
+            }
+            nodes.push(NodeStatus {
+                addr: self.nodes[node].addr.clone(),
+                health: self.node_health(node),
+                slice,
+                service,
+            });
+        }
+        ClusterStats {
+            nodes,
+            slices: self.slices(),
+            total_mass,
+            total_updates,
+            total_support,
+            samples: self.samples,
+            fails: self.fails,
+            rebalances: self.rebalances,
+        }
+    }
+
+    /// Pulls a node's complete engine checkpoint over the wire — the
+    /// bytes an operator persists so a crashed node can
+    /// [`Coordinator::rejoin`] identically.
+    pub fn checkpoint_node(&mut self, node: usize) -> Result<Vec<u8>, ClusterError> {
+        self.check_node_index(node)?;
+        self.with_node(node, |client| client.checkpoint())
+    }
+
+    /// Migrates `from`'s slice to the standby node `to` by streaming a
+    /// checkpoint through the coordinator: `Checkpoint` on `from`,
+    /// `Restore` on `to`, then ownership flips. Because a node's engine
+    /// holds exactly its slice's sub-vector and every engine spans the
+    /// full universe, the checkpoint needs no rewriting — the sampling
+    /// law is preserved *exactly* across the migration (pinned by the
+    /// rebalance-mid-stream test).
+    ///
+    /// `from` keeps its (now stale) state but leaves the scatter set; it
+    /// becomes a standby eligible to receive a future rebalance.
+    pub fn rebalance(&mut self, from: usize, to: usize) -> Result<(), ClusterError> {
+        self.check_node_index(from)?;
+        self.check_node_index(to)?;
+        if from == to {
+            return Err(ClusterError::Topology("rebalance onto the same node"));
+        }
+        if self.node_slice(from).is_none() {
+            return Err(ClusterError::Topology("rebalance source owns no slice"));
+        }
+        if self.node_slice(to).is_some() {
+            return Err(ClusterError::Topology("rebalance target is not standby"));
+        }
+        let checkpoint = self.with_node(from, |client| client.checkpoint())?;
+        self.with_node(to, |client| client.restore(&checkpoint))?;
+        for owner in &mut self.slice_owner {
+            if *owner == from {
+                *owner = to;
+            }
+        }
+        self.rebalances += 1;
+        Ok(())
+    }
+
+    /// Re-establishes the connection to a node marked down, **without**
+    /// restoring anything — for transient transport failures (a network
+    /// blip, an expired [`pts_server::ClientConfig`] deadline) where the
+    /// server process itself survived with its state intact. The node's
+    /// universe is re-validated and its slice ownership is unchanged, so
+    /// no data is lost: this is the revival path that makes
+    /// "rejoin-and-retry" safe after a timeout, where restoring an older
+    /// checkpoint via [`Coordinator::rejoin`] would silently roll the
+    /// node's slice back.
+    pub fn reconnect(&mut self, node: usize) -> Result<(), ClusterError> {
+        self.check_node_index(node)?;
+        self.attach(node, None)
+    }
+
+    /// Revives a node slot after its **server died**: connects to `addr`
+    /// (a restarted server — possibly on a new port), restores
+    /// `checkpoint` into it through the wire, and puts it back in
+    /// rotation with its slice ownership unchanged. With the node's last
+    /// pre-failure checkpoint, the cluster continues **draw-for-draw
+    /// identical** to one that never lost the node (S29 bit-exactness,
+    /// measured through the socket). For a node whose server is still
+    /// alive (the connection merely broke), use
+    /// [`Coordinator::reconnect`] instead — it loses nothing.
+    pub fn rejoin(
+        &mut self,
+        node: usize,
+        addr: impl Into<String>,
+        checkpoint: &[u8],
+    ) -> Result<(), ClusterError> {
+        self.check_node_index(node)?;
+        self.attach(node, Some(addr.into()))?;
+        let restored = self.with_node(node, |client| client.restore(checkpoint));
+        if restored.is_err() {
+            // A node that accepted the connection but not the checkpoint
+            // is blank — letting it own a slice would corrupt the law.
+            self.nodes[node].client = None;
+            return restored;
+        }
+        // The restore replaced the engine wholesale — universe included —
+        // so the attach-time validation no longer speaks for it: a
+        // checkpoint from a different cluster must not sneak a wrong
+        // coordinate space into the scatter set.
+        let stats = self.with_node(node, |client| client.stats())?;
+        if stats.universe != self.universe as u64 {
+            self.nodes[node].client = None;
+            return Err(ClusterError::UniverseMismatch {
+                node,
+                got: stats.universe,
+                want: self.universe as u64,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_node_index(&self, node: usize) -> Result<(), ClusterError> {
+        if node < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(ClusterError::Topology("no such node"))
+        }
+    }
+}

@@ -287,7 +287,7 @@ where
             return None;
         }
         // Shard pick ∝ mass — literally the sequential engine's code.
-        let chosen = crate::engine::pick_shard_by_mass(&mut self.rng, &masses, total);
+        let chosen = crate::engine::pick_by_mass(&mut self.rng, &masses, total);
         let (reply, rx) = channel();
         self.workers[chosen].send(Request::Draw { reply });
         let out = rx.recv().expect("shard worker thread died");

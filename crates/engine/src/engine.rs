@@ -31,12 +31,19 @@ use pts_util::wire::{
 use pts_util::{derive_seed, Xoshiro256pp};
 use std::io::{Read, Write};
 
-/// Mass-proportional shard pick shared by both front-ends. The concurrent
-/// engine's bit-identical-to-sequential contract rides on this arithmetic
-/// being *the same code*, not two copies kept in sync by hand: one RNG
+/// Mass-proportional pick over `masses`: the first stage of every
+/// two-stage draw in this stack. Both engine front-ends use it to choose
+/// a shard, and the `pts-cluster` coordinator uses the *same code* to
+/// choose a node — the bit-identical contracts (concurrent vs sequential,
+/// restored cluster vs uninterrupted control) ride on this arithmetic
+/// being one implementation, not copies kept in sync by hand: one RNG
 /// draw scaled by `total`, then a left-to-right subtraction scan with the
-/// last shard absorbing any floating-point residue.
-pub(crate) fn pick_shard_by_mass(rng: &mut Xoshiro256pp, masses: &[f64], total: f64) -> usize {
+/// last entry absorbing any floating-point residue.
+///
+/// `total` must be the caller's sum of `masses` (passed in, not
+/// recomputed, so the caller's zero-total early-out and the pick agree on
+/// the same value). `masses` must be non-empty.
+pub fn pick_by_mass(rng: &mut Xoshiro256pp, masses: &[f64], total: f64) -> usize {
     let mut r = rng.next_f64() * total;
     let mut chosen = masses.len() - 1;
     for (s, &mass) in masses.iter().enumerate() {
@@ -298,7 +305,7 @@ impl<F: SamplerFactory> ShardedEngine<F> {
         if total <= 0.0 {
             return None;
         }
-        let chosen = pick_shard_by_mass(&mut self.rng, &masses, total);
+        let chosen = pick_by_mass(&mut self.rng, &masses, total);
         let out = self.shards[chosen].draw();
         match out {
             Some(_) => self.stats.samples += 1,

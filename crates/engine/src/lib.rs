@@ -76,7 +76,7 @@ pub mod worker;
 
 pub use concurrent::ConcurrentEngine;
 pub use config::EngineConfig;
-pub use engine::{EngineStats, ShardedEngine};
+pub use engine::{pick_by_mass, EngineStats, ShardedEngine};
 pub use factory::{L0Factory, LogGFactory, LpLe2Factory, PerfectLpFactory, SamplerFactory};
 pub use pool::SamplerPool;
 pub use router::ShardRouter;

@@ -61,10 +61,12 @@ pub trait SamplingService {
     /// Number of non-zero coordinates.
     fn support(&self) -> usize;
 
-    /// The counters, mass, and support as one protocol-shaped report.
+    /// The universe, counters, mass, and support as one protocol-shaped
+    /// report (the wire-version-2 `Stats` response body).
     fn service_stats(&self) -> ServiceStats {
         let stats = self.stats();
         ServiceStats {
+            universe: self.universe() as u64,
             updates: stats.updates,
             batches: stats.batches,
             samples: stats.samples,
@@ -202,6 +204,7 @@ mod tests {
         let s = engine.sample().expect("non-zero state samples");
         assert!(s.index == 3 || s.index == 17);
         let report = engine.service_stats();
+        assert_eq!(report.universe, 32);
         assert_eq!(report.updates, 2);
         assert_eq!(report.support, 2);
         assert!(report.mass > 0.0);

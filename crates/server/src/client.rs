@@ -19,6 +19,71 @@ use pts_util::protocol::{
 use pts_util::wire::WireError;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Connection-level knobs for a [`Client`], builder-style.
+///
+/// The defaults reproduce the client's historical behavior exactly:
+/// no deadline anywhere (connect, read, and write all block as long as
+/// the OS lets them). Latency-sensitive callers — the `pts-cluster`
+/// coordinator above all, which must *detect* a dead node rather than
+/// hang on it — tighten these:
+///
+/// ```no_run
+/// use pts_server::{Client, ClientConfig};
+/// use std::time::Duration;
+///
+/// let config = ClientConfig::new()
+///     .connect_timeout(Duration::from_secs(1))
+///     .read_timeout(Duration::from_secs(5))
+///     .write_timeout(Duration::from_secs(5));
+/// let client = Client::connect_with("127.0.0.1:4000", &config).unwrap();
+/// # let _ = client;
+/// ```
+///
+/// Timeout semantics: an expired deadline surfaces as an I/O error from
+/// the call in flight ([`ClientError::Io`] or [`ClientError::Wire`] with
+/// an I/O kind, depending on where in the frame the clock ran out). The
+/// protocol is lockstep per connection, so after a timeout the stream
+/// position is unknowable — discard the client and reconnect; do not
+/// retry on the same connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection (`None` = OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Per-read socket deadline while awaiting response bytes
+    /// (`None` = block indefinitely).
+    pub read_timeout: Option<Duration>,
+    /// Per-write socket deadline while sending request bytes
+    /// (`None` = block indefinitely).
+    pub write_timeout: Option<Duration>,
+}
+
+impl ClientConfig {
+    /// The default configuration: no deadlines, matching
+    /// [`Client::connect`]'s historical behavior.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the connect deadline.
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the per-read deadline.
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the per-write deadline.
+    pub fn write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = Some(timeout);
+        self
+    }
+}
 
 /// Everything a client call can fail with.
 #[derive(Debug)]
@@ -81,16 +146,56 @@ impl From<WireError> for ClientError {
 /// Not `Clone` and not thread-safe by design: the protocol is lockstep
 /// per connection, so concurrent callers should each open their own
 /// connection (the server spawns one handler per connection).
+#[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with no deadlines (the default
+    /// [`ClientConfig`]).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects to a server under the given connection configuration.
+    ///
+    /// With a `connect_timeout`, every resolved address is tried in turn
+    /// under its own deadline (mirroring `TcpStream::connect`'s
+    /// multi-address behavior); the last failure is reported if none
+    /// accepts.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: &ClientConfig) -> std::io::Result<Self> {
+        let stream = match config.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                let mut last_err = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        return Err(last_err.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to no endpoints",
+                            )
+                        }))
+                    }
+                }
+            }
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self {
             reader,

@@ -69,5 +69,5 @@
 pub mod client;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError};
 pub use server::{serve, Server};

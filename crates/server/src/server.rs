@@ -330,6 +330,13 @@ fn dispatch<E: SamplingService>(shared: &Shared<E>, request: Request) -> (Respon
         );
     };
     let response = match request {
+        // Unreachable through the wire (the v2 decoder rejects an empty
+        // batch), but the dispatcher is also reachable by in-process
+        // callers: keep the no-silent-no-op rule at both layers.
+        Request::IngestBatch(pairs) if pairs.is_empty() => Response::Error(ServiceError::new(
+            ErrorCode::Malformed,
+            "empty ingest batch",
+        )),
         Request::IngestBatch(pairs) => {
             // Validate before touching the engine: an out-of-universe
             // index must become an in-band error, not an engine panic,

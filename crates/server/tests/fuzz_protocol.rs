@@ -157,6 +157,58 @@ fn checksum_flip_version_bump_and_wrong_kind_are_recoverable() {
     server.join();
 }
 
+/// The v2 no-silent-work rule, exercised as raw hostile frames: an empty
+/// `IngestBatch` and a zero `Sample` count are in-band recoverable
+/// errors, never silently-accepted no-ops — and the connection survives.
+#[test]
+fn empty_batch_and_zero_sample_count_are_in_band_errors() {
+    let (server, mut client) = live_server();
+
+    // IngestBatch with count 0 (tag 0x01, varint 0).
+    client.send_raw(&enveloped(&[0x01, 0x00])).unwrap();
+    expect_error(&mut client, ErrorCode::Malformed, "empty ingest batch");
+
+    // Sample with count 0 (tag 0x02, varint 0).
+    client.send_raw(&enveloped(&[0x02, 0x00])).unwrap();
+    expect_error(&mut client, ErrorCode::Malformed, "zero sample count");
+
+    // The typed client surfaces the same rejection in-band.
+    match client.ingest_batch(&[]) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::Malformed),
+        other => panic!("empty batch must be a server error, got {other:?}"),
+    }
+
+    assert_usable(&mut client, "after no-op-work rejections");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// The v2 `Stats` response carries the engine's universe (what the
+/// cluster coordinator validates slice assignments against), and its
+/// decoder rejects truncation at every prefix — the response-side twin
+/// of the request fuzz above.
+#[test]
+fn stats_response_reports_universe_and_rejects_truncation() {
+    let (server, mut client) = live_server();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.universe, 64, "served universe must cross the wire");
+
+    // Client-side adversarial safety: every proper prefix of a real
+    // Stats response payload must error, never panic or misdecode.
+    let payload = Response::Stats(stats).to_wire_bytes().unwrap();
+    for cut in 0..payload.len() {
+        assert!(
+            <Response as pts_util::wire::Decode>::from_wire_bytes(&payload[..cut]).is_err(),
+            "stats cut at {cut} decoded"
+        );
+    }
+
+    // And the connection still serves the cluster's scatter path.
+    assert_eq!(client.stats().unwrap().universe, 64);
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
 #[test]
 fn bad_magic_gets_an_error_then_a_clean_close_and_server_survives() {
     let (server, mut client) = live_server();

@@ -15,7 +15,7 @@
 //! ```text
 //! offset  bytes  field
 //! 0       4      magic        "PTSW" (0x50 0x54 0x53 0x57)
-//! 4       1      version      WIRE_VERSION (currently 0x01)
+//! 4       1      version      WIRE_VERSION (currently 0x02)
 //! 5       1      kind         KIND_REQUEST (0x04) or KIND_RESPONSE (0x05)
 //! 6       1–10   len          payload length, LEB128 varint
 //! 6+|len| len    payload      the message body (grammar below)
@@ -35,7 +35,7 @@
 //! A request payload is a one-byte request tag followed by the tag's body:
 //!
 //! ```text
-//! 0x01 IngestBatch   varint count, then per update:
+//! 0x01 IngestBatch   varint count (≥ 1), then per update:
 //!                    varint index ‖ zigzag delta
 //! 0x02 Sample        varint count          (1 ..= 65 536)
 //! 0x03 Snapshot      (empty body)
@@ -56,9 +56,9 @@
 //!                    0x00                         (⊥ — the sampler FAILed)
 //!                    0x01 ‖ varint index ‖ f64 estimate
 //! 0x03 Snapshot      blob                         (a framed KIND_SNAPSHOT payload)
-//! 0x04 Stats         varint updates ‖ varint batches ‖ varint samples ‖
-//!                    varint fails ‖ varint merges ‖ f64 mass ‖
-//!                    varint support
+//! 0x04 Stats         varint universe ‖ varint updates ‖ varint batches ‖
+//!                    varint samples ‖ varint fails ‖ varint merges ‖
+//!                    f64 mass ‖ varint support
 //! 0x05 Checkpoint    blob                         (a framed KIND_ENGINE payload)
 //! 0x06 Restored      (empty body)
 //! 0x07 ShuttingDown  (empty body)
@@ -166,7 +166,10 @@ const RESP_SHUTDOWN: u8 = 0x07;
 /// `pts_stream::Update`; `pts-server` converts at the boundary.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Apply a batch of turnstile updates `(index, delta)`.
+    /// Apply a batch of turnstile updates `(index, delta)`. A conforming
+    /// batch carries at least one update; an empty batch is rejected on
+    /// decode (wire version 2) — the server must never be asked to do
+    /// silent no-op work.
     IngestBatch(Vec<(u64, i64)>),
     /// Draw `count` samples from the engine's current state (each draw may
     /// independently come back ⊥).
@@ -223,6 +226,9 @@ impl Decode for Request {
                 // Each pair costs at least two bytes (varint + zigzag), so
                 // the length prefix is capped by the bytes actually present.
                 let len = r.get_len(2)?;
+                if len == 0 {
+                    return Err(WireError::Invalid("empty ingest batch"));
+                }
                 let mut updates = Vec::with_capacity(len);
                 for _ in 0..len {
                     let index = r.get_u64()?;
@@ -323,10 +329,17 @@ impl std::fmt::Display for ServiceError {
 impl std::error::Error for ServiceError {}
 
 /// A point-in-time view of the served engine, as reported by
-/// [`Response::Stats`]: the engine's running counters plus its current
-/// `G`-mass and support.
+/// [`Response::Stats`]: the engine's universe bound and running counters
+/// plus its current exact `G`-mass and support.
+///
+/// Wire version 2 added the leading `universe` field: a remote caller
+/// previously had no way to learn the universe a served engine's mass and
+/// support refer to, which the cluster coordinator needs to validate that
+/// every node serves the partition it was assigned (`pts-cluster`).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ServiceStats {
+    /// The engine's universe bound `n` (every index lies in `[0, n)`).
+    pub universe: u64,
     /// Updates ingested (pre-coalescing).
     pub updates: u64,
     /// Batches ingested.
@@ -345,6 +358,7 @@ pub struct ServiceStats {
 
 impl Encode for ServiceStats {
     fn encode(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        w.put_u64(self.universe);
         w.put_u64(self.updates);
         w.put_u64(self.batches);
         w.put_u64(self.samples);
@@ -359,6 +373,7 @@ impl Encode for ServiceStats {
 impl Decode for ServiceStats {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(Self {
+            universe: r.get_u64()?,
             updates: r.get_u64()?,
             batches: r.get_u64()?,
             samples: r.get_u64()?,
@@ -531,7 +546,6 @@ mod tests {
     #[test]
     fn every_request_kind_roundtrips() {
         roundtrip_request(Request::IngestBatch(vec![(3, 5), (900, -2), (0, 1)]));
-        roundtrip_request(Request::IngestBatch(vec![]));
         roundtrip_request(Request::Sample { count: 1 });
         roundtrip_request(Request::Sample {
             count: MAX_SAMPLE_COUNT,
@@ -558,6 +572,7 @@ mod tests {
         roundtrip_response(Response::Samples(vec![]));
         roundtrip_response(Response::Snapshot(vec![1, 2, 3]));
         roundtrip_response(Response::Stats(ServiceStats {
+            universe: 1 << 20,
             updates: 10,
             batches: 2,
             samples: 5,
@@ -569,6 +584,17 @@ mod tests {
         roundtrip_response(Response::Checkpoint(vec![9; 100]));
         roundtrip_response(Response::Restored);
         roundtrip_response(Response::ShuttingDown);
+    }
+
+    #[test]
+    fn empty_ingest_batch_rejected_on_decode() {
+        // An empty batch encodes (the type allows it) but must not decode:
+        // wire version 2 forbids asking a server for silent no-op work.
+        let payload = Request::IngestBatch(vec![]).to_wire_bytes().unwrap();
+        assert!(matches!(
+            Request::from_wire_bytes(&payload),
+            Err(WireError::Invalid("empty ingest batch"))
+        ));
     }
 
     #[test]
@@ -627,8 +653,8 @@ mod tests {
         assert_eq!(
             stats,
             [
-                0x50, 0x54, 0x53, 0x57, 0x01, 0x04, 0x01, 0x04, 0x34, 0xAB, 0x1B, 0x67, 0x18, 0x03,
-                0x96, 0xD0
+                0x50, 0x54, 0x53, 0x57, 0x02, 0x04, 0x01, 0x04, 0x35, 0xA7, 0xD3, 0x75, 0x18, 0x74,
+                0x92, 0xEA
             ],
             "Stats request frame drifted: {stats:02X?}"
         );
@@ -638,8 +664,8 @@ mod tests {
         assert_eq!(
             ingest,
             [
-                0x50, 0x54, 0x53, 0x57, 0x01, 0x04, 0x07, 0x01, 0x02, 0x03, 0x0A, 0x84, 0x07, 0x03,
-                0xF0, 0x8C, 0x48, 0xBD, 0x2D, 0xA5, 0xEE, 0x2E
+                0x50, 0x54, 0x53, 0x57, 0x02, 0x04, 0x07, 0x01, 0x02, 0x03, 0x0A, 0x84, 0x07, 0x03,
+                0xED, 0xF9, 0x60, 0xDF, 0x2B, 0x6B, 0x3B, 0x01
             ],
             "IngestBatch request frame drifted: {ingest:02X?}"
         );
@@ -650,8 +676,8 @@ mod tests {
         assert_eq!(
             samples,
             [
-                0x50, 0x54, 0x53, 0x57, 0x01, 0x05, 0x0D, 0x02, 0x02, 0x01, 0x03, 0x00, 0x00, 0x00,
-                0x00, 0x00, 0x00, 0x14, 0x40, 0x00, 0xC9, 0x19, 0xAD, 0x51, 0x17, 0xE5, 0xC6, 0x1B
+                0x50, 0x54, 0x53, 0x57, 0x02, 0x05, 0x0D, 0x02, 0x02, 0x01, 0x03, 0x00, 0x00, 0x00,
+                0x00, 0x00, 0x00, 0x14, 0x40, 0x00, 0xF8, 0x3C, 0xD2, 0xFF, 0xD0, 0x1D, 0x52, 0xD9
             ],
             "Samples response frame drifted: {samples:02X?}"
         );
@@ -668,11 +694,38 @@ mod tests {
         assert_eq!(
             error,
             [
-                0x50, 0x54, 0x53, 0x57, 0x01, 0x05, 0x16, 0x00, 0x01, 0x13, 0x75, 0x6E, 0x6B, 0x6E,
+                0x50, 0x54, 0x53, 0x57, 0x02, 0x05, 0x16, 0x00, 0x01, 0x13, 0x75, 0x6E, 0x6B, 0x6E,
                 0x6F, 0x77, 0x6E, 0x20, 0x72, 0x65, 0x71, 0x75, 0x65, 0x73, 0x74, 0x20, 0x74, 0x61,
-                0x67, 0x70, 0xF7, 0xB7, 0xB1, 0xD0, 0xB8, 0x57, 0x00
+                0x67, 0xFF, 0x6A, 0x84, 0x5E, 0xD2, 0xF8, 0x4F, 0x72
             ],
             "Error response frame drifted: {error:02X?}"
+        );
+        // Example 5: the version-2 Stats response body — universe 4096,
+        // 1000 updates over 4 batches, 6 samples, 1 fail, 0 merges, mass
+        // 123.5, support 9.
+        let mut report = Vec::new();
+        write_response(
+            &Response::Stats(ServiceStats {
+                universe: 4096,
+                updates: 1000,
+                batches: 4,
+                samples: 6,
+                fails: 1,
+                merges: 0,
+                mass: 123.5,
+                support: 9,
+            }),
+            &mut report,
+        )
+        .unwrap();
+        assert_eq!(
+            report,
+            [
+                0x50, 0x54, 0x53, 0x57, 0x02, 0x05, 0x12, 0x04, 0x80, 0x20, 0xE8, 0x07, 0x04, 0x06,
+                0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x5E, 0x40, 0x09, 0xA7, 0xA3, 0x0D,
+                0x20, 0x3C, 0x6F, 0x05, 0xC7
+            ],
+            "Stats response frame drifted: {report:02X?}"
         );
     }
 

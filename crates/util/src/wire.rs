@@ -35,7 +35,18 @@ use std::io::{Read, Write};
 pub const WIRE_MAGIC: [u8; 4] = *b"PTSW";
 
 /// The current wire-format version.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version history (PROTOCOL.md §5 carries the service-facing notes):
+///
+/// * **1** — the original format (durable snapshots + the PR-4 service
+///   protocol).
+/// * **2** — the `Stats` response body gained the leading `universe`
+///   varint (a remote caller — the cluster coordinator in particular —
+///   must be able to learn which universe a node's exact `G`-mass refers
+///   to), and the request grammar tightened: an `IngestBatch` must carry
+///   at least one update. Grammar changes are never made in place, hence
+///   the bump.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Frame kind: a full engine checkpoint (config + factory + RNG + stats +
 /// per-shard state).

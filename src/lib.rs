@@ -57,6 +57,8 @@
 //!
 //! ## Crate map
 //!
+//! * [`pts_cluster`] — the multi-node coordinator: N servers, one
+//!   logical sampler (start at [`pts_cluster::Coordinator`]).
 //! * [`pts_server`] — the TCP sampling service + client (start at
 //!   [`pts_server::serve`]).
 //! * [`pts_engine`] — the sharded, mergeable, always-queryable engine
@@ -78,6 +80,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use pts_cluster;
 pub use pts_core;
 pub use pts_engine;
 pub use pts_samplers;
@@ -88,6 +91,7 @@ pub use pts_util;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use pts_cluster::{ClusterConfig, ClusterError, ClusterStats, Coordinator, NodeHealth};
     pub use pts_core::{
         ApproxLpBatch, ApproxLpParams, ApproxLpSampler, GSpec, PerfectLpParams, PerfectLpSampler,
         Polynomial, PolynomialParams, PolynomialSampler, RejectionGSampler, SubsetNormEstimator,
@@ -101,7 +105,7 @@ pub mod prelude {
         L0Params, LpLe2Batch, LpLe2Params, PerfectL0Sampler, PerfectLpLe2Sampler, PrecisionParams,
         PrecisionSampler, ReservoirSampler, Sample, TurnstileSampler,
     };
-    pub use pts_server::{serve, Client, ClientError, Server};
+    pub use pts_server::{serve, Client, ClientConfig, ClientError, Server};
     pub use pts_sketch::LinearSketch;
     pub use pts_stream::{FrequencyVector, Stream, StreamStyle, Update};
     pub use pts_util::protocol::{ErrorCode, ServiceError, ServiceStats};
