@@ -12,7 +12,21 @@
 //! ```
 
 use pts_bench::{json, registry};
+use pts_util::table::{arm_witness, disarm_witness};
 use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Human-readable panic payload (panics carry `&str` or `String`; anything
+/// else is reported opaquely).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,23 +69,66 @@ fn main() {
     let mut stdout = std::io::stdout().lock();
     let mode = if full { "full" } else { "quick" };
     let _ = writeln!(stdout, "# reproduce — mode: {mode}\n");
+    let mut panicked: Vec<&str> = Vec::new();
     for e in &experiments {
         if !wanted.is_empty() && !wanted.contains(&e.id) {
             continue;
         }
         let _ = writeln!(stdout, "## {} — {}\n", e.id, e.title);
-        let started = std::time::Instant::now();
-        let table = (e.run)(!full);
-        let seconds = started.elapsed().as_secs_f64();
-        let _ = writeln!(
-            stdout,
-            "{}\n_({} rows in {seconds:.1}s)_\n",
-            table.to_markdown(),
-            table.len(),
-        );
         let _ = stdout.flush();
-        if let Some(dir) = &json_dir {
-            let doc = json::experiment_json(e.id, e.title, mode, seconds, &table);
+        // The witness mirrors completed rows so a mid-experiment panic
+        // still yields the finished part of the table (and, with --json,
+        // a partial artifact marked "incomplete") instead of aborting the
+        // whole run with nothing.
+        arm_witness();
+        let started = std::time::Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| (e.run)(!full)));
+        let seconds = started.elapsed().as_secs_f64();
+        let witness = disarm_witness();
+        let (doc, table_md, rows, note) = match &outcome {
+            Ok(table) => (
+                json_dir
+                    .as_ref()
+                    .map(|_| json::experiment_json(e.id, e.title, mode, seconds, table)),
+                table.to_markdown(),
+                table.len(),
+                format!("_({} rows in {seconds:.1}s)_", table.len()),
+            ),
+            Err(payload) => {
+                panicked.push(e.id);
+                let (header, rows) = witness.unwrap_or_default();
+                let mut partial = pts_util::Table::new(header);
+                for row in &rows {
+                    partial.push_row(row.iter().cloned());
+                }
+                (
+                    json_dir.as_ref().map(|_| {
+                        json::experiment_json_parts(
+                            e.id,
+                            e.title,
+                            mode,
+                            seconds,
+                            partial.header(),
+                            partial.rows(),
+                            true,
+                        )
+                    }),
+                    partial.to_markdown(),
+                    partial.len(),
+                    format!(
+                        "**PANICKED after {seconds:.1}s** ({} completed rows salvaged): {}",
+                        partial.len(),
+                        panic_message(payload.as_ref()),
+                    ),
+                )
+            }
+        };
+        if rows > 0 || outcome.is_ok() {
+            let _ = writeln!(stdout, "{table_md}");
+        }
+        let _ = writeln!(stdout, "{note}\n");
+        let _ = stdout.flush();
+        if let (Some(dir), Some(doc)) = (&json_dir, doc) {
             let path = dir.join(format!("BENCH_{}.json", e.id));
             if let Err(err) = std::fs::write(&path, doc) {
                 eprintln!("cannot write {}: {err}", path.display());
@@ -79,5 +136,9 @@ fn main() {
             }
             let _ = writeln!(stdout, "_json → {}_\n", path.display());
         }
+    }
+    if !panicked.is_empty() {
+        eprintln!("experiments panicked: {}", panicked.join(", "));
+        std::process::exit(1);
     }
 }

@@ -10,6 +10,7 @@ pub mod accuracy;
 pub mod cluster;
 pub mod distribution;
 pub mod lower_bound;
+pub mod obs;
 pub mod service;
 pub mod space;
 pub mod table1;
@@ -21,7 +22,7 @@ use pts_util::Table;
 
 /// A runnable experiment.
 pub struct Experiment {
-    /// Identifier (`tab1`, `e1`, …, `s1`, `t1`, `w1`, `n1`, `c1`, `a3`).
+    /// Identifier (`tab1`, `e1`, …, `s1`, `t1`, `w1`, `n1`, `c1`, `o1`, `a3`).
     pub id: &'static str,
     /// What it reproduces.
     pub title: &'static str,
@@ -121,6 +122,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "c1",
             title: "C1 — cluster throughput + sample latency vs node count (pts-cluster)",
             run: cluster::c1_cluster_scaling,
+        },
+        Experiment {
+            id: "o1",
+            title: "O1 — observability overhead: instrumented vs obs-off builds (pts-obs)",
+            run: obs::o1_obs_overhead,
         },
         Experiment {
             id: "a1",

@@ -37,15 +37,46 @@ fn string_array(items: &[String]) -> String {
 
 /// Renders one experiment run as a standalone JSON document.
 pub fn experiment_json(id: &str, title: &str, mode: &str, seconds: f64, table: &Table) -> String {
-    let rows: Vec<String> = table.rows().iter().map(|r| string_array(r)).collect();
+    experiment_json_parts(
+        id,
+        title,
+        mode,
+        seconds,
+        table.header(),
+        table.rows(),
+        false,
+    )
+}
+
+/// The general renderer behind [`experiment_json`]: raw header + rows, plus
+/// the `incomplete` marker. An incomplete document is what `reproduce
+/// --json` salvages when an experiment panics mid-run — the rows completed
+/// before the panic, flagged `"incomplete": true` so a perf-trajectory
+/// script never mistakes a partial table for the full record.
+pub fn experiment_json_parts(
+    id: &str,
+    title: &str,
+    mode: &str,
+    seconds: f64,
+    header: &[String],
+    rows: &[Vec<String>],
+    incomplete: bool,
+) -> String {
+    let rows: Vec<String> = rows.iter().map(|r| string_array(r)).collect();
+    let incomplete_field = if incomplete {
+        "\n  \"incomplete\": true,"
+    } else {
+        ""
+    };
     format!(
-        "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"mode\": \"{}\",\n  \
+        "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"mode\": \"{}\",{}\n  \
          \"seconds\": {:.3},\n  \"header\": {},\n  \"rows\": [{}]\n}}\n",
         escape(id),
         escape(title),
         escape(mode),
+        incomplete_field,
         seconds,
-        string_array(table.header()),
+        string_array(header),
         rows.join(",")
     )
 }
@@ -58,6 +89,25 @@ mod tests {
     fn escapes_special_characters() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn complete_documents_omit_the_incomplete_marker() {
+        let mut t = Table::new(["n"]);
+        t.push_row(["1"]);
+        let doc = experiment_json("s1", "t", "quick", 0.1, &t);
+        assert!(!doc.contains("incomplete"), "{doc}");
+    }
+
+    #[test]
+    fn partial_documents_carry_the_incomplete_marker() {
+        let header = vec!["n".to_string(), "rate".to_string()];
+        let rows = vec![vec!["1024".to_string(), "3.5e6".to_string()]];
+        let doc = experiment_json_parts("s1", "t", "quick", 0.5, &header, &rows, true);
+        assert!(doc.contains("\"incomplete\": true"), "{doc}");
+        assert!(doc.contains("[\"1024\",\"3.5e6\"]"), "{doc}");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
     }
 
     #[test]

@@ -60,7 +60,9 @@
 //! a live standby instead of a restart.
 
 use crate::config::ClusterConfig;
+use crate::obs::obs;
 use pts_engine::pick_by_mass;
+use pts_obs::{event, Stopwatch};
 use pts_samplers::Sample;
 use pts_server::{Client, ClientConfig, ClientError};
 use pts_stream::Update;
@@ -368,6 +370,8 @@ impl Coordinator {
             });
         }
         self.nodes[node].client = Some(client);
+        obs().node_up.inc();
+        event("cluster.node.up", format!("node {node} ({addr})"));
         Ok(())
     }
 
@@ -388,6 +392,11 @@ impl Coordinator {
             Err(source) => {
                 if matches!(source, ClientError::Io(_) | ClientError::Wire(_)) {
                     self.nodes[node].client = None;
+                    obs().node_down.inc();
+                    event(
+                        "cluster.node.down",
+                        format!("node {node} ({addr}): {source}"),
+                    );
                 }
                 Err(ClusterError::Node { node, addr, source })
             }
@@ -439,6 +448,7 @@ impl Coordinator {
             self.plan[slice] = run;
             accepted += sent?;
         }
+        obs().ingest_accepted.add(accepted);
         Ok(accepted)
     }
 
@@ -451,6 +461,7 @@ impl Coordinator {
     /// Scatters a `Stats` query to every slice owner; returns the owners,
     /// their exact masses (owner order), and the total.
     fn scatter_masses(&mut self) -> Result<(Vec<usize>, Vec<f64>, f64), ClusterError> {
+        let sw = Stopwatch::start();
         let owners = self.owner_nodes();
         let mut masses = Vec::with_capacity(owners.len());
         let mut total = 0.0;
@@ -459,6 +470,7 @@ impl Coordinator {
             masses.push(stats.mass);
             total += stats.mass;
         }
+        obs().scatter_ns.observe_elapsed(sw);
         Ok((owners, masses, total))
     }
 
@@ -507,6 +519,7 @@ impl Coordinator {
         for &p in &picks {
             per_owner[p] += 1;
         }
+        let sw = Stopwatch::start();
         let mut fetched: Vec<VecDeque<Option<Sample>>> = Vec::with_capacity(owners.len());
         for (o, &node) in owners.iter().enumerate() {
             if per_owner[o] == 0 {
@@ -537,6 +550,15 @@ impl Coordinator {
                 }
             };
             fetched.push(draws.into());
+        }
+        // Picks are counted only for delivered bursts: a rolled-back burst
+        // repeats its picks on retry, and double counting would skew the
+        // observed node-pick distribution.
+        obs().gather_ns.observe_elapsed(sw);
+        for (o, &node) in owners.iter().enumerate() {
+            if per_owner[o] > 0 {
+                obs().node_pick(node, per_owner[o]);
+            }
         }
         let draws: Vec<Option<Sample>> = picks
             .iter()
@@ -621,6 +643,7 @@ impl Coordinator {
         if self.node_slice(to).is_some() {
             return Err(ClusterError::Topology("rebalance target is not standby"));
         }
+        let sw = Stopwatch::start();
         let checkpoint = self.with_node(from, |client| client.checkpoint())?;
         self.with_node(to, |client| client.restore(&checkpoint))?;
         for owner in &mut self.slice_owner {
@@ -629,6 +652,16 @@ impl Coordinator {
             }
         }
         self.rebalances += 1;
+        let o = obs();
+        o.rebalance_bytes.add(checkpoint.len() as u64);
+        o.rebalance_ns.observe_elapsed(sw);
+        event(
+            "cluster.rebalance",
+            format!(
+                "slice owner {from} -> {to}, {} checkpoint bytes",
+                checkpoint.len()
+            ),
+        );
         Ok(())
     }
 
@@ -643,7 +676,12 @@ impl Coordinator {
     /// node's slice back.
     pub fn reconnect(&mut self, node: usize) -> Result<(), ClusterError> {
         self.check_node_index(node)?;
-        self.attach(node, None)
+        self.attach(node, None)?;
+        event(
+            "cluster.node.reconnect",
+            format!("node {node} ({})", self.nodes[node].addr),
+        );
+        Ok(())
     }
 
     /// Revives a node slot after its **server died**: connects to `addr`
@@ -683,6 +721,14 @@ impl Coordinator {
                 want: self.universe as u64,
             });
         }
+        event(
+            "cluster.node.rejoin",
+            format!(
+                "node {node} ({}) restored {} checkpoint bytes",
+                self.nodes[node].addr,
+                checkpoint.len()
+            ),
+        );
         Ok(())
     }
 

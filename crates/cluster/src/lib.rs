@@ -79,9 +79,13 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library crates never print: diagnostics go through the pts-obs event
+// ring (drainable, bounded), metrics through its registry.
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod config;
 pub mod coordinator;
+mod obs;
 
 pub use config::{ClusterConfig, NodeSpec};
 pub use coordinator::{ClusterError, ClusterStats, Coordinator, NodeHealth, NodeStatus};

@@ -1,0 +1,74 @@
+//! Coordinator instrumentation: pre-registered `pts-obs` handles.
+//!
+//! Scatter/gather latency is split so an operator can see where a slow
+//! burst spends its time (mass collection vs draw fetches). The node-pick
+//! distribution uses a static label table — label values must be
+//! `&'static str`, so picks beyond the table's range aggregate into an
+//! overflow series rather than allocating. Metric names are inventoried
+//! in DESIGN.md §11.
+
+use pts_obs::{registry, Counter, Histogram};
+use std::sync::OnceLock;
+
+/// Pre-interned node labels for `cluster.node_pick`; clusters larger than
+/// the table share the overflow series.
+const NODE_LABELS: [&str; 16] = [
+    "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15",
+];
+const NODE_OVERFLOW: &str = "16+";
+
+/// The coordinator's metric handles.
+#[derive(Debug)]
+pub(crate) struct CoordObs {
+    /// `cluster.scatter.ns` — mass-scatter (Stats fan-out) latency.
+    pub scatter_ns: Histogram,
+    /// `cluster.gather.ns` — draw-fetch (Sample fan-in) latency.
+    pub gather_ns: Histogram,
+    /// `cluster.ingest.accepted` — updates accepted across nodes.
+    pub ingest_accepted: Counter,
+    /// `cluster.node_pick{node=…}` — how often each node wins the
+    /// mass-weighted pick (the observable law, first stage).
+    node_picks: Vec<Counter>,
+    node_picks_overflow: Counter,
+    /// `cluster.node.transitions{to=…}` — health flips as the
+    /// coordinator observes them.
+    pub node_up: Counter,
+    pub node_down: Counter,
+    /// `cluster.rebalance.bytes` — checkpoint bytes streamed through the
+    /// coordinator by completed rebalances.
+    pub rebalance_bytes: Counter,
+    /// `cluster.rebalance.ns` — end-to-end rebalance duration.
+    pub rebalance_ns: Histogram,
+}
+
+impl CoordObs {
+    /// Counts `n` mass-weighted picks of `node` (one call per burst).
+    pub fn node_pick(&self, node: usize, n: u64) {
+        match self.node_picks.get(node) {
+            Some(c) => c.add(n),
+            None => self.node_picks_overflow.add(n),
+        }
+    }
+}
+
+/// The process-global coordinator handles.
+pub(crate) fn obs() -> &'static CoordObs {
+    static OBS: OnceLock<CoordObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = registry();
+        CoordObs {
+            scatter_ns: r.histogram("cluster.scatter.ns"),
+            gather_ns: r.histogram("cluster.gather.ns"),
+            ingest_accepted: r.counter("cluster.ingest.accepted"),
+            node_picks: NODE_LABELS
+                .iter()
+                .map(|&label| r.counter_labeled("cluster.node_pick", "node", label))
+                .collect(),
+            node_picks_overflow: r.counter_labeled("cluster.node_pick", "node", NODE_OVERFLOW),
+            node_up: r.counter_labeled("cluster.node.transitions", "to", "up"),
+            node_down: r.counter_labeled("cluster.node.transitions", "to", "down"),
+            rebalance_bytes: r.counter("cluster.rebalance.bytes"),
+            rebalance_ns: r.histogram("cluster.rebalance.ns"),
+        }
+    })
+}

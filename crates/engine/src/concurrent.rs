@@ -49,6 +49,7 @@
 use crate::config::EngineConfig;
 use crate::engine::{EngineImage, EngineStats};
 use crate::factory::SamplerFactory;
+use crate::obs::obs;
 use crate::router::ShardRouter;
 use crate::shard::Shard;
 use crate::snapshot::EngineSnapshot;
@@ -161,6 +162,9 @@ where
         self.apply_batch(batch);
         self.stats.updates += batch.len() as u64;
         self.stats.batches += 1;
+        let o = obs();
+        o.ingest_updates.add(batch.len() as u64);
+        o.ingest_batches.inc();
     }
 
     /// Plans and fans out a batch without touching the ingest counters
@@ -281,6 +285,7 @@ where
     /// shard's worker draws from its pool. Returns `None` on the zero
     /// vector or when the chosen shard's entire pool FAILs.
     pub fn sample(&mut self) -> Option<Sample> {
+        let sw = pts_obs::Stopwatch::start();
         let masses = self.masses();
         let total: f64 = masses.iter().sum();
         if total <= 0.0 {
@@ -291,9 +296,14 @@ where
         let (reply, rx) = channel();
         self.workers[chosen].send(Request::Draw { reply });
         let out = rx.recv().expect("shard worker thread died");
+        let o = obs();
+        o.draw_ns.observe_elapsed(sw);
         match out {
             Some(_) => self.stats.samples += 1,
-            None => self.stats.fails += 1,
+            None => {
+                self.stats.fails += 1;
+                o.draw_fail.inc();
+            }
         }
         out
     }
@@ -361,14 +371,17 @@ where
         // Collect first: lazily interleaving recv with sink writes would
         // hold the frame open across worker round-trips for no benefit.
         let states: Vec<Result<Vec<u8>, WireError>> = states.collect();
+        let mut counted = pts_obs::CountingWriter::new(sink);
         EngineImage::write_checkpoint(
             self.config,
             &self.factory,
             &self.rng,
             self.stats,
             states.into_iter(),
-            sink,
-        )
+            &mut counted,
+        )?;
+        obs().checkpoint_bytes.add(counted.count());
+        Ok(())
     }
 
     /// Rebuilds a concurrent engine from a checkpoint written by either
@@ -379,7 +392,9 @@ where
         F: Decode,
         F::Sampler: Decode,
     {
-        let image: EngineImage<F> = EngineImage::read_checkpoint(src)?;
+        let mut counted = pts_obs::CountingReader::new(src);
+        let image: EngineImage<F> = EngineImage::read_checkpoint(&mut counted)?;
+        obs().restore_bytes.add(counted.count());
         let router = ShardRouter::new(image.config.shards, derive_seed(image.config.seed, 0x5A4D));
         let workers = image.shards.into_iter().map(ShardWorker::spawn).collect();
         let plan = (0..image.config.shards).map(|_| Vec::new()).collect();
@@ -442,6 +457,7 @@ where
             self.apply_batch(chunk);
         }
         self.stats.merges += 1;
+        obs().merges.inc();
     }
 
     /// Total respawns (lazy and eager) across all shard pools.

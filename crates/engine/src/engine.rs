@@ -20,6 +20,7 @@
 
 use crate::config::EngineConfig;
 use crate::factory::SamplerFactory;
+use crate::obs::obs;
 use crate::router::ShardRouter;
 use crate::shard::Shard;
 use crate::snapshot::EngineSnapshot;
@@ -246,6 +247,9 @@ impl<F: SamplerFactory> ShardedEngine<F> {
         self.apply_batch(batch);
         self.stats.updates += batch.len() as u64;
         self.stats.batches += 1;
+        let o = obs();
+        o.ingest_updates.add(batch.len() as u64);
+        o.ingest_batches.inc();
     }
 
     /// Routes and applies a batch without touching the ingest counters
@@ -300,6 +304,7 @@ impl<F: SamplerFactory> ShardedEngine<F> {
     /// FAILs (bounded probability, part of the samplers' contract; see the
     /// module docs for the `δ_s^k` conditional-law caveat this implies).
     pub fn sample(&mut self) -> Option<Sample> {
+        let sw = pts_obs::Stopwatch::start();
         let masses: Vec<f64> = self.shards.iter().map(Shard::mass).collect();
         let total: f64 = masses.iter().sum();
         if total <= 0.0 {
@@ -307,9 +312,14 @@ impl<F: SamplerFactory> ShardedEngine<F> {
         }
         let chosen = pick_by_mass(&mut self.rng, &masses, total);
         let out = self.shards[chosen].draw();
+        let o = obs();
+        o.draw_ns.observe_elapsed(sw);
         match out {
             Some(_) => self.stats.samples += 1,
-            None => self.stats.fails += 1,
+            None => {
+                self.stats.fails += 1;
+                o.draw_fail.inc();
+            }
         }
         out
     }
@@ -342,6 +352,7 @@ impl<F: SamplerFactory> ShardedEngine<F> {
             self.apply_batch(chunk);
         }
         self.stats.merges += 1;
+        obs().merges.inc();
     }
 
     /// Serializes the engine's **complete** state — config, factory, query
@@ -359,14 +370,17 @@ impl<F: SamplerFactory> ShardedEngine<F> {
         F: Encode,
         F::Sampler: Encode,
     {
+        let mut counted = pts_obs::CountingWriter::new(sink);
         EngineImage::write_checkpoint(
             self.config,
             &self.factory,
             &self.rng,
             self.stats,
             self.shards.iter().map(Encode::to_wire_bytes),
-            sink,
-        )
+            &mut counted,
+        )?;
+        obs().checkpoint_bytes.add(counted.count());
+        Ok(())
     }
 
     /// Rebuilds an engine from a [`ShardedEngine::checkpoint`] payload
@@ -378,7 +392,9 @@ impl<F: SamplerFactory> ShardedEngine<F> {
         F: Decode,
         F::Sampler: Decode,
     {
-        let image: EngineImage<F> = EngineImage::read_checkpoint(src)?;
+        let mut counted = pts_obs::CountingReader::new(src);
+        let image: EngineImage<F> = EngineImage::read_checkpoint(&mut counted)?;
+        obs().restore_bytes.add(counted.count());
         let router = ShardRouter::new(image.config.shards, derive_seed(image.config.seed, 0x5A4D));
         let plan = (0..image.config.shards).map(|_| Vec::new()).collect();
         Ok(Self {

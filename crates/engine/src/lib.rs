@@ -67,6 +67,7 @@ pub mod concurrent;
 pub mod config;
 pub mod engine;
 pub mod factory;
+mod obs;
 pub mod pool;
 pub mod router;
 pub mod service;

@@ -100,9 +100,11 @@ impl<S: TurnstileSampler> SamplerPool<S> {
             if self.slots[j].is_none() {
                 self.slots[j] = Some(self.spawn(factory, universe, net));
                 refilled += 1;
+                crate::obs::obs().pool_replayed.observe(net.len() as u64);
             }
         }
         self.respawns += refilled as u64;
+        crate::obs::obs().pool_respawns.add(refilled as u64);
         refilled
     }
 
@@ -150,6 +152,9 @@ impl<S: TurnstileSampler> SamplerPool<S> {
                 Some(live) => live,
                 None => {
                     self.respawns += 1;
+                    let o = crate::obs::obs();
+                    o.pool_respawns.inc();
+                    o.pool_replayed.observe(net.len() as u64);
                     self.spawn(factory, universe, net)
                 }
             };

@@ -1,0 +1,162 @@
+//! The no-op stub — compiled when the `on` feature is disabled (the
+//! "obs-off" build the `o1` experiment benchmarks against).
+//!
+//! Every type and method from [`crate::on`] exists here with an identical
+//! signature, so instrumented crates compile unchanged; every body is
+//! empty or constant and marked `#[inline]`, so call sites optimize to
+//! nothing — including [`Stopwatch::start`], which skips the
+//! `Instant::now()` syscall, not just the atomic write it would feed.
+
+use crate::types::MetricsSnapshot;
+
+/// No-op counter (obs-off build).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing.
+    #[inline]
+    pub fn add(&self, _n: u64) {}
+
+    /// Does nothing.
+    #[inline]
+    pub fn inc(&self) {}
+
+    /// Always 0.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge (obs-off build).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Does nothing.
+    #[inline]
+    pub fn set(&self, _v: i64) {}
+
+    /// Does nothing.
+    #[inline]
+    pub fn add(&self, _delta: i64) {}
+
+    /// Always 0.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        0
+    }
+}
+
+/// No-op histogram (obs-off build).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Does nothing.
+    #[inline]
+    pub fn observe(&self, _value: u64) {}
+
+    /// Does nothing.
+    #[inline]
+    pub fn observe_elapsed(&self, _sw: Stopwatch) {}
+
+    /// Always 0.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Always 0.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op stopwatch: no `Instant::now()` syscall in the obs-off build.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stopwatch;
+
+impl Stopwatch {
+    /// Does nothing.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch
+    }
+
+    /// Always 0.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op registry (obs-off build): every registration returns the unit
+/// handle, every snapshot is empty, every render is the empty exposition.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry;
+
+impl MetricsRegistry {
+    /// Creates the unit registry.
+    pub fn new() -> Self {
+        MetricsRegistry
+    }
+
+    /// Returns the unit counter.
+    #[inline]
+    pub fn counter(&self, _name: &'static str) -> Counter {
+        Counter
+    }
+
+    /// Returns the unit counter.
+    #[inline]
+    pub fn counter_labeled(
+        &self,
+        _name: &'static str,
+        _key: &'static str,
+        _value: &'static str,
+    ) -> Counter {
+        Counter
+    }
+
+    /// Returns the unit gauge.
+    #[inline]
+    pub fn gauge(&self, _name: &'static str) -> Gauge {
+        Gauge
+    }
+
+    /// Returns the unit histogram.
+    #[inline]
+    pub fn histogram(&self, _name: &'static str) -> Histogram {
+        Histogram
+    }
+
+    /// Returns the unit histogram.
+    #[inline]
+    pub fn histogram_labeled(
+        &self,
+        _name: &'static str,
+        _key: &'static str,
+        _value: &'static str,
+    ) -> Histogram {
+        Histogram
+    }
+
+    /// Always the empty snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Always the empty exposition.
+    pub fn render_prometheus(&self) -> String {
+        String::new()
+    }
+}
+
+/// The process-global registry (unit in the obs-off build).
+pub fn registry() -> &'static MetricsRegistry {
+    static GLOBAL: MetricsRegistry = MetricsRegistry;
+    &GLOBAL
+}

@@ -65,8 +65,12 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library crates never print: diagnostics go through the pts-obs event
+// ring (drainable, bounded), metrics through its registry.
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod client;
+mod obs;
 pub mod server;
 
 pub use client::{Client, ClientConfig, ClientError};

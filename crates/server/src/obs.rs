@@ -1,0 +1,100 @@
+//! Server instrumentation: pre-registered `pts-obs` handles.
+//!
+//! Same shape as the engine's: one struct of `Copy` handles behind a
+//! `OnceLock`, so per-request cost is a relaxed atomic per touched metric.
+//! Request kinds are a closed set, so each kind gets its own pre-labeled
+//! series — the label is resolved at registration, never on the request
+//! path. Metric names are inventoried in DESIGN.md §11.
+
+use pts_obs::{registry, Counter, Gauge, Histogram};
+use pts_util::protocol::Request;
+use std::sync::OnceLock;
+
+/// Per-request-kind handles: a count and a dispatch-latency histogram.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReqObs {
+    /// `server.requests{kind=…}`.
+    pub count: Counter,
+    /// `server.request.ns{kind=…}` — time inside `dispatch`, engine lock
+    /// included (that wait is part of what a client experiences).
+    pub ns: Histogram,
+}
+
+/// The server's metric handles.
+#[derive(Debug)]
+pub(crate) struct ServerObs {
+    pub ingest: ReqObs,
+    pub sample: ReqObs,
+    pub snapshot: ReqObs,
+    pub stats: ReqObs,
+    pub checkpoint: ReqObs,
+    pub restore: ReqObs,
+    pub shutdown: ReqObs,
+    /// `server.conn.opened` / `server.conn.closed` — connection lifecycle.
+    pub conn_opened: Counter,
+    pub conn_closed: Counter,
+    /// `server.conn.active` — currently open connections.
+    pub conn_active: Gauge,
+    /// `server.conn.frame_timeouts` — whole-frame deadlines tripped.
+    pub conn_timeouts: Counter,
+    /// `server.frame_errors{class=…}` — the three `FrameError` classes
+    /// plus sound frames whose payload failed to decode.
+    pub frame_recoverable: Counter,
+    pub frame_fatal: Counter,
+    pub frame_too_large: Counter,
+    pub frame_payload: Counter,
+    /// `server.bytes.in` / `server.bytes.out` — request bytes read and
+    /// response bytes flushed.
+    pub bytes_in: Counter,
+    pub bytes_out: Counter,
+}
+
+impl ServerObs {
+    /// The handles for one request's kind.
+    pub fn req(&self, request: &Request) -> ReqObs {
+        match request {
+            Request::IngestBatch(_) => self.ingest,
+            Request::Sample { .. } => self.sample,
+            Request::Snapshot => self.snapshot,
+            Request::Stats => self.stats,
+            Request::Checkpoint => self.checkpoint,
+            Request::Restore(_) => self.restore,
+            Request::Shutdown => self.shutdown,
+        }
+    }
+}
+
+fn req(kind: &'static str) -> ReqObs {
+    let r = registry();
+    ReqObs {
+        count: r.counter_labeled("server.requests", "kind", kind),
+        ns: r.histogram_labeled("server.request.ns", "kind", kind),
+    }
+}
+
+/// The process-global server handles.
+pub(crate) fn obs() -> &'static ServerObs {
+    static OBS: OnceLock<ServerObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = registry();
+        ServerObs {
+            ingest: req("ingest"),
+            sample: req("sample"),
+            snapshot: req("snapshot"),
+            stats: req("stats"),
+            checkpoint: req("checkpoint"),
+            restore: req("restore"),
+            shutdown: req("shutdown"),
+            conn_opened: r.counter("server.conn.opened"),
+            conn_closed: r.counter("server.conn.closed"),
+            conn_active: r.gauge("server.conn.active"),
+            conn_timeouts: r.counter("server.conn.frame_timeouts"),
+            frame_recoverable: r.counter_labeled("server.frame_errors", "class", "recoverable"),
+            frame_fatal: r.counter_labeled("server.frame_errors", "class", "fatal"),
+            frame_too_large: r.counter_labeled("server.frame_errors", "class", "too_large"),
+            frame_payload: r.counter_labeled("server.frame_errors", "class", "payload"),
+            bytes_in: r.counter("server.bytes.in"),
+            bytes_out: r.counter("server.bytes.out"),
+        }
+    })
+}

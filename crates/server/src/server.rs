@@ -14,7 +14,9 @@
 //! handler threads observe the flag at their next idle poll and close.
 //! [`Server::join`] then completes once every handler has returned.
 
+use crate::obs::obs;
 use pts_engine::SamplingService;
+use pts_obs::{event, CountingWriter, Stopwatch};
 use pts_stream::Update;
 use pts_util::protocol::{
     read_frame_lenient, write_response, ErrorCode, FrameError, Request, Response, ServiceError,
@@ -23,7 +25,7 @@ use pts_util::protocol::{
 use pts_util::wire::{Decode, WireError, KIND_REQUEST};
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -61,6 +63,8 @@ impl Read for FrameBodyReader<'_> {
                 ));
             }
             if Instant::now() >= self.deadline {
+                obs().conn_timeouts.inc();
+                event("server.conn.frame_timeout", "whole-frame deadline exceeded");
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::TimedOut,
                     "frame deadline exceeded",
@@ -72,6 +76,10 @@ impl Read for FrameBodyReader<'_> {
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
                     continue
+                }
+                Ok(n) => {
+                    obs().bytes_in.add(n as u64);
+                    return Ok(n);
                 }
                 other => return other,
             }
@@ -87,6 +95,12 @@ struct Shared<E> {
     /// The listener's address — what a handler pokes to wake a blocking
     /// `accept` after flagging shutdown.
     listen_addr: SocketAddr,
+    /// When this server started serving (feeds the local-view
+    /// `ServiceStats::uptime_secs`).
+    start: Instant,
+    /// Requests answered by this server, all kinds (feeds the local-view
+    /// `ServiceStats::requests_served`; monotonic, never on the wire).
+    requests: AtomicU64,
 }
 
 /// A running sampling service bound to a TCP listener.
@@ -124,6 +138,8 @@ impl Server {
             engine: Mutex::new(engine),
             shutdown: Arc::clone(&shutdown),
             listen_addr: addr,
+            start: Instant::now(),
+            requests: AtomicU64::new(0),
         });
         let accept = std::thread::Builder::new()
             .name("pts-server-accept".into())
@@ -212,11 +228,31 @@ where
 /// Serves one connection: reads request frames, answers each with exactly
 /// one response frame, until EOF, a fatal framing error, or shutdown.
 fn handle_connection<E: SamplingService>(stream: TcpStream, shared: Arc<Shared<E>>) {
+    let o = obs();
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".into());
+    o.conn_opened.inc();
+    o.conn_active.add(1);
+    event("server.conn.open", peer.clone());
+    // Balance the lifecycle metrics on *every* exit path.
+    struct ConnGuard(String);
+    impl Drop for ConnGuard {
+        fn drop(&mut self) {
+            let o = obs();
+            o.conn_closed.inc();
+            o.conn_active.add(-1);
+            event("server.conn.close", std::mem::take(&mut self.0));
+        }
+    }
+    let _guard = ConnGuard(peer);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = read_half;
-    let mut writer = BufWriter::new(stream);
+    let mut writer = BufWriter::new(CountingWriter::new(stream));
+    let mut flushed_out = 0u64;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -243,11 +279,12 @@ fn handle_connection<E: SamplingService>(stream: TcpStream, shared: Arc<Shared<E
             Ok(payload) => match Request::from_wire_bytes(&payload) {
                 Ok(request) => {
                     let (response, shutdown) = dispatch(&shared, request);
-                    if respond(&mut writer, &response).is_err() {
+                    if respond(&mut writer, &mut flushed_out, &response).is_err() {
                         return;
                     }
                     if shutdown {
                         shared.shutdown.store(true, Ordering::SeqCst);
+                        event("server.shutdown", "shutdown request accepted");
                         // Wake the accept loop so it observes the flag.
                         let _ = TcpStream::connect(shared.listen_addr);
                         return;
@@ -256,26 +293,42 @@ fn handle_connection<E: SamplingService>(stream: TcpStream, shared: Arc<Shared<E
                 // The frame was sound but its payload was not: answer
                 // in-band and keep the connection.
                 Err(err) => {
+                    obs().frame_payload.inc();
+                    event("server.frame_error.payload", err.to_string());
                     let response = error_response(ErrorCode::Malformed, &err);
-                    if respond(&mut writer, &response).is_err() {
+                    if respond(&mut writer, &mut flushed_out, &response).is_err() {
                         return;
                     }
                 }
             },
             // Frame boundary survived: report and continue.
             Err(FrameError::Recoverable(err)) => {
+                obs().frame_recoverable.inc();
+                event("server.frame_error.recoverable", err.to_string());
                 let response = error_response(ErrorCode::Malformed, &err);
-                if respond(&mut writer, &response).is_err() {
+                if respond(&mut writer, &mut flushed_out, &response).is_err() {
                     return;
                 }
             }
             // Framing destroyed: best-effort report, then close.
             Err(FrameError::Fatal(err)) => {
-                let _ = respond(&mut writer, &error_response(ErrorCode::Malformed, &err));
+                obs().frame_fatal.inc();
+                event("server.frame_error.fatal", err.to_string());
+                let _ = respond(
+                    &mut writer,
+                    &mut flushed_out,
+                    &error_response(ErrorCode::Malformed, &err),
+                );
                 return;
             }
             Err(FrameError::TooLarge(err)) => {
-                let _ = respond(&mut writer, &error_response(ErrorCode::TooLarge, &err));
+                obs().frame_too_large.inc();
+                event("server.frame_error.too_large", err.to_string());
+                let _ = respond(
+                    &mut writer,
+                    &mut flushed_out,
+                    &error_response(ErrorCode::TooLarge, &err),
+                );
                 return;
             }
         }
@@ -294,7 +347,10 @@ fn poll_first_byte(reader: &mut TcpStream, shutdown: &AtomicBool) -> std::io::Re
         }
         match reader.read(&mut byte) {
             Ok(0) => return Ok(None), // EOF
-            Ok(_) => return Ok(Some(byte[0])),
+            Ok(_) => {
+                obs().bytes_in.inc();
+                return Ok(Some(byte[0]));
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -306,10 +362,20 @@ fn poll_first_byte(reader: &mut TcpStream, shutdown: &AtomicBool) -> std::io::Re
     }
 }
 
-/// Writes one response frame and flushes it.
-fn respond<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
+/// Writes one response frame, flushes it, and credits the newly flushed
+/// bytes to `server.bytes.out` (tracked via `flushed`, the byte count
+/// already credited on this connection).
+fn respond(
+    writer: &mut BufWriter<CountingWriter<TcpStream>>,
+    flushed: &mut u64,
+    response: &Response,
+) -> std::io::Result<()> {
     write_response(response, writer)?;
-    writer.flush()
+    writer.flush()?;
+    let total = writer.get_ref().count();
+    obs().bytes_out.add(total - *flushed);
+    *flushed = total;
+    Ok(())
 }
 
 /// An error response carrying the wire error's rendering as its message.
@@ -320,6 +386,14 @@ fn error_response(code: ErrorCode, err: &dyn std::fmt::Display) -> Response {
 /// Executes one request against the shared engine. Returns the response
 /// plus whether the server should shut down afterwards.
 fn dispatch<E: SamplingService>(shared: &Shared<E>, request: Request) -> (Response, bool) {
+    // Count the request up front so the Stats arm's local view includes
+    // the Stats request itself; time the whole dispatch, lock wait
+    // included — that wait is part of what the client experiences.
+    let sw = Stopwatch::start();
+    let served = shared.requests.fetch_add(1, Ordering::Relaxed) + 1;
+    let req_obs = obs().req(&request);
+    req_obs.count.inc();
+    let mut wants_shutdown = false;
     let Ok(mut engine) = shared.engine.lock() else {
         return (
             Response::Error(ServiceError::new(
@@ -366,7 +440,14 @@ fn dispatch<E: SamplingService>(shared: &Shared<E>, request: Request) -> (Respon
             Response::Samples(draws)
         }
         Request::Snapshot => Response::Snapshot(engine.snapshot().to_bytes()),
-        Request::Stats => Response::Stats(engine.service_stats()),
+        Request::Stats => {
+            let mut stats = engine.service_stats();
+            // The local-view fields (never on the wire — PROTOCOL.md §3):
+            // this server's own request count and uptime.
+            stats.requests_served = served;
+            stats.uptime_secs = shared.start.elapsed().as_secs();
+            Response::Stats(stats)
+        }
         Request::Checkpoint => match engine.checkpoint_bytes() {
             Ok(bytes) => Response::Checkpoint(bytes),
             Err(err) => error_response(checkpoint_error_code(&err), &err),
@@ -376,9 +457,13 @@ fn dispatch<E: SamplingService>(shared: &Shared<E>, request: Request) -> (Respon
             Err(err @ WireError::Unsupported(_)) => error_response(ErrorCode::Unsupported, &err),
             Err(err) => error_response(ErrorCode::Malformed, &err),
         },
-        Request::Shutdown => return (Response::ShuttingDown, true),
+        Request::Shutdown => {
+            wants_shutdown = true;
+            Response::ShuttingDown
+        }
     };
-    (response, false)
+    req_obs.ns.observe_elapsed(sw);
+    (response, wants_shutdown)
 }
 
 /// Classifies a checkpoint failure: a factory that cannot cross the wire

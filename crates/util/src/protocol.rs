@@ -354,6 +354,16 @@ pub struct ServiceStats {
     pub mass: f64,
     /// Number of non-zero coordinates.
     pub support: u64,
+    /// **Local-view field — never on the wire.** Requests this server
+    /// process has answered (all kinds, monotonic). Filled by `pts-server`
+    /// when it builds a `Stats` response; `encode` skips it and `decode`
+    /// leaves it 0, so the v2 frame grammar is unchanged (see
+    /// PROTOCOL.md §Stats notes and the byte-pinned worked examples).
+    pub requests_served: u64,
+    /// **Local-view field — never on the wire.** Whole seconds since this
+    /// server process started serving. Same wire rules as
+    /// [`ServiceStats::requests_served`].
+    pub uptime_secs: u64,
 }
 
 impl Encode for ServiceStats {
@@ -381,6 +391,10 @@ impl Decode for ServiceStats {
             merges: r.get_u64()?,
             mass: r.get_f64()?,
             support: r.get_u64()?,
+            // Local-view fields: not carried by the v2 frame, so a decoded
+            // ServiceStats always reports 0 for them.
+            requests_served: 0,
+            uptime_secs: 0,
         })
     }
 }
@@ -571,6 +585,9 @@ mod tests {
         ]));
         roundtrip_response(Response::Samples(vec![]));
         roundtrip_response(Response::Snapshot(vec![1, 2, 3]));
+        // Local-view fields stay 0 here: they are not on the wire, so a
+        // decoded ServiceStats always reports 0 for them (see
+        // `local_view_stats_fields_never_reach_the_wire`).
         roundtrip_response(Response::Stats(ServiceStats {
             universe: 1 << 20,
             updates: 10,
@@ -580,10 +597,45 @@ mod tests {
             merges: 0,
             mass: 123.5,
             support: 9,
+            requests_served: 0,
+            uptime_secs: 0,
         }));
         roundtrip_response(Response::Checkpoint(vec![9; 100]));
         roundtrip_response(Response::Restored);
         roundtrip_response(Response::ShuttingDown);
+    }
+
+    #[test]
+    fn local_view_stats_fields_never_reach_the_wire() {
+        // Two stats differing only in the local-view fields must encode
+        // byte-identically — that is the "no wire change" contract of the
+        // requests_served / uptime_secs additions.
+        let base = ServiceStats {
+            universe: 4096,
+            updates: 1000,
+            batches: 4,
+            samples: 6,
+            fails: 1,
+            merges: 0,
+            mass: 123.5,
+            support: 9,
+            requests_served: 0,
+            uptime_secs: 0,
+        };
+        let filled = ServiceStats {
+            requests_served: u64::MAX,
+            uptime_secs: 86_400,
+            ..base
+        };
+        assert_eq!(
+            base.to_wire_bytes().unwrap(),
+            filled.to_wire_bytes().unwrap()
+        );
+        // And a decode of the filled encoding reports them as 0.
+        let decoded = ServiceStats::from_wire_bytes(&filled.to_wire_bytes().unwrap()).unwrap();
+        assert_eq!(decoded.requests_served, 0);
+        assert_eq!(decoded.uptime_secs, 0);
+        assert_eq!(decoded, base);
     }
 
     #[test]
@@ -702,7 +754,8 @@ mod tests {
         );
         // Example 5: the version-2 Stats response body — universe 4096,
         // 1000 updates over 4 batches, 6 samples, 1 fail, 0 merges, mass
-        // 123.5, support 9.
+        // 123.5, support 9. The local-view fields are deliberately
+        // nonzero: the pinned bytes below prove they never reach the wire.
         let mut report = Vec::new();
         write_response(
             &Response::Stats(ServiceStats {
@@ -714,6 +767,8 @@ mod tests {
                 merges: 0,
                 mass: 123.5,
                 support: 9,
+                requests_served: 77,
+                uptime_secs: 3600,
             }),
             &mut report,
         )

@@ -3,8 +3,47 @@
 //! Experiments in `pts-bench` print their results as GitHub-flavoured
 //! markdown tables (the same rows recorded in EXPERIMENTS.md), so output can
 //! be pasted into documentation verbatim.
+//!
+//! The **row witness** ([`arm_witness`] / [`disarm_witness`]) mirrors the
+//! most recently created table's completed rows into process-global state,
+//! so a harness that catches a mid-experiment panic can still salvage the
+//! rows finished before the panic (the `reproduce --json` partial-artifact
+//! path). Disarmed — the default — the witness costs one relaxed atomic
+//! load per row.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// The mirrored `(header, completed rows)` of the most recent table.
+type PartialTable = (Vec<String>, Vec<Vec<String>>);
+
+/// Whether the row witness is currently recording ([`arm_witness`]).
+static WITNESS_ARMED: AtomicBool = AtomicBool::new(false);
+static WITNESS: Mutex<Option<PartialTable>> = Mutex::new(None);
+
+fn witness_lock() -> std::sync::MutexGuard<'static, Option<PartialTable>> {
+    WITNESS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Starts mirroring table construction: from now until
+/// [`disarm_witness`], each [`Table::new`] resets the mirror to that
+/// table's header and each [`Table::push_row`] appends the completed row.
+///
+/// Single-recorder by design (one global mirror): arm around one
+/// experiment at a time, as the `reproduce` loop does.
+pub fn arm_witness() {
+    *witness_lock() = Some((Vec::new(), Vec::new()));
+    WITNESS_ARMED.store(true, Ordering::Release);
+}
+
+/// Stops mirroring and returns the `(header, rows)` recorded since
+/// [`arm_witness`] — the salvageable partial table after a panic, or
+/// `None` if the witness was never armed.
+pub fn disarm_witness() -> Option<(Vec<String>, Vec<Vec<String>>)> {
+    WITNESS_ARMED.store(false, Ordering::Release);
+    witness_lock().take()
+}
 
 /// A simple column-aligned markdown table.
 #[derive(Debug, Clone, Default)]
@@ -16,8 +55,15 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        if WITNESS_ARMED.load(Ordering::Acquire) {
+            if let Some(w) = witness_lock().as_mut() {
+                w.0 = header.clone();
+                w.1.clear();
+            }
+        }
         Self {
-            header: header.into_iter().map(Into::into).collect(),
+            header,
             rows: Vec::new(),
         }
     }
@@ -26,6 +72,11 @@ impl Table {
     pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
         let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
         cells.resize(self.header.len(), String::new());
+        if WITNESS_ARMED.load(Ordering::Acquire) {
+            if let Some(w) = witness_lock().as_mut() {
+                w.1.push(cells.clone());
+            }
+        }
         self.rows.push(cells);
     }
 

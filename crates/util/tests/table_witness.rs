@@ -1,0 +1,41 @@
+//! The table row witness — the salvage path behind `reproduce --json`'s
+//! partial artifacts. Lives in its own integration binary (own process)
+//! because the witness is process-global: unit tests building unrelated
+//! tables in parallel would race the mirror.
+
+use pts_util::table::{arm_witness, disarm_witness};
+use pts_util::Table;
+
+#[test]
+fn witness_mirrors_completed_rows_and_survives_a_panic() {
+    // Disarmed: table construction leaves no trace.
+    let mut quiet = Table::new(["a"]);
+    quiet.push_row(["1"]);
+    assert!(disarm_witness().is_none(), "never armed, nothing recorded");
+
+    // Armed: the mirror tracks the most recent table's completed rows,
+    // even when the builder panics mid-experiment and the Table itself
+    // unwinds away.
+    arm_witness();
+    let outcome = std::panic::catch_unwind(|| {
+        let mut t = Table::new(["n", "rate"]);
+        t.push_row(["1024", "3.5e6"]);
+        t.push_row(["2048", "2.9e6"]);
+        panic!("experiment died after two rows");
+    });
+    assert!(outcome.is_err());
+    let (header, rows) = disarm_witness().expect("armed witness records");
+    assert_eq!(header, ["n", "rate"]);
+    assert_eq!(rows, [["1024", "3.5e6"], ["2048", "2.9e6"]]);
+
+    // A fresh table while armed resets the mirror (one experiment, one
+    // table): only the newest table's rows are salvaged.
+    arm_witness();
+    let mut first = Table::new(["old"]);
+    first.push_row(["stale"]);
+    let mut second = Table::new(["new"]);
+    second.push_row(["kept"]);
+    let (header, rows) = disarm_witness().expect("armed witness records");
+    assert_eq!(header, ["new"]);
+    assert_eq!(rows, [["kept"]]);
+}

@@ -15,8 +15,12 @@
 //! failure is invisible in the sampling record.
 //!
 //! Run with: `cargo run --release --example cluster_demo`
+//!
+//! Add `--metrics-addr 127.0.0.1:9185` to also expose the process-global
+//! metrics registry (coordinator scatter/gather latency, node health
+//! transitions, rebalance bytes, …) as a Prometheus-text scrape endpoint.
 
-use perfect_sampling::prelude::*;
+use perfect_sampling::{prelude::*, pts_obs};
 use pts_server::serve;
 use std::time::Duration;
 
@@ -52,6 +56,21 @@ fn cluster_over(universe: usize, servers: &[pts_server::Server]) -> Coordinator 
 
 fn main() {
     let universe = 1 << 12;
+
+    // Opt-in observability: one scrape endpoint over the registry the
+    // coordinator, its client connections, and both demo clusters' node
+    // servers all share (everything here is one process).
+    let metrics = std::env::args()
+        .skip_while(|a| a != "--metrics-addr")
+        .nth(1)
+        .map(|addr| {
+            let endpoint = MetricsServer::bind(&addr).expect("bind metrics endpoint");
+            println!(
+                "metrics on http://{}/metrics (scrape it mid-run)",
+                endpoint.local_addr()
+            );
+            endpoint
+        });
 
     // ---- Act 1: three nodes, one sampling law --------------------------
     let mut subject_servers = spawn_nodes(universe, 3);
@@ -151,4 +170,22 @@ fn main() {
         server.join();
     }
     println!("failover-recovered cluster verified: draw-for-draw identical ✔");
+
+    if let Some(endpoint) = metrics {
+        println!("\nwhat the failover looked like to a scraper:");
+        for line in pts_obs::render_prometheus()
+            .lines()
+            .filter(|l| l.starts_with("pts_cluster_node") || l.starts_with("pts_cluster_scatter"))
+        {
+            println!("  {line}");
+        }
+        println!("and to the event ring:");
+        for event in pts_obs::drain_events()
+            .iter()
+            .filter(|e| e.kind.starts_with("cluster."))
+        {
+            println!("  [{}] {}: {}", event.seq, event.kind, event.detail);
+        }
+        endpoint.join();
+    }
 }

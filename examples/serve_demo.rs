@@ -15,11 +15,29 @@
 //! measured through two sockets and a restart.
 //!
 //! Run with: `cargo run --release --example serve_demo`
+//!
+//! Add `--metrics-addr 127.0.0.1:9184` to also expose the process-global
+//! metrics registry as a Prometheus-text scrape endpoint for the session
+//! (`curl http://127.0.0.1:9184/metrics` while it runs).
 
-use perfect_sampling::prelude::*;
+use perfect_sampling::{prelude::*, pts_obs};
 use pts_server::{serve, Client};
 
 fn main() {
+    // Opt-in observability: a side scrape endpoint over the same registry
+    // every instrumented layer below writes into.
+    let metrics = std::env::args()
+        .skip_while(|a| a != "--metrics-addr")
+        .nth(1)
+        .map(|addr| {
+            let endpoint = MetricsServer::bind(&addr).expect("bind metrics endpoint");
+            println!(
+                "metrics on http://{}/metrics (scrape it mid-run)",
+                endpoint.local_addr()
+            );
+            endpoint
+        });
+
     // ---- Act 1: a live sampling service -------------------------------
     let universe = 1 << 12;
     let config = EngineConfig::new(universe).shards(4).pool_size(2).seed(42);
@@ -94,4 +112,15 @@ fn main() {
     client_b.shutdown_server().expect("shutdown B");
     server_b.join();
     println!("crash-recovered service verified: draw-for-draw identical ✔");
+
+    if let Some(endpoint) = metrics {
+        println!("\nwhat the session looked like to a scraper:");
+        for line in pts_obs::render_prometheus()
+            .lines()
+            .filter(|l| l.starts_with("pts_server_requests") || l.starts_with("pts_engine_ingest"))
+        {
+            println!("  {line}");
+        }
+        endpoint.join();
+    }
 }

@@ -57,6 +57,9 @@
 //!
 //! ## Crate map
 //!
+//! * [`pts_obs`] — zero-dependency metrics + event tracing with a
+//!   Prometheus-text scrape endpoint (start at [`pts_obs::MetricsServer`];
+//!   compiled out entirely under `--no-default-features`).
 //! * [`pts_cluster`] — the multi-node coordinator: N servers, one
 //!   logical sampler (start at [`pts_cluster::Coordinator`]).
 //! * [`pts_server`] — the TCP sampling service + client (start at
@@ -83,6 +86,7 @@
 pub use pts_cluster;
 pub use pts_core;
 pub use pts_engine;
+pub use pts_obs;
 pub use pts_samplers;
 pub use pts_server;
 pub use pts_sketch;
@@ -101,6 +105,7 @@ pub mod prelude {
         ConcurrentEngine, EngineConfig, EngineSnapshot, EngineStats, L0Factory, LogGFactory,
         LpLe2Factory, PerfectLpFactory, SamplerFactory, SamplingService, ShardedEngine,
     };
+    pub use pts_obs::{MetricsServer, MetricsServerConfig};
     pub use pts_samplers::{
         L0Params, LpLe2Batch, LpLe2Params, PerfectL0Sampler, PerfectLpLe2Sampler, PrecisionParams,
         PrecisionSampler, ReservoirSampler, Sample, TurnstileSampler,
