@@ -1,0 +1,22 @@
+// Fixture: planted panic sources in decode paths.
+pub struct Foo {
+    a: u64,
+}
+
+impl Decode for Foo {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        let a = r.get_u64().unwrap(); // planted: .unwrap() in a Decode impl
+        Ok(Foo { a })
+    }
+}
+
+fn read_frame(buf: &[u8], n: usize) -> u8 {
+    buf[n] // planted: computed index in a frame parser
+}
+
+fn get_header(buf: &[u8]) -> u8 {
+    if buf.is_empty() {
+        panic!("empty"); // planted: panic! in a parsing fn
+    }
+    buf[0]
+}

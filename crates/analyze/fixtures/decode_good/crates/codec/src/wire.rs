@@ -1,0 +1,24 @@
+// Fixture: the same shapes written panic-free.
+pub struct Foo {
+    a: u64,
+}
+
+impl Decode for Foo {
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        let a = r.get_u64()?;
+        Ok(Foo { a })
+    }
+}
+
+fn read_frame(buf: &[u8], n: usize) -> Result<u8, WireError> {
+    buf.get(n).copied().ok_or(WireError::Truncated)
+}
+
+fn get_header(head: &[u8; 4]) -> u8 {
+    head[0] // a pure-literal index into a sized array is allowed
+}
+
+fn helper_outside_scope(v: &[u64]) -> u64 {
+    // Not a parsing-shaped name: free to index (other passes' problem).
+    v[v.len() - 1]
+}

@@ -1,0 +1,5 @@
+//! Fixture library crate missing the print-deny header (planted).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn noop() {}

@@ -1,0 +1,6 @@
+//! Fixture library crate with the full header set.
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+#![warn(missing_docs)]
+
+pub fn noop() {}

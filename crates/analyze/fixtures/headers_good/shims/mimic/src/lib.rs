@@ -1,0 +1,4 @@
+// Fixture shim: only forbid(unsafe_code) is required of shims.
+#![forbid(unsafe_code)]
+
+pub fn print_like_the_real_crate() {}

@@ -1,0 +1,6 @@
+// Fixture: socket write under a live engine guard (planted).
+fn dispatch(shared: &Shared, stream: &mut TcpStream) {
+    let mut engine = shared.engine.lock().unwrap();
+    let reply = engine.answer();
+    stream.write_all(&reply).unwrap(); // planted: I/O under the guard
+}

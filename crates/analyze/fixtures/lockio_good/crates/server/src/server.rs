@@ -1,0 +1,15 @@
+// Fixture: lock, compute, unlock, then talk to the network.
+fn dispatch(shared: &Shared, stream: &mut TcpStream) {
+    let reply = {
+        let mut engine = shared.engine.lock().unwrap();
+        engine.answer()
+    };
+    stream.write_all(&reply).unwrap();
+}
+
+fn explicit_drop(shared: &Shared, stream: &mut TcpStream) {
+    let mut engine = shared.engine.lock().unwrap();
+    let reply = engine.answer();
+    drop(engine);
+    stream.write_all(&reply).unwrap();
+}

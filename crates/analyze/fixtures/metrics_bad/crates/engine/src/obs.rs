@@ -1,0 +1,10 @@
+// Fixture: four planted inventory violations.
+pub fn register(r: &Registry) -> Handles {
+    Handles {
+        updates: r.counter("engine.ingest.updates"),
+        draw_ns: r.counter("engine.draw.ns"),
+        bad_name: r.counter("NotDotted"),
+        foreign: r.counter("server.stolen.metric"),
+        undocumented: r.counter("engine.secret.series"),
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: registrations that match DESIGN.md exactly.
+pub fn register(r: &Registry) -> Handles {
+    Handles {
+        updates: r.counter("engine.ingest.updates"),
+        batches: r.counter("engine.ingest.batches"),
+        draw_ns: r.histogram("engine.draw.ns"),
+        reqs: r.counter_labeled("engine.requests", "kind", kind),
+    }
+}

@@ -1,0 +1,4 @@
+// Fixture: stream tag 0xBEEF, first site.
+fn build(seed: u64) -> Xoshiro256pp {
+    Xoshiro256pp::from_seed_stream(seed, 0xBEEF)
+}

@@ -1,0 +1,5 @@
+// Fixture: the same tag via a const (planted collision).
+const MY_STREAM: u64 = 0xBEEF;
+fn build(seed: u64) -> Xoshiro256pp {
+    Xoshiro256pp::from_seed_stream(seed, MY_STREAM)
+}

@@ -1,0 +1,4 @@
+// Fixture: distinct stream tags.
+fn build(seed: u64) -> Xoshiro256pp {
+    Xoshiro256pp::from_seed_stream(seed, 0xBEEF)
+}

@@ -1,0 +1,5 @@
+// Fixture: a different tag.
+const MY_STREAM: u64 = 0xCAFE;
+fn build(seed: u64) -> Xoshiro256pp {
+    Xoshiro256pp::from_seed_stream(seed, MY_STREAM)
+}

@@ -1,0 +1,3 @@
+// Fixture protocol tags: REQ_PING duplicates REQ_STATS (planted).
+const REQ_STATS: u8 = 0x04;
+const REQ_PING: u8 = 0x04;

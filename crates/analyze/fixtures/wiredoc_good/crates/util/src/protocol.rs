@@ -1,0 +1,3 @@
+// Fixture protocol tags.
+const REQ_STATS: u8 = 0x04;
+const REQ_PING: u8 = 0x05;

@@ -1,0 +1,8 @@
+// Fixture wire constants (FNV constants present so the code-side FNV
+// check stays quiet; the analyzer knows this offset/prime).
+pub const WIRE_MAGIC: [u8; 4] = *b"PTSW";
+pub const WIRE_VERSION: u8 = 2;
+pub const KIND_REQUEST: u8 = 4;
+pub const KIND_RESPONSE: u8 = 5;
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;

@@ -1,0 +1,169 @@
+//! The in-repo allowlist: intentional violations, each with a written
+//! justification.
+//!
+//! Format (`analyze-allowlist.txt` at the workspace root), one entry per
+//! line:
+//!
+//! ```text
+//! # comment
+//! <pass> | <key> | <justification — at least 10 characters>
+//! ```
+//!
+//! The key is the pass-specific stable identifier printed with every
+//! finding (`(key: …)`), deliberately line-number-free so entries survive
+//! unrelated edits. Entries that match nothing are *stale* and are
+//! reported as findings themselves: a suppression that suppresses
+//! nothing either outlived its violation (delete it) or never matched
+//! (fix it) — both rot trust in the file.
+
+use crate::diag::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The pass name the entry applies to.
+    pub pass: String,
+    /// The finding key it suppresses.
+    pub key: String,
+    /// Why the violation is intentional.
+    pub justification: String,
+    /// 1-based line in the allowlist file (for stale-entry findings).
+    pub line: u32,
+}
+
+/// The parsed allowlist plus any findings raised while parsing it
+/// (malformed lines, missing justifications).
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Well-formed entries.
+    pub entries: Vec<Entry>,
+    /// Findings about the allowlist file itself.
+    pub parse_findings: Vec<Finding>,
+}
+
+/// Minimum length of a justification: long enough that "ok" or "fine"
+/// cannot pass review by accident.
+const MIN_JUSTIFICATION: usize = 10;
+
+/// The allowlist's workspace-relative path.
+pub const ALLOWLIST_FILE: &str = "analyze-allowlist.txt";
+
+impl Allowlist {
+    /// Parses allowlist text. A missing file should be passed as `""`.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut out = Allowlist::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = (idx + 1) as u32;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = trimmed.splitn(3, '|').map(str::trim).collect();
+            let bad = |message: String| Finding {
+                pass: "allowlist",
+                file: ALLOWLIST_FILE.into(),
+                line,
+                key: format!("line:{line}"),
+                message,
+            };
+            if parts.len() != 3 {
+                out.parse_findings.push(bad(format!(
+                    "malformed entry (expected `pass | key | justification`): `{trimmed}`"
+                )));
+                continue;
+            }
+            if parts[0].is_empty() || parts[1].is_empty() {
+                out.parse_findings
+                    .push(bad(format!("entry has an empty pass or key: `{trimmed}`")));
+                continue;
+            }
+            if parts[2].len() < MIN_JUSTIFICATION {
+                out.parse_findings.push(bad(format!(
+                    "justification too short ({} chars, need ≥ {MIN_JUSTIFICATION}): `{}`",
+                    parts[2].len(),
+                    parts[2]
+                )));
+                continue;
+            }
+            out.entries.push(Entry {
+                pass: parts[0].to_string(),
+                key: parts[1].to_string(),
+                justification: parts[2].to_string(),
+                line,
+            });
+        }
+        out
+    }
+
+    /// Finds the entry suppressing a finding, if any.
+    pub fn lookup(&self, finding: &Finding) -> Option<&Entry> {
+        self.entries
+            .iter()
+            .find(|e| e.pass == finding.pass && e.key == finding.key)
+    }
+
+    /// Stale-entry findings for every entry whose `(pass, key)` is not in
+    /// `used` (a list of `(pass, key)` pairs that matched a finding).
+    pub fn stale_findings(&self, used: &[(String, String)]) -> Vec<Finding> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                !used
+                    .iter()
+                    .any(|(pass, key)| *pass == e.pass && *key == e.key)
+            })
+            .map(|e| Finding {
+                pass: "allowlist",
+                file: ALLOWLIST_FILE.into(),
+                line: e.line,
+                key: format!("stale:{}:{}", e.pass, e.key),
+                message: format!(
+                    "stale allowlist entry: no `{}` finding has key `{}` — delete the entry \
+                     (or fix its key)",
+                    e.pass, e.key
+                ),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_skips_comments() {
+        let a = Allowlist::parse(
+            "# header\n\nlint-rng | tag:0xd4a3 | engines must stay draw-identical\n",
+        );
+        assert_eq!(a.entries.len(), 1);
+        assert!(a.parse_findings.is_empty());
+        assert_eq!(a.entries[0].pass, "lint-rng");
+        assert_eq!(a.entries[0].line, 3);
+    }
+
+    #[test]
+    fn short_justifications_are_findings() {
+        let a = Allowlist::parse("decode-panic | k | ok\n");
+        assert!(a.entries.is_empty());
+        assert_eq!(a.parse_findings.len(), 1);
+        assert!(a.parse_findings[0].message.contains("too short"));
+    }
+
+    #[test]
+    fn malformed_lines_are_findings() {
+        let a = Allowlist::parse("just one field\n");
+        assert_eq!(a.parse_findings.len(), 1);
+        assert!(a.parse_findings[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let a = Allowlist::parse("p1 | k1 | a fine justification\np2 | k2 | also justified here\n");
+        let used = vec![("p1".to_string(), "k1".to_string())];
+        let stale = a.stale_findings(&used);
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].message.contains("k2"));
+        assert_eq!(stale[0].line, 2);
+    }
+}

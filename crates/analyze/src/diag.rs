@@ -1,0 +1,227 @@
+//! Diagnostics: the finding record every pass emits and the report the
+//! driver assembles.
+
+/// One diagnostic from one pass.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The pass that produced this finding (e.g. `decode-panic`).
+    pub pass: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number (0 when the finding is about a whole file,
+    /// e.g. a missing lint header).
+    pub line: u32,
+    /// A stable key identifying the finding *site* independent of line
+    /// numbers, so allowlist entries survive unrelated edits. Keys are
+    /// documented per pass in DESIGN.md §12.
+    pub key: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders the finding in compiler style: `file:line: [pass] message`.
+    pub fn render(&self) -> String {
+        if self.line == 0 {
+            format!(
+                "{}: [{}] {} (key: {})",
+                self.file, self.pass, self.message, self.key
+            )
+        } else {
+            format!(
+                "{}:{}: [{}] {} (key: {})",
+                self.file, self.line, self.pass, self.message, self.key
+            )
+        }
+    }
+}
+
+/// An allowlist entry that matched a finding, with its justification —
+/// reported so suppressions stay visible instead of silent.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The suppressed finding.
+    pub finding: Finding,
+    /// The justification string from the allowlist entry.
+    pub justification: String,
+}
+
+/// The complete result of an analyzer run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by the allowlist — these fail `--deny`.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by an allowlist entry.
+    pub allowlisted: Vec<Suppressed>,
+    /// Allowlist entries that matched nothing — stale suppressions are
+    /// themselves findings (they hide nothing and rot the file).
+    pub stale: Vec<Finding>,
+    /// Names of the passes that ran, in order.
+    pub passes_run: Vec<&'static str>,
+}
+
+impl Report {
+    /// Whether the run is clean: no live findings and no stale entries.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stale.is_empty()
+    }
+
+    /// Every finding that fails a `--deny` run: live findings first,
+    /// then stale-allowlist findings.
+    pub fn denials(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().chain(self.stale.iter())
+    }
+
+    /// Renders the report as a JSON document (hand-rolled — this crate
+    /// is zero-dependency by design).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"clean\": {},\n  \"passes\": [{}],\n",
+            self.is_clean(),
+            self.passes_run
+                .iter()
+                .map(|p| format!("\"{p}\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        out.push_str("  \"findings\": [");
+        out.push_str(&render_findings(&self.findings));
+        out.push_str("],\n  \"allowlisted\": [");
+        let cells: Vec<String> = self
+            .allowlisted
+            .iter()
+            .map(|s| {
+                format!(
+                    "\n    {{\"pass\": \"{}\", \"file\": \"{}\", \"line\": {}, \"key\": \"{}\", \
+                     \"justification\": \"{}\"}}",
+                    escape(s.finding.pass),
+                    escape(&s.finding.file),
+                    s.finding.line,
+                    escape(&s.finding.key),
+                    escape(&s.justification)
+                )
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        if !cells.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"stale_allowlist\": [");
+        out.push_str(&render_findings(&self.stale));
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// One-line summary suitable for bench artifacts: which invariant
+    /// set the tree satisfied when the run was measured.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            format!(
+                "clean ({} passes, {} allowlisted)",
+                self.passes_run.len(),
+                self.allowlisted.len()
+            )
+        } else {
+            format!(
+                "{} finding(s), {} stale allowlist entr{}",
+                self.findings.len(),
+                self.stale.len(),
+                if self.stale.len() == 1 { "y" } else { "ies" }
+            )
+        }
+    }
+}
+
+fn render_findings(findings: &[Finding]) -> String {
+    let cells: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "\n    {{\"pass\": \"{}\", \"file\": \"{}\", \"line\": {}, \"key\": \"{}\", \
+                 \"message\": \"{}\"}}",
+                escape(f.pass),
+                escape(&f.file),
+                f.line,
+                escape(&f.key),
+                escape(&f.message)
+            )
+        })
+        .collect();
+    let mut out = cells.join(",");
+    if !out.is_empty() {
+        out.push_str("\n  ");
+    }
+    out
+}
+
+/// Escapes a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(pass: &'static str, key: &str) -> Finding {
+        Finding {
+            pass,
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            key: key.into(),
+            message: "msg".into(),
+        }
+    }
+
+    #[test]
+    fn clean_report_is_clean() {
+        let r = Report {
+            passes_run: vec!["decode-panic"],
+            ..Default::default()
+        };
+        assert!(r.is_clean());
+        assert!(r.summary().starts_with("clean"));
+        assert!(r.to_json().contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn stale_entries_break_cleanliness() {
+        let r = Report {
+            stale: vec![f("allowlist", "k")],
+            ..Default::default()
+        };
+        assert!(!r.is_clean());
+        assert_eq!(r.denials().count(), 1);
+    }
+
+    #[test]
+    fn json_is_balanced_and_escaped() {
+        let r = Report {
+            findings: vec![f("decode-panic", "a\"b")],
+            allowlisted: vec![Suppressed {
+                finding: f("lint-rng", "tag:0xd4a3"),
+                justification: "because \\ reasons".into(),
+            }],
+            stale: vec![],
+            passes_run: vec!["decode-panic", "lint-rng"],
+        };
+        let doc = r.to_json();
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count(), "{doc}");
+        assert!(doc.contains("a\\\"b"));
+        assert!(doc.contains("because \\\\ reasons"));
+    }
+}

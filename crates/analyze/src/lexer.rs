@@ -1,0 +1,910 @@
+//! A hand-rolled Rust lexer: just enough token structure for invariant
+//! passes, with zero dependencies.
+//!
+//! The sandbox has no crates.io access, so `syn` is off the table — and a
+//! full parse is more than the passes need anyway. Every pass in this
+//! crate is a *token-stream visitor*: it needs identifiers, literals,
+//! punctuation, and byte-accurate line numbers, with comments and string
+//! contents correctly skipped (so the word `unwrap` inside a doc comment
+//! or a diagnostic message never counts as a call). That is exactly what
+//! this lexer produces.
+//!
+//! Correctness notes, because a static analyzer that mis-lexes lies:
+//!
+//! * Line/block comments are skipped (block comments nest, as in Rust).
+//! * String (`"…"`), raw string (`r#"…"#`), byte string, and char
+//!   literals are single tokens; their contents are never re-lexed.
+//! * `'a` (lifetime) and `'a'` (char) are disambiguated by lookahead.
+//! * Numeric literals keep their parsed value when they fit a `u64`
+//!   (hex/octal/binary/decimal, `_` separators, type suffixes), which is
+//!   what lets the wire pass evaluate `1 << 26` and compare it to a
+//!   documented "64 MiB".
+//! * Tokens carry byte offsets, so adjacency (`<` `<` forming `<<`) is
+//!   recoverable without a multi-char punctuation table.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (keywords are not distinguished).
+    Ident,
+    /// An integer literal (value in [`Tok::value`] when it fits a `u64`).
+    Int,
+    /// A float literal (or an integer with an `f32`/`f64` suffix).
+    Float,
+    /// A string or byte-string literal (text is the raw contents).
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`.`, `!`, `{`, …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token's kind.
+    pub kind: TokKind,
+    /// The token text: identifier name, literal contents (without quotes
+    /// or prefix), or the punctuation character.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// Byte offset of the token's first character.
+    pub start: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
+    /// The numeric value of an [`TokKind::Int`] token, when it fits.
+    pub value: Option<u64>,
+}
+
+impl Tok {
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// The cursor state shared by the lexing helpers.
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one byte, keeping the line count current. Multi-byte
+    /// UTF-8 continuation bytes never equal `\n`, so byte-wise counting
+    /// is exact.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. Unterminated literals and other
+/// malformed input never panic: the lexer consumes what it can and moves
+/// on (the workspace it scans is rustc-accepted code, so in practice the
+/// stream is exact).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek() {
+        let start = c.pos;
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                while let Some(b) = c.peek() {
+                    if b == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            c.bump();
+                            c.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            c.bump();
+                            c.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'r' | b'b' if raw_or_byte_literal(&mut c, &mut out, start, line) => {}
+            b'"' => {
+                let text = lex_string(&mut c);
+                out.push(tok(TokKind::Str, text, line, start, c.pos));
+            }
+            b'\'' => {
+                lex_quote(&mut c, &mut out, start, line);
+            }
+            b if b.is_ascii_digit() => {
+                lex_number(&mut c, &mut out, start, line);
+            }
+            b if is_ident_start(b) => {
+                let mut text = Vec::new();
+                while let Some(b) = c.peek() {
+                    if !is_ident_continue(b) {
+                        break;
+                    }
+                    text.push(b);
+                    c.bump();
+                }
+                let text = String::from_utf8_lossy(&text).into_owned();
+                out.push(tok(TokKind::Ident, text, line, start, c.pos));
+            }
+            other => {
+                c.bump();
+                out.push(tok(
+                    TokKind::Punct,
+                    (other as char).to_string(),
+                    line,
+                    start,
+                    c.pos,
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn tok(kind: TokKind, text: String, line: u32, start: usize, end: usize) -> Tok {
+    let value = if kind == TokKind::Int {
+        parse_int(&text)
+    } else {
+        None
+    };
+    Tok {
+        kind,
+        text,
+        line,
+        start,
+        end,
+        value,
+    }
+}
+
+/// Handles `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `br#"…"#`, and `b'…'`.
+/// Returns false (consuming nothing) when the `r`/`b` is a plain
+/// identifier start.
+fn raw_or_byte_literal(c: &mut Cursor<'_>, out: &mut Vec<Tok>, start: usize, line: u32) -> bool {
+    let first = c.peek().unwrap_or(0);
+    // Work out the literal shape by lookahead before consuming anything.
+    let (skip, hashes, quote, is_char) = {
+        let mut ahead = 1usize; // past the r/b
+        let mut hashes = 0usize;
+        if first == b'b' && c.peek_at(ahead) == Some(b'r') {
+            ahead += 1;
+        }
+        while c.peek_at(ahead) == Some(b'#') {
+            ahead += 1;
+            hashes += 1;
+        }
+        match c.peek_at(ahead) {
+            Some(b'"') => (ahead + 1, hashes, true, false),
+            Some(b'\'') if first == b'b' && hashes == 0 => (ahead + 1, 0, false, true),
+            // `r#ident` (raw identifier): lex as a plain identifier below.
+            Some(bb) if first == b'r' && hashes == 1 && is_ident_start(bb) => {
+                for _ in 0..2 {
+                    c.bump(); // consume `r#`
+                }
+                let mut text = Vec::new();
+                while let Some(b) = c.peek() {
+                    if !is_ident_continue(b) {
+                        break;
+                    }
+                    text.push(b);
+                    c.bump();
+                }
+                out.push(tok(
+                    TokKind::Ident,
+                    String::from_utf8_lossy(&text).into_owned(),
+                    line,
+                    start,
+                    c.pos,
+                ));
+                return true;
+            }
+            _ => return false,
+        }
+    };
+    for _ in 0..skip {
+        c.bump();
+    }
+    if is_char {
+        // b'…' byte literal: escapes allowed.
+        let mut text = Vec::new();
+        while let Some(b) = c.peek() {
+            if b == b'\\' {
+                c.bump();
+                if let Some(e) = c.bump() {
+                    text.push(e);
+                }
+                continue;
+            }
+            if b == b'\'' {
+                c.bump();
+                break;
+            }
+            text.push(b);
+            c.bump();
+        }
+        out.push(tok(
+            TokKind::Char,
+            String::from_utf8_lossy(&text).into_owned(),
+            line,
+            start,
+            c.pos,
+        ));
+        return true;
+    }
+    let mut text = Vec::new();
+    if hashes == 0 && !quote {
+        return false;
+    }
+    if hashes == 0 {
+        // r"…" or b"…": raw strings have no escapes, but byte strings do.
+        let raw = c.src.get(start) == Some(&b'r');
+        while let Some(b) = c.peek() {
+            if !raw && b == b'\\' {
+                c.bump();
+                if let Some(e) = c.bump() {
+                    text.push(b'\\');
+                    text.push(e);
+                }
+                continue;
+            }
+            if b == b'"' {
+                c.bump();
+                break;
+            }
+            text.push(b);
+            c.bump();
+        }
+    } else {
+        // r#"…"# with `hashes` terminating hashes: scan for `"` + hashes.
+        'outer: while let Some(b) = c.bump() {
+            if b == b'"' {
+                let mut seen = 0usize;
+                while seen < hashes {
+                    if c.peek() == Some(b'#') {
+                        c.bump();
+                        seen += 1;
+                    } else {
+                        // A quote that is not the terminator: keep it.
+                        text.push(b'"');
+                        text.extend(std::iter::repeat_n(b'#', seen));
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            text.push(b);
+        }
+    }
+    out.push(tok(
+        TokKind::Str,
+        String::from_utf8_lossy(&text).into_owned(),
+        line,
+        start,
+        c.pos,
+    ));
+    true
+}
+
+/// Lexes a `"`-delimited string (cursor on the opening quote), returning
+/// its raw contents.
+fn lex_string(c: &mut Cursor<'_>) -> String {
+    c.bump(); // opening quote
+    let mut text = Vec::new();
+    while let Some(b) = c.peek() {
+        if b == b'\\' {
+            c.bump();
+            if let Some(e) = c.bump() {
+                text.push(b'\\');
+                text.push(e);
+            }
+            continue;
+        }
+        if b == b'"' {
+            c.bump();
+            break;
+        }
+        text.push(b);
+        c.bump();
+    }
+    String::from_utf8_lossy(&text).into_owned()
+}
+
+/// Disambiguates `'a`/`'static` (lifetime) from `'x'`/`'\n'` (char
+/// literal) with the cursor on the `'`.
+fn lex_quote(c: &mut Cursor<'_>, out: &mut Vec<Tok>, start: usize, line: u32) {
+    c.bump(); // the opening '
+    match c.peek() {
+        Some(b'\\') => {
+            // Escaped char literal.
+            let mut text = Vec::new();
+            while let Some(b) = c.peek() {
+                if b == b'\\' {
+                    c.bump();
+                    if let Some(e) = c.bump() {
+                        text.push(b'\\');
+                        text.push(e);
+                    }
+                    continue;
+                }
+                if b == b'\'' {
+                    c.bump();
+                    break;
+                }
+                text.push(b);
+                c.bump();
+            }
+            out.push(tok(
+                TokKind::Char,
+                String::from_utf8_lossy(&text).into_owned(),
+                line,
+                start,
+                c.pos,
+            ));
+        }
+        Some(b) if is_ident_continue(b) => {
+            // Could be 'x' (char) or 'x…[no quote] (lifetime). A char
+            // literal is exactly one character wide; multi-byte UTF-8
+            // chars need the full char width checked.
+            let width = utf8_width(b);
+            if c.peek_at(width) == Some(b'\'') {
+                let mut text = Vec::new();
+                for _ in 0..width {
+                    if let Some(ch) = c.bump() {
+                        text.push(ch);
+                    }
+                }
+                c.bump(); // closing quote
+                out.push(tok(
+                    TokKind::Char,
+                    String::from_utf8_lossy(&text).into_owned(),
+                    line,
+                    start,
+                    c.pos,
+                ));
+            } else {
+                let mut text = Vec::new();
+                while let Some(b) = c.peek() {
+                    if !is_ident_continue(b) {
+                        break;
+                    }
+                    text.push(b);
+                    c.bump();
+                }
+                out.push(tok(
+                    TokKind::Lifetime,
+                    String::from_utf8_lossy(&text).into_owned(),
+                    line,
+                    start,
+                    c.pos,
+                ));
+            }
+        }
+        _ => {
+            // A bare `'` (only in malformed input): emit as punct.
+            out.push(tok(TokKind::Punct, "'".into(), line, start, c.pos));
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Lexes a numeric literal with the cursor on its first digit.
+fn lex_number(c: &mut Cursor<'_>, out: &mut Vec<Tok>, start: usize, line: u32) {
+    let mut text = Vec::new();
+    let mut is_float = false;
+    text.push(c.bump().unwrap_or(b'0'));
+    let radix_prefix = text[0] == b'0'
+        && matches!(
+            c.peek(),
+            Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B')
+        );
+    if radix_prefix {
+        text.push(c.bump().unwrap_or(b'x'));
+        while let Some(b) = c.peek() {
+            if b.is_ascii_hexdigit() || b == b'_' {
+                text.push(b);
+                c.bump();
+            } else {
+                break;
+            }
+        }
+    } else {
+        while let Some(b) = c.peek() {
+            if b.is_ascii_digit() || b == b'_' {
+                text.push(b);
+                c.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: `.` followed by a digit (so `1..5` ranges and
+        // `1.to_string()` method calls are untouched).
+        if c.peek() == Some(b'.') && c.peek_at(1).map(|b| b.is_ascii_digit()) == Some(true) {
+            is_float = true;
+            text.push(c.bump().unwrap_or(b'.'));
+            while let Some(b) = c.peek() {
+                if b.is_ascii_digit() || b == b'_' {
+                    text.push(b);
+                    c.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Exponent.
+        if matches!(c.peek(), Some(b'e') | Some(b'E'))
+            && matches!(
+                (c.peek_at(1), c.peek_at(2)),
+                (Some(d), _) if d.is_ascii_digit())
+            || (matches!(c.peek(), Some(b'e') | Some(b'E'))
+                && matches!(c.peek_at(1), Some(b'+') | Some(b'-'))
+                && c.peek_at(2).map(|b| b.is_ascii_digit()) == Some(true))
+        {
+            is_float = true;
+            text.push(c.bump().unwrap_or(b'e'));
+            if matches!(c.peek(), Some(b'+') | Some(b'-')) {
+                text.push(c.bump().unwrap_or(b'+'));
+            }
+            while let Some(b) = c.peek() {
+                if b.is_ascii_digit() || b == b'_' {
+                    text.push(b);
+                    c.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix (`u64`, `usize`, `f64`, …) — a float suffix flips kind.
+    let mut suffix = Vec::new();
+    while let Some(b) = c.peek() {
+        if is_ident_continue(b) {
+            suffix.push(b);
+            c.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix.first() == Some(&b'f') {
+        is_float = true;
+    }
+    let kind = if is_float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    };
+    out.push(tok(
+        kind,
+        String::from_utf8_lossy(&text).into_owned(),
+        line,
+        start,
+        c.pos,
+    ));
+}
+
+/// Parses a lexed integer literal's value (underscores stripped, any
+/// radix prefix honored). `None` when it overflows a `u64`.
+pub fn parse_int(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = if let Some(rest) = clean.strip_prefix("0x").or(clean.strip_prefix("0X"))
+    {
+        (16, rest)
+    } else if let Some(rest) = clean.strip_prefix("0o").or(clean.strip_prefix("0O")) {
+        (8, rest)
+    } else if let Some(rest) = clean.strip_prefix("0b").or(clean.strip_prefix("0B")) {
+        (2, rest)
+    } else {
+        (10, clean.as_str())
+    };
+    u64::from_str_radix(digits, radix).ok()
+}
+
+/// Removes every item annotated with a `test`-mentioning attribute
+/// (`#[cfg(test)] mod tests { … }`, `#[test] fn …`, `#[cfg(all(test, …))]`)
+/// from the token stream, so passes never report on test code. The
+/// attribute tokens themselves and the item they cover are dropped.
+pub fn strip_test_items(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).map(|t| t.is_punct('[')) == Some(true) {
+            // Find the matching `]`, collecting attribute identifiers.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut mentions_test = false;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                } else if toks[j].is_ident("test") {
+                    mentions_test = true;
+                }
+                j += 1;
+            }
+            if mentions_test {
+                // Skip any stacked attributes, then the item itself.
+                i = skip_attributes(toks, j);
+                i = skip_item(toks, i);
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Advances past any `#[…]` attribute groups starting at `i`.
+fn skip_attributes(toks: &[Tok], mut i: usize) -> usize {
+    while i < toks.len()
+        && toks[i].is_punct('#')
+        && toks.get(i + 1).map(|t| t.is_punct('[')) == Some(true)
+    {
+        let mut depth = 1i32;
+        i += 2;
+        while i < toks.len() && depth > 0 {
+            if toks[i].is_punct('[') {
+                depth += 1;
+            } else if toks[i].is_punct(']') {
+                depth -= 1;
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past one item starting at `i`: through the matching `}` of
+/// its first body brace, or through a `;` reached before any brace.
+fn skip_item(toks: &[Tok], mut i: usize) -> usize {
+    let mut delim = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if delim == 0 && t.is_punct(';') {
+            return i + 1;
+        }
+        if t.is_punct('{') {
+            let mut depth = 0i32;
+            while i < toks.len() {
+                if toks[i].is_punct('{') {
+                    depth += 1;
+                } else if toks[i].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                i += 1;
+            }
+            return i;
+        }
+        if t.is_punct('(') || t.is_punct('[') {
+            delim += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            delim -= 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// A function item located in a token stream.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Index of the `fn` keyword token.
+    pub kw: usize,
+    /// Token range of the body, *excluding* the outer braces
+    /// (`body.0 ..= body.1` is inside `{ … }`). Declarations without a
+    /// body are not reported.
+    pub body: (usize, usize),
+}
+
+/// Finds every `fn` item (free functions and methods alike) with a body.
+pub fn find_fns(toks: &[Tok]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") {
+            if let Some(name_tok) = toks.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    // Scan the signature for the body `{` at delimiter
+                    // depth 0 (a `;` first means a bodiless declaration).
+                    let mut j = i + 2;
+                    let mut delim = 0i32;
+                    let mut body = None;
+                    while j < toks.len() {
+                        let t = &toks[j];
+                        if delim == 0 && t.is_punct(';') {
+                            break;
+                        }
+                        if t.is_punct('{') && delim == 0 {
+                            // Match the braces.
+                            let open = j;
+                            let mut depth = 0i32;
+                            while j < toks.len() {
+                                if toks[j].is_punct('{') {
+                                    depth += 1;
+                                } else if toks[j].is_punct('}') {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                j += 1;
+                            }
+                            body = Some((open + 1, j.saturating_sub(1)));
+                            break;
+                        }
+                        if t.is_punct('(') || t.is_punct('[') {
+                            delim += 1;
+                        } else if t.is_punct(')') || t.is_punct(']') {
+                            delim -= 1;
+                        }
+                        j += 1;
+                    }
+                    if let Some(body) = body {
+                        out.push(FnItem {
+                            name: name_tok.text.clone(),
+                            kw: i,
+                            body,
+                        });
+                        i = body.1 + 1;
+                        continue;
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Finds every `impl … <Trait> for <Type> { … }` block for the named
+/// trait, returning `(type_name, body_range)` with the range excluding
+/// the outer braces.
+pub fn find_trait_impls(toks: &[Tok], trait_name: &str) -> Vec<(String, (usize, usize))> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Optional generic parameter list.
+        if toks.get(j).map(|t| t.is_punct('<')) == Some(true) {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct('<') {
+                    depth += 1;
+                } else if toks[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // A path ending in the trait name, then `for`.
+        let mut last_ident = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Ident {
+                if t.text == "for" {
+                    break;
+                }
+                last_ident = Some(t.text.clone());
+                j += 1;
+            } else if t.is_punct(':')
+                || t.is_punct('<')
+                || t.is_punct('>')
+                || t.is_punct('\'')
+                || t.kind == TokKind::Lifetime
+            {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        if last_ident.as_deref() != Some(trait_name)
+            || toks.get(j).map(|t| t.is_ident("for")) != Some(true)
+        {
+            i += 1;
+            continue;
+        }
+        // The implementing type: idents up to the body brace.
+        j += 1;
+        let mut type_name = String::new();
+        while j < toks.len() && !toks[j].is_punct('{') {
+            if toks[j].kind == TokKind::Ident && type_name.is_empty() {
+                type_name = toks[j].text.clone();
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            break;
+        }
+        let open = j;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        out.push((type_name, (open + 1, j.saturating_sub(1))));
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let toks = lex(r#"
+            // unwrap in a comment
+            /* unwrap /* nested unwrap */ still comment */
+            let s = "unwrap() inside a string";
+            let r = r#and_a_raw_ident;
+        "#);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("and_a_raw_ident")));
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "x"));
+    }
+
+    #[test]
+    fn int_values_parse_across_radixes() {
+        let toks = lex("const A: u64 = 0xC157; const B: u64 = 1 << 26; const C: u64 = 0b1010;");
+        let ints: Vec<u64> = toks.iter().filter_map(|t| t.value).collect();
+        assert_eq!(ints, vec![0xC157, 1, 26, 0b1010]);
+    }
+
+    #[test]
+    fn float_method_calls_are_not_floats() {
+        let toks = lex("let x = 1.max(2); let y = 1.5; let z = 1..5;");
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.5"]);
+    }
+
+    #[test]
+    fn line_numbers_are_exact() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn test_items_are_stripped() {
+        let src = r#"
+            fn keep() { body(); }
+            #[cfg(test)]
+            mod tests {
+                fn gone() { hidden(); }
+            }
+            #[test]
+            fn also_gone() { hidden_too(); }
+            fn keep2() {}
+        "#;
+        let toks = strip_test_items(&lex(src));
+        assert!(toks.iter().any(|t| t.is_ident("keep")));
+        assert!(toks.iter().any(|t| t.is_ident("keep2")));
+        assert!(!toks.iter().any(|t| t.is_ident("hidden")));
+        assert!(!toks.iter().any(|t| t.is_ident("hidden_too")));
+    }
+
+    #[test]
+    fn fns_and_impls_are_located() {
+        let src = r#"
+            impl Decode for Foo {
+                fn decode(r: &mut R) -> Result<Self, E> { r.get() }
+            }
+            fn free(x: [u8; 4]) -> u8 { x[0] }
+            fn decl_only();
+        "#;
+        let toks = lex(src);
+        let impls = find_trait_impls(&toks, "Decode");
+        assert_eq!(impls.len(), 1);
+        assert_eq!(impls[0].0, "Foo");
+        let fns = find_fns(&toks);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["decode", "free"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let toks = lex(r###"let x = r#"inner "quote" kept"# ; let y = 1;"###);
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, r#"inner "quote" kept"#);
+        assert!(toks.iter().any(|t| t.is_ident("y")));
+    }
+}

@@ -1,0 +1,131 @@
+//! pts-analyze — the workspace invariant analyzer.
+//!
+//! The reproduction's correctness contracts — decode paths never panic,
+//! the wire grammar and PROTOCOL.md agree byte-for-byte, DESIGN.md's
+//! metric inventory tracks the registrations, no engine lock is held
+//! across socket I/O, lint headers and RNG stream tags stay disciplined
+//! — were prose until this crate. `pts-analyze` walks the workspace
+//! source and docs with a hand-rolled lexer (zero dependencies: the
+//! sandbox has no registry, and the passes only need token streams) and
+//! enforces each contract as a CI-blocking pass. See DESIGN.md §12 for
+//! the pass-by-pass specification and the allowlist policy.
+//!
+//! Intentional violations live in `analyze-allowlist.txt`, one per line
+//! with a mandatory justification; entries that stop matching anything
+//! become findings themselves, so the allowlist can only shrink unless a
+//! human writes down *why* it grew.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod diag;
+pub mod lexer;
+pub mod passes;
+pub mod workspace;
+
+use allowlist::{Allowlist, ALLOWLIST_FILE};
+use diag::{Finding, Report, Suppressed};
+use std::path::{Path, PathBuf};
+use workspace::Workspace;
+
+/// Runs the named passes (all of them when `only` is empty) over the
+/// workspace at `root` and folds the allowlist in.
+pub fn analyze(root: &Path, only: &[String]) -> Report {
+    let ws = Workspace::load(root);
+    let allow_text = std::fs::read_to_string(root.join(ALLOWLIST_FILE)).unwrap_or_default();
+    analyze_workspace(&ws, &allow_text, only)
+}
+
+/// The testable core of [`analyze`]: explicit workspace and allowlist
+/// text.
+pub fn analyze_workspace(ws: &Workspace, allow_text: &str, only: &[String]) -> Report {
+    let mut report = Report::default();
+    if ws.sources.is_empty() {
+        report.findings.push(Finding {
+            pass: "driver",
+            file: ws.root.display().to_string(),
+            line: 0,
+            key: "workspace:empty".into(),
+            message: "no Rust sources found under crates/, shims/, or src/ — wrong --root?".into(),
+        });
+        return report;
+    }
+    let allow = Allowlist::parse(allow_text);
+    // Malformed allowlist lines are findings like any other (and cannot
+    // be allowlisted away, since they carry the `allowlist` pass name
+    // and a parse key no entry can predict).
+    report.findings.extend(allow.parse_findings.iter().cloned());
+    let mut used: Vec<(String, String)> = Vec::new();
+    for &(name, run) in passes::ALL {
+        if !only.is_empty() && !only.iter().any(|o| o == name) {
+            continue;
+        }
+        report.passes_run.push(name);
+        for finding in run(ws) {
+            match allow.lookup(&finding) {
+                Some(entry) => {
+                    used.push((entry.pass.clone(), entry.key.clone()));
+                    report.allowlisted.push(Suppressed {
+                        finding,
+                        justification: entry.justification.clone(),
+                    });
+                }
+                None => report.findings.push(finding),
+            }
+        }
+    }
+    // Stale detection only makes sense when every pass ran: a filtered
+    // run must not brand the other passes' entries stale.
+    if only.is_empty() {
+        report.stale = allow.stale_findings(&used);
+    }
+    report
+}
+
+/// Ascends from `start` to the workspace root: the first directory
+/// containing both `Cargo.toml` and a `crates/` directory. Lets the
+/// binary run from any subdirectory, and lets `pts-bench` locate the
+/// tree it was built from.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = if start.is_absolute() {
+        start.to_path_buf()
+    } else {
+        std::env::current_dir().ok()?.join(start)
+    };
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_root_is_a_driver_finding() {
+        let ws = Workspace {
+            root: PathBuf::from("/nonexistent-analyze-root"),
+            sources: Vec::new(),
+            docs: Vec::new(),
+        };
+        let report = analyze_workspace(&ws, "", &[]);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].key, "workspace:empty");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn find_workspace_root_ascends() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(&here.join("src")).expect("root");
+        assert!(root.join("crates").is_dir());
+        assert!(root.join("Cargo.toml").is_file());
+    }
+}

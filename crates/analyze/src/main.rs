@@ -1,0 +1,123 @@
+//! The `pts-analyze` command-line interface.
+//!
+//! ```text
+//! pts-analyze [--root DIR] [--deny] [--json FILE|-] [--pass NAME]…
+//! ```
+//!
+//! * `--root DIR` — workspace root (default: ascend from the current
+//!   directory to the first `Cargo.toml` + `crates/`).
+//! * `--deny` — exit 1 when any unallowlisted finding (or stale
+//!   allowlist entry) remains. This is the CI mode.
+//! * `--json FILE` — also write the machine-readable report (`-` for
+//!   stdout, replacing the human output).
+//! * `--pass NAME` — run only the named pass(es); repeatable. Filtered
+//!   runs skip stale-allowlist detection (a partial run cannot judge
+//!   the whole file).
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 findings under
+//! `--deny`, 2 usage error.
+
+use pts_analyze::{analyze, find_workspace_root, passes};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut json: Option<String> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => return usage("--root needs a directory"),
+            },
+            "--deny" => deny = true,
+            "--json" => match args.next() {
+                Some(f) => json = Some(f),
+                None => return usage("--json needs a file path (or `-`)"),
+            },
+            "--pass" => match args.next() {
+                Some(p) => {
+                    if !passes::ALL.iter().any(|&(name, _)| name == p) {
+                        return usage(&format!(
+                            "unknown pass `{p}` (known: {})",
+                            pass_names().join(", ")
+                        ));
+                    }
+                    only.push(p);
+                }
+                None => return usage("--pass needs a pass name"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "pts-analyze [--root DIR] [--deny] [--json FILE|-] [--pass NAME]...\n\
+                     passes: {}",
+                    pass_names().join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root.or_else(|| find_workspace_root(&PathBuf::from("."))) {
+        Some(r) => r,
+        None => {
+            eprintln!("pts-analyze: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = analyze(&root, &only);
+
+    let json_doc = report.to_json();
+    match json.as_deref() {
+        Some("-") => print!("{json_doc}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json_doc) {
+                eprintln!("pts-analyze: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            render_human(&report);
+        }
+        None => render_human(&report),
+    }
+
+    if deny && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn render_human(report: &pts_analyze::diag::Report) {
+    for f in report.denials() {
+        println!("{}", f.render());
+    }
+    for s in &report.allowlisted {
+        println!("allowlisted: {} — {}", s.finding.render(), s.justification);
+    }
+    println!(
+        "pts-analyze: {} pass(es), {} finding(s), {} allowlisted, {} stale allowlist entr{} — {}",
+        report.passes_run.len(),
+        report.findings.len(),
+        report.allowlisted.len(),
+        report.stale.len(),
+        if report.stale.len() == 1 { "y" } else { "ies" },
+        if report.is_clean() {
+            "clean"
+        } else {
+            "NOT clean"
+        },
+    );
+}
+
+fn pass_names() -> Vec<&'static str> {
+    passes::ALL.iter().map(|&(name, _)| name).collect()
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("pts-analyze: {msg}");
+    ExitCode::from(2)
+}

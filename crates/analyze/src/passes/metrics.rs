@@ -1,0 +1,459 @@
+//! Pass `metrics-doc`: the metric inventory in DESIGN.md §11 and the
+//! registrations in code are the same set, with consistent naming and
+//! kinds.
+//!
+//! Dashboards and alerts are written against DESIGN.md's inventory table
+//! (S39); a renamed or re-typed series that the table misses is an
+//! outage in the monitoring, not the service. The pass extracts every
+//! registration call (`counter`, `gauge`, `histogram`,
+//! `counter_labeled`, `histogram_labeled` — an identifier followed by a
+//! parenthesized string literal) from library sources and checks:
+//!
+//! * **Naming** — `crate.segment[.segment…]`: at least two lowercase
+//!   dot-separated segments of `[a-z][a-z0-9_]*`, the first being the
+//!   registering crate's name. A series name encodes its owner.
+//! * **Kind consistency** — one name, one kind; a name registered both
+//!   labeled and unlabeled (or under two label keys) is also drift: the
+//!   Prometheus exposition would emit conflicting series.
+//! * **Inventory diff** — the DESIGN.md `### Metric inventory` table and
+//!   the registration set must match in both directions. The table's
+//!   `/`-shorthand (`` `server.conn.opened` / `.closed` ``) expands by
+//!   replacing as many trailing segments of the previous name as the
+//!   fragment carries. A row's kind cell checks positionally when it
+//!   lists one kind or exactly one kind per name; its label cell, when
+//!   it names a single backticked key, must match the registrations.
+
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
+
+/// This pass's name.
+pub const NAME: &str = "metrics-doc";
+
+/// One metric registration found in code.
+#[derive(Debug, Clone)]
+struct Registration {
+    name: String,
+    kind: &'static str,
+    label: Option<String>,
+    file: String,
+    line: u32,
+    krate: String,
+}
+
+/// Runs the pass.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let regs = collect_registrations(ws);
+    if regs.is_empty() {
+        return out; // not an instrumented tree (e.g. a fixture)
+    }
+    check_naming(&regs, &mut out);
+    check_kind_consistency(&regs, &mut out);
+    if let Some(doc) = ws.doc("DESIGN.md") {
+        check_inventory(doc, &regs, &mut out);
+    } else {
+        out.push(Finding {
+            pass: NAME,
+            file: "DESIGN.md".into(),
+            line: 0,
+            key: "doc:missing".into(),
+            message: format!(
+                "DESIGN.md is missing but {} metric series are registered — the inventory must \
+                 stay documented",
+                regs.len()
+            ),
+        });
+    }
+    out
+}
+
+fn collect_registrations(ws: &Workspace) -> Vec<Registration> {
+    let mut out = Vec::new();
+    for src in &ws.sources {
+        let toks = &src.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let kind = match t.text.as_str() {
+                "counter" | "counter_labeled" => "counter",
+                "gauge" => "gauge",
+                "histogram" | "histogram_labeled" => "histogram",
+                _ => continue,
+            };
+            let labeled = t.text.ends_with("_labeled");
+            if toks.get(i + 1).map(|n| n.is_punct('(')) != Some(true) {
+                continue;
+            }
+            let Some(name_tok) = toks.get(i + 2) else {
+                continue;
+            };
+            if name_tok.kind != TokKind::Str {
+                continue; // a declaration or a non-literal call
+            }
+            let label = if labeled {
+                // `counter_labeled("name", "key", value)`: the key must be
+                // the literal after the next comma.
+                match (toks.get(i + 3), toks.get(i + 4)) {
+                    (Some(c), Some(k)) if c.is_punct(',') && k.kind == TokKind::Str => {
+                        Some(k.text.clone())
+                    }
+                    _ => continue, // not the registration-call shape
+                }
+            } else {
+                None
+            };
+            out.push(Registration {
+                name: name_tok.text.clone(),
+                kind,
+                label,
+                file: src.rel.clone(),
+                line: name_tok.line,
+                krate: src.crate_name().to_string(),
+            });
+        }
+    }
+    out
+}
+
+fn valid_segment(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_lowercase())
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn check_naming(regs: &[Registration], out: &mut Vec<Finding>) {
+    for r in regs {
+        let segments: Vec<&str> = r.name.split('.').collect();
+        if segments.len() < 2 || !segments.iter().all(|s| valid_segment(s)) {
+            out.push(Finding {
+                pass: NAME,
+                file: r.file.clone(),
+                line: r.line,
+                key: format!("name:{}", r.name),
+                message: format!(
+                    "metric `{}` violates the naming convention: ≥ 2 dot-separated segments of \
+                     `[a-z][a-z0-9_]*`",
+                    r.name
+                ),
+            });
+            continue;
+        }
+        if segments[0] != r.krate {
+            out.push(Finding {
+                pass: NAME,
+                file: r.file.clone(),
+                line: r.line,
+                key: format!("owner:{}", r.name),
+                message: format!(
+                    "metric `{}` is registered by crate `{}` but its first segment claims `{}` — \
+                     a series name encodes its owner",
+                    r.name, r.krate, segments[0]
+                ),
+            });
+        }
+    }
+}
+
+fn check_kind_consistency(regs: &[Registration], out: &mut Vec<Finding>) {
+    let mut by_name: BTreeMap<&str, &Registration> = BTreeMap::new();
+    for r in regs {
+        match by_name.get(r.name.as_str()) {
+            None => {
+                by_name.insert(&r.name, r);
+            }
+            Some(first) => {
+                if first.kind != r.kind {
+                    out.push(Finding {
+                        pass: NAME,
+                        file: r.file.clone(),
+                        line: r.line,
+                        key: format!("kind:{}", r.name),
+                        message: format!(
+                            "metric `{}` is registered as {} here but as {} in {}:{}",
+                            r.name, r.kind, first.kind, first.file, first.line
+                        ),
+                    });
+                } else if first.label != r.label {
+                    out.push(Finding {
+                        pass: NAME,
+                        file: r.file.clone(),
+                        line: r.line,
+                        key: format!("label:{}", r.name),
+                        message: format!(
+                            "metric `{}` is registered with label {:?} here but {:?} in {}:{} — \
+                             one series, one label key",
+                            r.name, r.label, first.label, first.file, first.line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// One row of the documented inventory.
+struct DocRow {
+    names: Vec<String>,
+    kinds: Vec<String>,
+    label: Option<String>,
+    line: u32,
+}
+
+/// Parses the first markdown table after the `### Metric inventory`
+/// heading.
+fn parse_inventory(doc: &str) -> Vec<DocRow> {
+    let mut rows = Vec::new();
+    let mut in_section = false;
+    let mut in_table = false;
+    for (idx, line) in doc.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let t = line.trim();
+        if t.starts_with("###") {
+            if in_table {
+                break;
+            }
+            in_section = t.contains("Metric inventory");
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        if !t.starts_with('|') {
+            if in_table {
+                break; // table ended
+            }
+            continue;
+        }
+        in_table = true;
+        let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 3 {
+            continue;
+        }
+        // Skip the header and separator rows.
+        if cells[0] == "metric" || cells[0].chars().all(|c| c == '-' || c == ' ') {
+            continue;
+        }
+        // Backticked fragments of the first cell, `/`-shorthand expanded.
+        let mut names = Vec::new();
+        let mut prev: Option<String> = None;
+        for frag in backticked(cells[0]) {
+            let expanded = if let Some(rest) = frag.strip_prefix('.') {
+                match &prev {
+                    Some(p) => {
+                        let add: Vec<&str> = rest.split('.').collect();
+                        let base: Vec<&str> = p.split('.').collect();
+                        if base.len() <= add.len() {
+                            frag.clone()
+                        } else {
+                            let mut segs = base[..base.len() - add.len()].to_vec();
+                            segs.extend(add);
+                            segs.join(".")
+                        }
+                    }
+                    None => frag.clone(),
+                }
+            } else {
+                frag.clone()
+            };
+            prev = Some(expanded.clone());
+            names.push(expanded);
+        }
+        let kinds: Vec<String> = cells[1]
+            .split('/')
+            .map(|k| k.trim().to_string())
+            .filter(|k| !k.is_empty())
+            .collect();
+        let labels = backticked(cells[2]);
+        let label = if labels.len() == 1 {
+            Some(labels[0].clone())
+        } else {
+            None
+        };
+        if !names.is_empty() {
+            rows.push(DocRow {
+                names,
+                kinds,
+                label,
+                line: lineno,
+            });
+        }
+    }
+    rows
+}
+
+fn backticked(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some(open) = rest.find('`') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('`') else { break };
+        out.push(after[..close].to_string());
+        rest = &after[close + 1..];
+    }
+    out
+}
+
+fn check_inventory(doc: &str, regs: &[Registration], out: &mut Vec<Finding>) {
+    let rows = parse_inventory(doc);
+    if rows.is_empty() {
+        out.push(Finding {
+            pass: NAME,
+            file: "DESIGN.md".into(),
+            line: 0,
+            key: "inventory:missing".into(),
+            message: "DESIGN.md has no `### Metric inventory` table, but metric series are \
+                      registered"
+                .into(),
+        });
+        return;
+    }
+    let by_name: BTreeMap<&str, &Registration> =
+        regs.iter().map(|r| (r.name.as_str(), r)).collect();
+    let mut documented: BTreeMap<String, u32> = BTreeMap::new();
+    for row in &rows {
+        for (i, name) in row.names.iter().enumerate() {
+            documented.insert(name.clone(), row.line);
+            let Some(reg) = by_name.get(name.as_str()) else {
+                out.push(Finding {
+                    pass: NAME,
+                    file: "DESIGN.md".into(),
+                    line: row.line,
+                    key: format!("inventory:{name}"),
+                    message: format!(
+                        "DESIGN.md documents metric `{name}`, which nothing registers"
+                    ),
+                });
+                continue;
+            };
+            // Kind: one kind covers the row; one-kind-per-name checks
+            // positionally; other shapes (e.g. 2 kinds for 3 names) are
+            // not checkable from the table and are skipped.
+            let expect = if row.kinds.len() == 1 {
+                row.kinds.first()
+            } else if row.kinds.len() == row.names.len() {
+                row.kinds.get(i)
+            } else {
+                None
+            };
+            if let Some(expect) = expect {
+                if expect != reg.kind {
+                    out.push(Finding {
+                        pass: NAME,
+                        file: "DESIGN.md".into(),
+                        line: row.line,
+                        key: format!("inventory-kind:{name}"),
+                        message: format!(
+                            "DESIGN.md documents `{name}` as a {expect} but it is registered as \
+                             a {} in {}:{}",
+                            reg.kind, reg.file, reg.line
+                        ),
+                    });
+                }
+            }
+            if let Some(label) = &row.label {
+                if reg.label.as_deref() != Some(label.as_str()) {
+                    out.push(Finding {
+                        pass: NAME,
+                        file: "DESIGN.md".into(),
+                        line: row.line,
+                        key: format!("inventory-label:{name}"),
+                        message: format!(
+                            "DESIGN.md documents `{name}` with label `{label}` but it is \
+                             registered with {:?} in {}:{}",
+                            reg.label, reg.file, reg.line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for r in regs {
+        if !documented.contains_key(&r.name) {
+            out.push(Finding {
+                pass: NAME,
+                file: r.file.clone(),
+                line: r.line,
+                key: format!("inventory:{}", r.name),
+                message: format!(
+                    "metric `{}` is registered but missing from DESIGN.md's metric inventory",
+                    r.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shorthand_expansion_replaces_trailing_segments() {
+        let rows = parse_inventory(
+            "### Metric inventory (S39)\n\n\
+             | metric | kind | labels | meaning |\n\
+             |---|---|---|---|\n\
+             | `server.conn.opened` / `.closed` / `.active` | counter/gauge | | lifecycle |\n\
+             | `obs.scrapes` / `obs.scrape.bytes_out` | counter | | self |\n",
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].names,
+            vec![
+                "server.conn.opened",
+                "server.conn.closed",
+                "server.conn.active"
+            ]
+        );
+        assert_eq!(rows[1].names, vec!["obs.scrapes", "obs.scrape.bytes_out"]);
+    }
+
+    #[test]
+    fn naming_convention_is_enforced() {
+        let regs = vec![
+            Registration {
+                name: "BadName".into(),
+                kind: "counter",
+                label: None,
+                file: "crates/server/src/obs.rs".into(),
+                line: 3,
+                krate: "server".into(),
+            },
+            Registration {
+                name: "engine.thing".into(),
+                kind: "counter",
+                label: None,
+                file: "crates/server/src/obs.rs".into(),
+                line: 4,
+                krate: "server".into(),
+            },
+        ];
+        let mut out = Vec::new();
+        check_naming(&regs, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("naming convention"));
+        assert!(out[1].message.contains("encodes its owner"));
+    }
+
+    #[test]
+    fn kind_conflicts_are_findings() {
+        let mk = |kind: &'static str, line: u32| Registration {
+            name: "server.x".into(),
+            kind,
+            label: None,
+            file: "f.rs".into(),
+            line,
+            krate: "server".into(),
+        };
+        let mut out = Vec::new();
+        check_kind_consistency(&[mk("counter", 1), mk("histogram", 2)], &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0]
+            .message
+            .contains("registered as histogram here but as counter"));
+    }
+}

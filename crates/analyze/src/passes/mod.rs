@@ -1,0 +1,27 @@
+//! The invariant passes. Each is a pure function from a loaded
+//! [`Workspace`] to findings, so passes
+//! compose, run in any subset (`--pass`), and self-test against fixture
+//! trees without touching the real one.
+
+pub mod decode;
+pub mod headers;
+pub mod lockio;
+pub mod metrics;
+pub mod rngtag;
+pub mod wiredoc;
+
+use crate::diag::Finding;
+use crate::workspace::Workspace;
+
+/// A pass: a name and an entry point.
+pub type Pass = (&'static str, fn(&Workspace) -> Vec<Finding>);
+
+/// Every pass, in the order they run and report.
+pub const ALL: &[Pass] = &[
+    (decode::NAME, decode::run),
+    (wiredoc::NAME, wiredoc::run),
+    (metrics::NAME, metrics::run),
+    (lockio::NAME, lockio::run),
+    (headers::NAME, headers::run),
+    (rngtag::NAME, rngtag::run),
+];

@@ -1,0 +1,190 @@
+//! Workspace discovery: loads the source files and documents the passes
+//! visit.
+//!
+//! Scope rules (documented for users in DESIGN.md §12):
+//!
+//! * Rust sources come from `crates/*/src/**`, the root `src/**`, and
+//!   `shims/*/src/**`.
+//! * `target/`, `tests/`, `benches/`, `examples/`, and `fixtures/`
+//!   directories are skipped entirely: integration tests and examples
+//!   are allowed to `unwrap` and print, and fixtures are deliberately
+//!   bad code. (`#[cfg(test)]` items inside library files are stripped
+//!   at the token level instead — see `lexer::strip_test_items`.)
+//! * Docs (`PROTOCOL.md`, `DESIGN.md`, `README.md`) and the allowlist
+//!   are loaded as plain text.
+
+use crate::lexer::{lex, strip_test_items, Tok};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One loaded Rust source file.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Raw file text (used by header checks and doc-comment scans).
+    pub text: String,
+    /// Token stream with `#[cfg(test)]`/`#[test]` items stripped.
+    pub toks: Vec<Tok>,
+}
+
+impl SourceFile {
+    /// The file name (final path component).
+    pub fn file_name(&self) -> &str {
+        self.rel.rsplit('/').next().unwrap_or(&self.rel)
+    }
+
+    /// The crate directory name for files under `crates/<name>/…`,
+    /// `shims/<name>/…`, or the root package for `src/…`.
+    pub fn crate_name(&self) -> &str {
+        let mut parts = self.rel.split('/');
+        match parts.next() {
+            Some("crates") | Some("shims") => parts.next().unwrap_or(""),
+            Some("src") => ".",
+            _ => "",
+        }
+    }
+}
+
+/// The loaded workspace.
+pub struct Workspace {
+    /// Root directory the paths are relative to.
+    pub root: PathBuf,
+    /// All in-scope Rust sources, sorted by path.
+    pub sources: Vec<SourceFile>,
+    /// Documents by workspace-relative path (missing files are absent).
+    pub docs: Vec<(String, String)>,
+}
+
+/// Directory components that take a subtree out of scope.
+const SKIP_DIRS: [&str; 5] = ["target", "tests", "benches", "examples", "fixtures"];
+
+/// The documents passes cross-check against code.
+const DOC_FILES: [&str; 3] = ["PROTOCOL.md", "DESIGN.md", "README.md"];
+
+impl Workspace {
+    /// Loads the workspace rooted at `root`. I/O errors on individual
+    /// files are skipped (a vanished file cannot hold a violation);
+    /// an unreadable *root* yields an empty workspace the driver turns
+    /// into a finding.
+    pub fn load(root: &Path) -> Workspace {
+        let mut sources = Vec::new();
+        for top in ["crates", "shims"] {
+            let dir = root.join(top);
+            let Ok(entries) = fs::read_dir(&dir) else {
+                continue;
+            };
+            let mut crates: Vec<PathBuf> = entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect();
+            crates.sort();
+            for krate in crates {
+                collect_rs(&krate.join("src"), root, &mut sources);
+            }
+        }
+        collect_rs(&root.join("src"), root, &mut sources);
+        sources.sort_by(|a, b| a.rel.cmp(&b.rel));
+        let docs = DOC_FILES
+            .iter()
+            .filter_map(|name| {
+                fs::read_to_string(root.join(name))
+                    .ok()
+                    .map(|text| (name.to_string(), text))
+            })
+            .collect();
+        Workspace {
+            root: root.to_path_buf(),
+            sources,
+            docs,
+        }
+    }
+
+    /// The named document's text, if present.
+    pub fn doc(&self, name: &str) -> Option<&str> {
+        self.docs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.as_str())
+    }
+
+    /// Sources whose relative path starts with `prefix`.
+    pub fn sources_under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a SourceFile> {
+        self.sources
+            .iter()
+            .filter(move |s| s.rel.starts_with(prefix))
+    }
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect_rs(&path, root, out);
+        } else if path.extension().map(|e| e == "rs") == Some(true) {
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            let toks = strip_test_items(&lex(&text));
+            out.push(SourceFile { rel, text, toks });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_name_resolves_per_layout() {
+        let f = |rel: &str| SourceFile {
+            rel: rel.to_string(),
+            text: String::new(),
+            toks: Vec::new(),
+        };
+        assert_eq!(f("crates/util/src/wire.rs").crate_name(), "util");
+        assert_eq!(f("shims/proptest/src/lib.rs").crate_name(), "proptest");
+        assert_eq!(f("src/lib.rs").crate_name(), ".");
+        assert_eq!(f("crates/util/src/wire.rs").file_name(), "wire.rs");
+    }
+
+    #[test]
+    fn loads_this_workspace() {
+        // The analyzer's own repo is a valid fixture: its sources and
+        // docs must load, and skip rules must hold.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf)
+            .unwrap_or_default();
+        let ws = Workspace::load(&root);
+        assert!(ws
+            .sources
+            .iter()
+            .any(|s| s.rel == "crates/util/src/wire.rs"));
+        assert!(ws.doc("PROTOCOL.md").is_some());
+        assert!(
+            !ws.sources.iter().any(|s| s.rel.contains("/tests/")
+                || s.rel.contains("/fixtures/")
+                || s.rel.contains("/examples/")),
+            "out-of-scope paths leaked into the workspace"
+        );
+    }
+}

@@ -66,6 +66,26 @@ fn main() {
         }
     }
 
+    // Invariant summary for the artifact notes: the numbers in a bench
+    // JSON are only as trustworthy as the tree they were built from, so
+    // each document records whether pts-analyze found that tree clean.
+    // Computed once — the analyzer reads the whole workspace. Outside a
+    // source checkout (installed binary, bare artifact dir) the summary
+    // degrades to "unchecked" rather than failing the run.
+    let invariants = json_dir.as_ref().map(|_| {
+        match std::env::current_dir()
+            .ok()
+            .and_then(|cwd| pts_analyze::find_workspace_root(&cwd))
+        {
+            Some(root) => {
+                let report = pts_analyze::analyze(&root, &[]);
+                format!("invariants: {}", report.summary())
+            }
+            None => "invariants: unchecked (source tree unavailable)".to_string(),
+        }
+    });
+    let notes = invariants.as_deref().unwrap_or("");
+
     let mut stdout = std::io::stdout().lock();
     let mode = if full { "full" } else { "quick" };
     let _ = writeln!(stdout, "# reproduce — mode: {mode}\n");
@@ -89,7 +109,7 @@ fn main() {
             Ok(table) => (
                 json_dir
                     .as_ref()
-                    .map(|_| json::experiment_json(e.id, e.title, mode, seconds, table)),
+                    .map(|_| json::experiment_json(e.id, e.title, mode, seconds, table, notes)),
                 table.to_markdown(),
                 table.len(),
                 format!("_({} rows in {seconds:.1}s)_", table.len()),
@@ -111,6 +131,7 @@ fn main() {
                             partial.header(),
                             partial.rows(),
                             true,
+                            notes,
                         )
                     }),
                     partial.to_markdown(),

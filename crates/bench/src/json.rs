@@ -36,7 +36,14 @@ fn string_array(items: &[String]) -> String {
 }
 
 /// Renders one experiment run as a standalone JSON document.
-pub fn experiment_json(id: &str, title: &str, mode: &str, seconds: f64, table: &Table) -> String {
+pub fn experiment_json(
+    id: &str,
+    title: &str,
+    mode: &str,
+    seconds: f64,
+    table: &Table,
+    notes: &str,
+) -> String {
     experiment_json_parts(
         id,
         title,
@@ -45,6 +52,7 @@ pub fn experiment_json(id: &str, title: &str, mode: &str, seconds: f64, table: &
         table.header(),
         table.rows(),
         false,
+        notes,
     )
 }
 
@@ -52,7 +60,11 @@ pub fn experiment_json(id: &str, title: &str, mode: &str, seconds: f64, table: &
 /// the `incomplete` marker. An incomplete document is what `reproduce
 /// --json` salvages when an experiment panics mid-run — the rows completed
 /// before the panic, flagged `"incomplete": true` so a perf-trajectory
-/// script never mistakes a partial table for the full record.
+/// script never mistakes a partial table for the full record. `notes`
+/// carries run-level context (today: the pts-analyze invariant summary);
+/// empty notes omit the field entirely so old artifact consumers see an
+/// unchanged shape.
+#[allow(clippy::too_many_arguments)]
 pub fn experiment_json_parts(
     id: &str,
     title: &str,
@@ -61,6 +73,7 @@ pub fn experiment_json_parts(
     header: &[String],
     rows: &[Vec<String>],
     incomplete: bool,
+    notes: &str,
 ) -> String {
     let rows: Vec<String> = rows.iter().map(|r| string_array(r)).collect();
     let incomplete_field = if incomplete {
@@ -68,13 +81,19 @@ pub fn experiment_json_parts(
     } else {
         ""
     };
+    let notes_field = if notes.is_empty() {
+        String::new()
+    } else {
+        format!("\n  \"notes\": \"{}\",", escape(notes))
+    };
     format!(
-        "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"mode\": \"{}\",{}\n  \
+        "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"mode\": \"{}\",{}{}\n  \
          \"seconds\": {:.3},\n  \"header\": {},\n  \"rows\": [{}]\n}}\n",
         escape(id),
         escape(title),
         escape(mode),
         incomplete_field,
+        notes_field,
         seconds,
         string_array(header),
         rows.join(",")
@@ -95,15 +114,28 @@ mod tests {
     fn complete_documents_omit_the_incomplete_marker() {
         let mut t = Table::new(["n"]);
         t.push_row(["1"]);
-        let doc = experiment_json("s1", "t", "quick", 0.1, &t);
+        let doc = experiment_json("s1", "t", "quick", 0.1, &t, "");
         assert!(!doc.contains("incomplete"), "{doc}");
+        assert!(!doc.contains("notes"), "{doc}");
+    }
+
+    #[test]
+    fn notes_render_when_present_and_vanish_when_empty() {
+        let mut t = Table::new(["n"]);
+        t.push_row(["1"]);
+        let doc = experiment_json("s1", "t", "quick", 0.1, &t, "invariants: clean (6 passes)");
+        assert!(
+            doc.contains("\"notes\": \"invariants: clean (6 passes)\""),
+            "{doc}"
+        );
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
     }
 
     #[test]
     fn partial_documents_carry_the_incomplete_marker() {
         let header = vec!["n".to_string(), "rate".to_string()];
         let rows = vec![vec!["1024".to_string(), "3.5e6".to_string()]];
-        let doc = experiment_json_parts("s1", "t", "quick", 0.5, &header, &rows, true);
+        let doc = experiment_json_parts("s1", "t", "quick", 0.5, &header, &rows, true, "");
         assert!(doc.contains("\"incomplete\": true"), "{doc}");
         assert!(doc.contains("[\"1024\",\"3.5e6\"]"), "{doc}");
         assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
@@ -114,7 +146,7 @@ mod tests {
     fn renders_parseable_shape() {
         let mut t = Table::new(["n", "rate"]);
         t.push_row(["1024", "3.5e6"]);
-        let doc = experiment_json("s1", "title \"quoted\"", "quick", 1.25, &t);
+        let doc = experiment_json("s1", "title \"quoted\"", "quick", 1.25, &t, "");
         assert!(doc.contains("\"id\": \"s1\""));
         assert!(doc.contains("\\\"quoted\\\""));
         assert!(doc.contains("[\"1024\",\"3.5e6\"]"));

@@ -353,7 +353,8 @@ impl<'a> WireReader<'a> {
         let end = self.pos.checked_add(16).ok_or(WireError::Truncated)?;
         let bytes = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
         self.pos = end;
-        Ok(i128::from_le_bytes(bytes.try_into().expect("16 bytes")))
+        let arr: [u8; 16] = bytes.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(i128::from_le_bytes(arr))
     }
 
     /// Raw IEEE-754 `f64` bit pattern.
@@ -361,9 +362,8 @@ impl<'a> WireReader<'a> {
         let end = self.pos.checked_add(8).ok_or(WireError::Truncated)?;
         let bytes = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
         self.pos = end;
-        Ok(f64::from_bits(u64::from_le_bytes(
-            bytes.try_into().expect("8 bytes"),
-        )))
+        let arr: [u8; 8] = bytes.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(f64::from_bits(u64::from_le_bytes(arr)))
     }
 
     /// A boolean byte; anything but 0/1 is invalid.
