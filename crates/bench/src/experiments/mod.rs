@@ -15,6 +15,7 @@ pub mod accuracy;
 pub mod cluster;
 pub mod distribution;
 pub mod lower_bound;
+pub mod multiplex;
 pub mod obs;
 pub mod service;
 pub mod space;
@@ -27,7 +28,7 @@ use pts_util::Table;
 
 /// A runnable experiment.
 pub struct Experiment {
-    /// Identifier (`tab1`, `e1`, …, `s1`, `t1`, `w1`, `n1`, `c1`, `o1`, `a3`).
+    /// Identifier (`tab1`, `e1`, …, `s1`, `t1`, `w1`, `n1`, `c1`, `m1`, `o1`, `a3`).
     pub id: &'static str,
     /// What it reproduces.
     pub title: &'static str,
@@ -127,6 +128,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "c1",
             title: "C1 — cluster throughput + sample latency vs node count (pts-cluster)",
             run: cluster::c1_cluster_scaling,
+        },
+        Experiment {
+            id: "m1",
+            title: "M1 — pipelined requests/sec vs in-flight depth + scatter vs N (wire v3)",
+            run: multiplex::m1_multiplexing,
         },
         Experiment {
             id: "o1",

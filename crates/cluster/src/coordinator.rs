@@ -25,18 +25,22 @@
 //!
 //! ## Consistency
 //!
-//! All coordinator methods take `&mut self` and every per-node
-//! conversation is lockstep, so a single-coordinator cluster serializes
-//! exactly like a single engine: the mass scatter of a draw observes
-//! every previously acknowledged ingest (the server answers a `Stats`
-//! only after applying prior requests on that connection, and
-//! cross-connection consistency is the server's mutex). What a cluster
-//! does **not** provide is cluster-wide ingest atomicity: each per-node
-//! batch applies atomically on its node, but a scatter that fails
-//! mid-way (a node died) leaves the already-written nodes written — the
-//! typed [`ClusterError`] tells the caller which node broke so it can
-//! rejoin-and-retry (updates are deltas; replaying an *unacknowledged*
-//! batch is the caller's idempotence decision).
+//! All coordinator methods take `&mut self`, and since wire v3 the
+//! per-node conversations are **pipelined**, not lockstep: a scatter
+//! submits every node's request before awaiting any answer (`N · RTT`
+//! becomes `~1 · RTT`), and every answer is awaited before the method
+//! returns. The serialization story is unchanged: the server processes
+//! one connection's requests in submission order and answers a `Stats`
+//! only after applying that connection's prior requests, and
+//! cross-connection consistency is the server's engine mutex — so the
+//! mass scatter of a draw still observes every previously acknowledged
+//! ingest. What a cluster does **not** provide is cluster-wide ingest
+//! atomicity: each per-node batch applies atomically on its node, but
+//! because a pipelined scatter has every sub-batch in flight at once, an
+//! ingest that returns an error may leave *any subset of the other
+//! nodes* written — the typed [`ClusterError`] tells the caller which
+//! node broke so it can rejoin-and-retry (updates are deltas; replaying
+//! an *unacknowledged* batch is the caller's idempotence decision).
 //!
 //! ## Failure model
 //!
@@ -64,7 +68,7 @@ use crate::obs::obs;
 use pts_engine::pick_by_mass;
 use pts_obs::{event, Stopwatch};
 use pts_samplers::Sample;
-use pts_server::{Client, ClientConfig, ClientError};
+use pts_server::{Client, ClientConfig, ClientError, Pending};
 use pts_stream::Update;
 use pts_util::protocol::{ServiceStats, MAX_SAMPLE_COUNT};
 use pts_util::Xoshiro256pp;
@@ -79,10 +83,10 @@ const NODE_PICK_STREAM: u64 = 0xC157;
 /// the caller can [`Coordinator::rejoin`] it.
 #[derive(Debug)]
 pub enum ClusterError {
-    /// Talking to a node failed. I/O and frame-level failures
-    /// additionally mark the node down (the connection is lockstep — its
-    /// stream position is unknowable after a torn exchange); in-band
-    /// server errors do not.
+    /// Talking to a node failed. Non-recoverable failures (I/O, torn
+    /// frames — the connection's demux is dead and every in-flight
+    /// request on it is lost) additionally mark the node down; in-band
+    /// server errors do not (see [`ClusterError::is_recoverable`]).
     Node {
         /// The node's index in the cluster topology.
         node: usize,
@@ -146,6 +150,33 @@ impl std::error::Error for ClusterError {
         match self {
             ClusterError::Node { source, .. } => Some(source),
             _ => None,
+        }
+    }
+}
+
+impl ClusterError {
+    /// Whether the failed operation can be retried on this cluster as-is —
+    /// the cluster layer of the stack-wide recoverability contract
+    /// ([`pts_util::protocol::FrameError::is_recoverable`] →
+    /// [`pts_server::ClientError::is_recoverable`] → here; each layer
+    /// derives its answer from the one below instead of re-matching
+    /// transport variants).
+    ///
+    /// * [`ClusterError::Node`] delegates to the client failure: an
+    ///   in-band server error is recoverable (the node answered; it is
+    ///   still up), a transport failure is not (the node was marked down
+    ///   when this error was built — repair it first).
+    /// * [`ClusterError::OutOfUniverse`] and [`ClusterError::Topology`]
+    ///   are caller mistakes rejected before anything was sent: retry
+    ///   with corrected arguments.
+    /// * [`ClusterError::NodeDown`] and [`ClusterError::UniverseMismatch`]
+    ///   need a topology repair ([`Coordinator::reconnect`] or
+    ///   [`Coordinator::rejoin`]) before a retry can succeed.
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            ClusterError::Node { source, .. } => source.is_recoverable(),
+            ClusterError::OutOfUniverse { .. } | ClusterError::Topology(_) => true,
+            ClusterError::NodeDown { .. } | ClusterError::UniverseMismatch { .. } => false,
         }
     }
 }
@@ -375,31 +406,47 @@ impl Coordinator {
         Ok(())
     }
 
-    /// Runs one lockstep exchange against a node's client. Transport
-    /// failures (I/O, torn frames) mark the node down; in-band server
-    /// errors leave it up. Both surface as [`ClusterError::Node`].
+    /// Converts a client failure on `node` into a [`ClusterError::Node`],
+    /// consuming [`ClientError::is_recoverable`] for the down-mark
+    /// decision: a recoverable failure (in-band server error) leaves the
+    /// node up, anything else (I/O, torn frame — the connection's demux
+    /// is dead) marks it down for [`Coordinator::reconnect`] /
+    /// [`Coordinator::rejoin`].
+    fn fail_node(&mut self, node: usize, source: ClientError) -> ClusterError {
+        let addr = self.nodes[node].addr.clone();
+        if !source.is_recoverable() {
+            self.nodes[node].client = None;
+            obs().node_down.inc();
+            event(
+                "cluster.node.down",
+                format!("node {node} ({addr}): {source}"),
+            );
+        }
+        ClusterError::Node { node, addr, source }
+    }
+
+    /// The error for an operation that needed `node` while it is marked
+    /// down.
+    fn node_down(&self, node: usize) -> ClusterError {
+        ClusterError::NodeDown {
+            node,
+            addr: self.nodes[node].addr.clone(),
+        }
+    }
+
+    /// Runs one blocking exchange against a node's client; failures go
+    /// through [`Coordinator::fail_node`].
     fn with_node<T>(
         &mut self,
         node: usize,
         op: impl FnOnce(&mut Client) -> Result<T, ClientError>,
     ) -> Result<T, ClusterError> {
-        let addr = self.nodes[node].addr.clone();
         let Some(client) = self.nodes[node].client.as_mut() else {
-            return Err(ClusterError::NodeDown { node, addr });
+            return Err(self.node_down(node));
         };
         match op(client) {
             Ok(v) => Ok(v),
-            Err(source) => {
-                if matches!(source, ClientError::Io(_) | ClientError::Wire(_)) {
-                    self.nodes[node].client = None;
-                    obs().node_down.inc();
-                    event(
-                        "cluster.node.down",
-                        format!("node {node} ({addr}): {source}"),
-                    );
-                }
-                Err(ClusterError::Node { node, addr, source })
-            }
+            Err(source) => Err(self.fail_node(node, source)),
         }
     }
 
@@ -419,10 +466,18 @@ impl Coordinator {
     /// `IngestBatch` per touched node, preserving in-batch order) and
     /// returns the accepted update count.
     ///
+    /// The per-node sub-batches are **pipelined**: every touched node's
+    /// `IngestBatch` is submitted before any acknowledgement is awaited,
+    /// so the scatter costs ~one round trip instead of one per node. All
+    /// acknowledgements are awaited before returning — `Ok(n)` still
+    /// means every sub-batch is applied.
+    ///
     /// Cluster-level validation is atomic — an out-of-universe index
     /// rejects the whole batch before anything is sent. Cluster-level
-    /// *application* is per-node atomic only: if a node fails mid-scatter
-    /// the other nodes' sub-batches stay applied (see the module docs).
+    /// *application* is per-node atomic only, and pipelining widens the
+    /// mid-scatter failure window: because every sub-batch is in flight
+    /// at once, an error return means any subset of the *other* touched
+    /// nodes may have applied theirs (see the module docs).
     pub fn ingest_batch(&mut self, batch: &[Update]) -> Result<u64, ClusterError> {
         if let Some(u) = batch
             .iter()
@@ -437,16 +492,49 @@ impl Coordinator {
             let slice = self.slice_of(u.index);
             self.plan[slice].push(u);
         }
-        let mut accepted = 0u64;
+        // Submit every touched node's sub-batch before awaiting any ack.
+        let mut sent: Vec<(usize, Pending<u64>)> = Vec::new();
+        let mut first_err: Option<ClusterError> = None;
         for slice in 0..self.plan.len() {
             if self.plan[slice].is_empty() {
                 continue;
             }
             let node = self.slice_owner[slice];
             let run = std::mem::take(&mut self.plan[slice]);
-            let sent = self.with_node(node, |client| client.ingest_batch(&run));
+            // Two-step match: the submit result must outlive the client
+            // borrow before `fail_node` can re-borrow `self`.
+            let submitted = self.nodes[node]
+                .client
+                .as_mut()
+                .map(|client| client.submit_ingest_batch(&run));
             self.plan[slice] = run;
-            accepted += sent?;
+            match submitted {
+                None => {
+                    first_err = Some(self.node_down(node));
+                    break;
+                }
+                Some(Err(source)) => {
+                    first_err = Some(self.fail_node(node, source));
+                    break;
+                }
+                Some(Ok(pending)) => sent.push((node, pending)),
+            }
+        }
+        // Await every submitted ack even when a later submit failed: an
+        // `Err` return must not leave un-reaped responses racing the next
+        // operation's accounting.
+        let mut accepted = 0u64;
+        for (node, pending) in sent {
+            match pending.wait() {
+                Ok(n) => accepted += n,
+                Err(source) => {
+                    let err = self.fail_node(node, source);
+                    first_err.get_or_insert(err);
+                }
+            }
+        }
+        if let Some(err) = first_err {
+            return Err(err);
         }
         obs().ingest_accepted.add(accepted);
         Ok(accepted)
@@ -460,13 +548,30 @@ impl Coordinator {
 
     /// Scatters a `Stats` query to every slice owner; returns the owners,
     /// their exact masses (owner order), and the total.
+    ///
+    /// The scatter is **pipelined**: every owner's `Stats` is submitted
+    /// before any answer is awaited, so wall-clock cost is ~one round
+    /// trip regardless of owner count (the `m1` bench's scatter row
+    /// measures exactly this path).
     fn scatter_masses(&mut self) -> Result<(Vec<usize>, Vec<f64>, f64), ClusterError> {
         let sw = Stopwatch::start();
         let owners = self.owner_nodes();
+        let mut pend: Vec<Pending<ServiceStats>> = Vec::with_capacity(owners.len());
+        for &node in &owners {
+            let submitted = self.nodes[node]
+                .client
+                .as_mut()
+                .map(|client| client.submit_stats());
+            match submitted {
+                None => return Err(self.node_down(node)),
+                Some(Err(source)) => return Err(self.fail_node(node, source)),
+                Some(Ok(pending)) => pend.push(pending),
+            }
+        }
         let mut masses = Vec::with_capacity(owners.len());
         let mut total = 0.0;
-        for &node in &owners {
-            let stats = self.with_node(node, |client| client.stats())?;
+        for (&node, pending) in owners.iter().zip(pend) {
+            let stats = pending.wait().map_err(|s| self.fail_node(node, s))?;
             masses.push(stats.mass);
             total += stats.mass;
         }
@@ -520,36 +625,62 @@ impl Coordinator {
             per_owner[p] += 1;
         }
         let sw = Stopwatch::start();
-        let mut fetched: Vec<VecDeque<Option<Sample>>> = Vec::with_capacity(owners.len());
-        for (o, &node) in owners.iter().enumerate() {
-            if per_owner[o] == 0 {
-                fetched.push(VecDeque::new());
-                continue;
+        // Submit every node's fetch — chunked into MAX_SAMPLE_COUNT-sized
+        // requests, since a coordinator burst may exceed what one Sample
+        // request is allowed to carry — before awaiting any draw, so the
+        // gather costs ~one round trip regardless of how many nodes were
+        // picked. The server answers one connection's requests in
+        // submission order, so a node's chunks come back in chunk order.
+        let mut in_flight: Vec<Vec<Pending<Vec<Option<Sample>>>>> =
+            Vec::with_capacity(owners.len());
+        let mut fetch_err: Option<ClusterError> = None;
+        'submit: for (o, &node) in owners.iter().enumerate() {
+            let mut chunks = Vec::new();
+            let mut remaining = per_owner[o];
+            while remaining > 0 {
+                let take = remaining.min(MAX_SAMPLE_COUNT);
+                let submitted = self.nodes[node]
+                    .client
+                    .as_mut()
+                    .map(|client| client.submit_sample_many(take));
+                match submitted {
+                    None => {
+                        fetch_err = Some(self.node_down(node));
+                        break 'submit;
+                    }
+                    Some(Err(source)) => {
+                        fetch_err = Some(self.fail_node(node, source));
+                        break 'submit;
+                    }
+                    Some(Ok(pending)) => chunks.push(pending),
+                }
+                remaining -= take;
             }
-            let want = per_owner[o];
-            // One request per MAX_SAMPLE_COUNT chunk: a coordinator burst
-            // may exceed what one Sample request is allowed to carry.
-            let draws = self.with_node(node, |client| {
-                let mut out = Vec::with_capacity(want as usize);
-                let mut remaining = want;
-                while remaining > 0 {
-                    let take = remaining.min(MAX_SAMPLE_COUNT);
-                    out.extend(client.sample_many(take)?);
-                    remaining -= take;
+            in_flight.push(chunks);
+        }
+        let mut fetched: Vec<VecDeque<Option<Sample>>> = Vec::with_capacity(owners.len());
+        if fetch_err.is_none() {
+            'wait: for (&node, chunks) in owners.iter().zip(in_flight) {
+                let mut draws = VecDeque::new();
+                for pending in chunks {
+                    match pending.wait() {
+                        Ok(batch) => draws.extend(batch),
+                        Err(source) => {
+                            fetch_err = Some(self.fail_node(node, source));
+                            break 'wait;
+                        }
+                    }
                 }
-                Ok(out)
-            });
-            let draws = match draws {
-                Ok(draws) => draws,
-                Err(err) => {
-                    // Un-consume the burst's picks (see the doc comment);
-                    // draws already fetched from other nodes are discarded
-                    // — an error burst delivers nothing.
-                    self.rng = Xoshiro256pp::from_state(rng_before);
-                    return Err(err);
-                }
-            };
-            fetched.push(draws.into());
+                fetched.push(draws);
+            }
+        }
+        if let Some(err) = fetch_err {
+            // Un-consume the burst's picks (see the doc comment); draws
+            // already fetched from other nodes are discarded — an error
+            // burst delivers nothing. Unawaited chunks resolve into the
+            // demux's stray buffer and are dropped there.
+            self.rng = Xoshiro256pp::from_state(rng_before);
+            return Err(err);
         }
         // Picks are counted only for delivered bursts: a rolled-back burst
         // repeats its picks on retry, and double counting would skew the

@@ -1,14 +1,42 @@
-//! The blocking client: typed request/response methods over one
-//! persistent connection.
+//! The client: typed request/response methods — blocking or pipelined —
+//! over one multiplexed connection.
 //!
-//! Each method sends exactly one request frame and reads exactly one
-//! response frame (the protocol's lockstep contract), converting protocol
-//! payloads back into engine types at the boundary: raw `(index, delta)`
-//! pairs become [`pts_stream::Update`]s on the way out and
-//! [`pts_samplers::Sample`]s on the way back, snapshot bytes decode into
-//! [`pts_engine::EngineSnapshot`]. Server-reported failures surface as
-//! [`ClientError::Server`] carrying the wire-stable
-//! [`pts_util::protocol::ErrorCode`].
+//! Since wire v3 a connection is **multiplexed**: every request carries a
+//! client-assigned id its response echoes, so many requests can be in
+//! flight at once and responses may complete out of order. The [`Client`]
+//! owns the write half plus a background reader thread that demuxes
+//! incoming responses into per-request slots:
+//!
+//! ```text
+//!  submit_*() ──write frame──►  TCP  ──►  server
+//!      │ returns                 │
+//!      ▼                         ▼
+//!  Pending<T> ◄──slot◄── reader thread (demux by echoed id)
+//!      │
+//!      └─ wait() blocks until *this* id resolves
+//! ```
+//!
+//! Two API layers share that machinery:
+//!
+//! * **Blocking methods** ([`Client::ingest_batch`], [`Client::stats`],
+//!   …) — unchanged signatures from the lockstep era, now sugar for
+//!   `submit_*()?.wait()` (exactly one request in flight).
+//! * **Pipelined handles** ([`Client::submit_stats`] and friends) —
+//!   return a [`Pending`] immediately; keep up to
+//!   [`ClientConfig::max_in_flight`] submitted before waiting any, and
+//!   the connection amortizes one round trip over the whole window.
+//!
+//! The recoverable/fatal error split is preserved *per request*: an
+//! in-band error response resolves only its own id (as
+//! [`ClientError::Server`]); a connection-level failure (I/O error,
+//! undecodable response stream) is fatal and fails every outstanding
+//! [`Pending`] with a connection error — see
+//! [`ClientError::is_recoverable`].
+//!
+//! Protocol payloads convert back into engine types at the boundary: raw
+//! `(index, delta)` pairs become [`pts_stream::Update`]s on the way out
+//! and [`pts_samplers::Sample`]s on the way back, snapshot bytes decode
+//! into [`pts_engine::EngineSnapshot`].
 
 use pts_engine::EngineSnapshot;
 use pts_samplers::Sample;
@@ -17,17 +45,30 @@ use pts_util::protocol::{
     read_response, write_request, Request, Response, ServiceError, ServiceStats,
 };
 use pts_util::wire::WireError;
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default [`ClientConfig::max_in_flight`]: deep enough to saturate a
+/// loopback connection (the `m1` experiment sweeps D ∈ {1, 4, 16, 64}).
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 64;
+
+/// How many responses to ids nobody is waiting on (duplicate ids, ids
+/// never submitted) the demux buffers before discarding the oldest —
+/// a hostile or buggy server must not grow client memory unboundedly.
+const STRAY_BUFFER: usize = 1024;
 
 /// Connection-level knobs for a [`Client`], builder-style.
 ///
 /// The defaults reproduce the client's historical behavior exactly:
 /// no deadline anywhere (connect, read, and write all block as long as
-/// the OS lets them). Latency-sensitive callers — the `pts-cluster`
-/// coordinator above all, which must *detect* a dead node rather than
-/// hang on it — tighten these:
+/// the OS lets them), plus a [`DEFAULT_MAX_IN_FLIGHT`] pipelining window.
+/// Latency-sensitive callers — the `pts-cluster` coordinator above all,
+/// which must *detect* a dead node rather than hang on it — tighten the
+/// deadlines:
 ///
 /// ```no_run
 /// use pts_server::{Client, ClientConfig};
@@ -36,32 +77,51 @@ use std::time::Duration;
 /// let config = ClientConfig::new()
 ///     .connect_timeout(Duration::from_secs(1))
 ///     .read_timeout(Duration::from_secs(5))
-///     .write_timeout(Duration::from_secs(5));
+///     .write_timeout(Duration::from_secs(5))
+///     .max_in_flight(16);
 /// let client = Client::connect_with("127.0.0.1:4000", &config).unwrap();
 /// # let _ = client;
 /// ```
 ///
-/// Timeout semantics: an expired deadline surfaces as an I/O error from
-/// the call in flight ([`ClientError::Io`] or [`ClientError::Wire`] with
-/// an I/O kind, depending on where in the frame the clock ran out). The
-/// protocol is lockstep per connection, so after a timeout the stream
-/// position is unknowable — discard the client and reconnect; do not
-/// retry on the same connection.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Timeout semantics: `read_timeout` is a **response deadline** — the
+/// connection is declared dead (failing every outstanding request) only
+/// when requests are in flight and no response frame has arrived within
+/// the window; an idle multiplexed connection never times out. A write
+/// deadline expires in the submitting call itself. After any expiry the
+/// stream position is unknowable — discard the client and reconnect; do
+/// not retry on the same connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClientConfig {
     /// Deadline for establishing the TCP connection (`None` = OS default).
     pub connect_timeout: Option<Duration>,
-    /// Per-read socket deadline while awaiting response bytes
-    /// (`None` = block indefinitely).
+    /// Response deadline: with requests in flight, how long the reader
+    /// waits for the next response frame before declaring the connection
+    /// dead (`None` = block indefinitely).
     pub read_timeout: Option<Duration>,
     /// Per-write socket deadline while sending request bytes
     /// (`None` = block indefinitely).
     pub write_timeout: Option<Duration>,
+    /// Pipelining window: how many requests may be awaiting responses on
+    /// this connection before `submit_*` blocks for a slot. Minimum 1
+    /// (a zero is treated as 1 — lockstep).
+    pub max_in_flight: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: None,
+            read_timeout: None,
+            write_timeout: None,
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+        }
+    }
 }
 
 impl ClientConfig {
     /// The default configuration: no deadlines, matching
-    /// [`Client::connect`]'s historical behavior.
+    /// [`Client::connect`]'s historical behavior, and a
+    /// [`DEFAULT_MAX_IN_FLIGHT`] pipelining window.
     pub fn new() -> Self {
         Self::default()
     }
@@ -72,7 +132,8 @@ impl ClientConfig {
         self
     }
 
-    /// Sets the per-read deadline.
+    /// Sets the response deadline (see the type docs for its multiplexed
+    /// semantics).
     pub fn read_timeout(mut self, timeout: Duration) -> Self {
         self.read_timeout = Some(timeout);
         self
@@ -83,12 +144,20 @@ impl ClientConfig {
         self.write_timeout = Some(timeout);
         self
     }
+
+    /// Sets the pipelining window (clamped to ≥ 1; 1 = lockstep).
+    pub fn max_in_flight(mut self, depth: usize) -> Self {
+        self.max_in_flight = depth.max(1);
+        self
+    }
 }
 
 /// Everything a client call can fail with.
 #[derive(Debug)]
 pub enum ClientError {
-    /// The connection failed at the socket level.
+    /// The connection failed at the socket level (or a fatal connection
+    /// error observed by the reader thread — every outstanding request
+    /// resolves with one of these).
     Io(std::io::Error),
     /// The server's bytes could not be decoded as a response frame.
     Wire(WireError),
@@ -106,6 +175,32 @@ pub enum ClientError {
         /// The oversized checkpoint's byte count.
         bytes: usize,
     },
+}
+
+impl ClientError {
+    /// The uniform recoverability classification shared across the
+    /// stack's error surfaces (`pts_util::wire::FrameError` and
+    /// `pts_cluster::ClusterError` follow the same contract): `true`
+    /// means the failure was scoped to one request and the **connection
+    /// is still usable** — keep submitting on it; `false` means the
+    /// connection's stream state is lost — discard the client and
+    /// reconnect.
+    ///
+    /// Recoverable: [`ClientError::Server`] (an in-band error response,
+    /// resolved under its own request id), [`ClientError::UnexpectedResponse`]
+    /// (the frame demuxed cleanly; the payload kind was wrong for one
+    /// request), and [`ClientError::CheckpointTooLarge`] (rejected before
+    /// anything was sent). Fatal: [`ClientError::Io`] and
+    /// [`ClientError::Wire`] — after either, response frames can no
+    /// longer be attributed to requests.
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            ClientError::Io(_) | ClientError::Wire(_) => false,
+            ClientError::Server(_)
+            | ClientError::UnexpectedResponse(_)
+            | ClientError::CheckpointTooLarge { .. } => true,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -141,20 +236,224 @@ impl From<WireError> for ClientError {
     }
 }
 
-/// A blocking connection to a [`crate::Server`].
+/// Why the connection died, kept cloneable so every waiter can receive
+/// its own [`ClientError::Io`] rendering of the same root cause.
+#[derive(Debug, Clone)]
+struct DeadReason {
+    kind: std::io::ErrorKind,
+    detail: String,
+}
+
+impl DeadReason {
+    fn to_error(&self) -> ClientError {
+        ClientError::Io(std::io::Error::new(self.kind, self.detail.clone()))
+    }
+}
+
+/// One request's slot in the demux table.
+#[derive(Debug)]
+enum Slot {
+    /// Submitted; its response has not arrived.
+    Waiting,
+    /// The response arrived before anyone waited.
+    Ready(Response),
+}
+
+/// The state the reader thread and all [`Pending`] handles share.
+#[derive(Debug, Default)]
+struct DemuxState {
+    /// Outstanding requests by id.
+    slots: HashMap<u64, Slot>,
+    /// How many slots are still [`Slot::Waiting`] (drives the response
+    /// deadline: only unanswered requests arm it).
+    waiting: usize,
+    /// When the current wait-for-a-response window started: set when the
+    /// connection goes from idle to having waiters, refreshed by every
+    /// arriving response frame, cleared when the last waiter resolves.
+    pending_since: Option<Instant>,
+    /// Responses to ids nobody was waiting on (bounded; see
+    /// [`STRAY_BUFFER`]). [`Client::recv_response`] drains it.
+    stray: VecDeque<(u64, Response)>,
+    /// `Some` once the connection is dead; every present and future
+    /// waiter resolves with this.
+    dead: Option<DeadReason>,
+}
+
+/// The demux table plus its wakeup signal.
+#[derive(Debug, Default)]
+struct Demux {
+    state: Mutex<DemuxState>,
+    cv: Condvar,
+}
+
+impl Demux {
+    /// Routes one arrived response: resolves its slot if someone is
+    /// waiting on the id, otherwise buffers it as stray.
+    fn deliver(&self, id: u64, resp: Response) {
+        let Ok(mut s) = self.state.lock() else {
+            return;
+        };
+        match s.slots.get_mut(&id) {
+            Some(slot @ Slot::Waiting) => {
+                *slot = Slot::Ready(resp);
+                s.waiting -= 1;
+                s.pending_since = if s.waiting == 0 {
+                    None
+                } else {
+                    Some(Instant::now())
+                };
+            }
+            _ => {
+                if s.stray.len() >= STRAY_BUFFER {
+                    s.stray.pop_front();
+                }
+                s.stray.push_back((id, resp));
+                // A frame arrived — the connection is alive; re-arm the
+                // response deadline for whoever is still waiting.
+                if s.waiting > 0 {
+                    s.pending_since = Some(Instant::now());
+                }
+            }
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Marks the connection dead (first cause wins) and wakes every
+    /// waiter — each resolves with a connection error.
+    fn die(&self, kind: std::io::ErrorKind, detail: impl Into<String>) {
+        if let Ok(mut s) = self.state.lock() {
+            if s.dead.is_none() {
+                s.dead = Some(DeadReason {
+                    kind,
+                    detail: detail.into(),
+                });
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Whether the response deadline has expired: some request has been
+    /// waiting and no frame has arrived for at least `timeout`.
+    fn overdue(&self, timeout: Option<Duration>) -> bool {
+        let (Some(timeout), Ok(s)) = (timeout, self.state.lock()) else {
+            return false;
+        };
+        matches!(s.pending_since, Some(since) if since.elapsed() >= timeout)
+    }
+}
+
+/// A handle to one in-flight request: resolves to the typed result via
+/// [`Pending::wait`]. Dropping it without waiting abandons the request
+/// (the response, when it arrives, is discarded) — it does **not** cancel
+/// anything server-side.
+#[must_use = "a Pending resolves only through wait(); dropping it abandons the request"]
+#[derive(Debug)]
+pub struct Pending<T> {
+    demux: Arc<Demux>,
+    id: u64,
+    decode: fn(Response) -> Result<T, ClientError>,
+    done: bool,
+}
+
+impl<T> Pending<T> {
+    /// The request id this handle is waiting on (ids are assigned
+    /// sequentially from 1 per connection).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until this request's response arrives (in any order
+    /// relative to other in-flight requests) and decodes it. An in-band
+    /// error response resolves as [`ClientError::Server`] — scoped to
+    /// this request only; a connection-level failure resolves every
+    /// outstanding `Pending` as [`ClientError::Io`].
+    pub fn wait(mut self) -> Result<T, ClientError> {
+        self.done = true;
+        let Ok(mut s) = self.demux.state.lock() else {
+            return Err(ClientError::Io(std::io::Error::other(
+                "client demux poisoned",
+            )));
+        };
+        let resp = loop {
+            match s.slots.remove(&self.id) {
+                Some(Slot::Ready(resp)) => break resp,
+                Some(Slot::Waiting) => {
+                    s.slots.insert(self.id, Slot::Waiting);
+                }
+                // Only reachable dead: the reader cleared nothing, but a
+                // poisoned path may have; fall through to the dead check.
+                None => {}
+            }
+            if let Some(dead) = &s.dead {
+                let err = dead.to_error();
+                if matches!(s.slots.remove(&self.id), Some(Slot::Waiting)) {
+                    s.waiting -= 1;
+                }
+                drop(s);
+                self.demux.cv.notify_all();
+                return Err(err);
+            }
+            s = match self.demux.cv.wait(s) {
+                Ok(guard) => guard,
+                Err(_) => {
+                    return Err(ClientError::Io(std::io::Error::other(
+                        "client demux poisoned",
+                    )))
+                }
+            };
+        };
+        drop(s);
+        // A slot freed: a submit blocked on the in-flight cap can run.
+        self.demux.cv.notify_all();
+        match resp {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => (self.decode)(other),
+        }
+    }
+}
+
+impl<T> Drop for Pending<T> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        if let Ok(mut s) = self.demux.state.lock() {
+            if matches!(s.slots.remove(&self.id), Some(Slot::Waiting)) {
+                s.waiting -= 1;
+                if s.waiting == 0 {
+                    s.pending_since = None;
+                }
+            }
+        }
+        self.demux.cv.notify_all();
+    }
+}
+
+/// A multiplexed connection to a [`crate::Server`]: a writer owned by the
+/// caller plus a background reader thread demuxing responses by id (see
+/// the module docs for the two API layers).
 ///
-/// Not `Clone` and not thread-safe by design: the protocol is lockstep
-/// per connection, so concurrent callers should each open their own
-/// connection (the server spawns one handler per connection).
+/// Not `Clone` and not `Sync` by design: one `Client` is one submission
+/// stream. Pipelining happens through [`Pending`] handles, not through
+/// sharing the client across threads.
 #[derive(Debug)]
 pub struct Client {
-    reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// A separate handle for `Drop`'s socket shutdown (unblocks the
+    /// reader thread).
+    stream: TcpStream,
+    demux: Arc<Demux>,
+    reader: Option<JoinHandle<()>>,
+    /// The next request id to assign (sequential from 1; id 0 is
+    /// reserved on the wire).
+    next_id: u64,
+    max_in_flight: usize,
 }
 
 impl Client {
-    /// Connects to a server with no deadlines (the default
-    /// [`ClientConfig`]).
+    /// Connects to a server with the default [`ClientConfig`] (no
+    /// deadlines).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         Self::connect_with(addr, &ClientConfig::default())
     }
@@ -194,33 +493,161 @@ impl Client {
             }
         };
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(config.read_timeout)?;
         stream.set_write_timeout(config.write_timeout)?;
-        let reader = BufReader::new(stream.try_clone()?);
+        let read_half = stream.try_clone()?;
+        // The reader polls in short slices so the response deadline is
+        // judged against *pending requests*, not against idle time (an
+        // idle multiplexed connection must not time out).
+        read_half.set_read_timeout(Some(
+            config
+                .read_timeout
+                .unwrap_or(Duration::from_millis(100))
+                .min(Duration::from_millis(100)),
+        ))?;
+        let demux = Arc::new(Demux::default());
+        let reader_demux = Arc::clone(&demux);
+        let read_timeout = config.read_timeout;
+        let reader = std::thread::Builder::new()
+            .name("pts-client-reader".into())
+            .spawn(move || reader_loop(read_half, reader_demux, read_timeout))?;
         Ok(Self {
-            reader,
-            writer: BufWriter::new(stream),
+            writer: BufWriter::new(stream.try_clone()?),
+            stream,
+            demux,
+            reader: Some(reader),
+            next_id: 1,
+            max_in_flight: config.max_in_flight.max(1),
         })
     }
 
-    /// One lockstep round trip: send `request`, read one response. An
-    /// error response becomes [`ClientError::Server`].
-    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_request(request, &mut self.writer)?;
-        self.writer.flush()?;
-        match read_response(&mut self.reader)? {
-            Response::Error(e) => Err(ClientError::Server(e)),
-            other => Ok(other),
+    /// Assigns an id, registers its slot (blocking while the connection
+    /// is at [`ClientConfig::max_in_flight`]), and writes one request
+    /// frame. A write failure is fatal: the stream position is torn, so
+    /// the connection is poisoned and every outstanding request fails.
+    fn submit_raw(&mut self, request: &Request) -> Result<u64, ClientError> {
+        let id = {
+            let Ok(mut s) = self.demux.state.lock() else {
+                return Err(ClientError::Io(std::io::Error::other(
+                    "client demux poisoned",
+                )));
+            };
+            loop {
+                if let Some(dead) = &s.dead {
+                    return Err(dead.to_error());
+                }
+                // Gate on *unanswered* requests, not table size: a slot
+                // whose response arrived but hasn't been claimed by its
+                // `wait()` yet is no longer in flight on the wire, and
+                // counting it would deadlock a submit-all-then-wait-all
+                // caller at the cap.
+                if s.waiting < self.max_in_flight {
+                    break;
+                }
+                s = match self.demux.cv.wait(s) {
+                    Ok(guard) => guard,
+                    Err(_) => {
+                        return Err(ClientError::Io(std::io::Error::other(
+                            "client demux poisoned",
+                        )))
+                    }
+                };
+            }
+            let id = self.next_id;
+            self.next_id += 1;
+            s.slots.insert(id, Slot::Waiting);
+            s.waiting += 1;
+            if s.pending_since.is_none() {
+                s.pending_since = Some(Instant::now());
+            }
+            id
+        };
+        match write_request(id, request, &mut self.writer).and_then(|()| self.writer.flush()) {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                if let Ok(mut s) = self.demux.state.lock() {
+                    if matches!(s.slots.remove(&id), Some(Slot::Waiting)) {
+                        s.waiting -= 1;
+                    }
+                }
+                self.demux
+                    .die(e.kind(), format!("request write failed: {e}"));
+                Err(ClientError::Io(e))
+            }
         }
     }
 
+    /// Builds the typed handle for a registered id.
+    fn pending<T>(&self, id: u64, decode: fn(Response) -> Result<T, ClientError>) -> Pending<T> {
+        Pending {
+            demux: Arc::clone(&self.demux),
+            id,
+            decode,
+            done: false,
+        }
+    }
+
+    // ---- pipelined submission API -------------------------------------
+
+    /// Submits a batch of turnstile updates without waiting; resolves to
+    /// the accepted count.
+    pub fn submit_ingest_batch(&mut self, batch: &[Update]) -> Result<Pending<u64>, ClientError> {
+        let pairs = batch.iter().map(|u| (u.index, u.delta)).collect();
+        let id = self.submit_raw(&Request::IngestBatch(pairs))?;
+        Ok(self.pending(id, decode_ingested))
+    }
+
+    /// Submits a `count`-draw sample request without waiting; resolves to
+    /// the draws in draw order.
+    pub fn submit_sample_many(
+        &mut self,
+        count: u64,
+    ) -> Result<Pending<Vec<Option<Sample>>>, ClientError> {
+        let id = self.submit_raw(&Request::Sample { count })?;
+        Ok(self.pending(id, decode_samples))
+    }
+
+    /// Submits a snapshot request without waiting.
+    pub fn submit_snapshot(&mut self) -> Result<Pending<EngineSnapshot>, ClientError> {
+        let id = self.submit_raw(&Request::Snapshot)?;
+        Ok(self.pending(id, decode_snapshot))
+    }
+
+    /// Submits a stats request without waiting — the building block of
+    /// the cluster's concurrent `Stats` scatter.
+    pub fn submit_stats(&mut self) -> Result<Pending<ServiceStats>, ClientError> {
+        let id = self.submit_raw(&Request::Stats)?;
+        Ok(self.pending(id, decode_stats))
+    }
+
+    /// Submits a checkpoint pull without waiting.
+    pub fn submit_checkpoint(&mut self) -> Result<Pending<Vec<u8>>, ClientError> {
+        let id = self.submit_raw(&Request::Checkpoint)?;
+        Ok(self.pending(id, decode_checkpoint))
+    }
+
+    /// Submits a restore without waiting (the [`Client::restore`] size
+    /// cap applies before anything is sent).
+    pub fn submit_restore(&mut self, checkpoint: &[u8]) -> Result<Pending<()>, ClientError> {
+        if checkpoint.len() as u64 > pts_util::protocol::MAX_RESTORE_BYTES {
+            return Err(ClientError::CheckpointTooLarge {
+                bytes: checkpoint.len(),
+            });
+        }
+        let id = self.submit_raw(&Request::Restore(checkpoint.to_vec()))?;
+        Ok(self.pending(id, decode_restored))
+    }
+
+    /// Submits a server shutdown request without waiting.
+    pub fn submit_shutdown(&mut self) -> Result<Pending<()>, ClientError> {
+        let id = self.submit_raw(&Request::Shutdown)?;
+        Ok(self.pending(id, decode_shutdown))
+    }
+
+    // ---- blocking API (sugar: one in-flight request) ------------------
+
     /// Applies a batch of turnstile updates; returns the accepted count.
     pub fn ingest_batch(&mut self, batch: &[Update]) -> Result<u64, ClientError> {
-        let pairs = batch.iter().map(|u| (u.index, u.delta)).collect();
-        match self.round_trip(&Request::IngestBatch(pairs))? {
-            Response::Ingested { accepted } => Ok(accepted),
-            _ => Err(ClientError::UnexpectedResponse("Ingested")),
-        }
+        self.submit_ingest_batch(batch)?.wait()
     }
 
     /// Draws one sample from the served engine (`None` is the paper's ⊥).
@@ -230,39 +657,24 @@ impl Client {
 
     /// Draws `count` samples in one round trip, in draw order.
     pub fn sample_many(&mut self, count: u64) -> Result<Vec<Option<Sample>>, ClientError> {
-        match self.round_trip(&Request::Sample { count })? {
-            Response::Samples(draws) => Ok(draws
-                .into_iter()
-                .map(|d| d.map(|(index, estimate)| Sample { index, estimate }))
-                .collect()),
-            _ => Err(ClientError::UnexpectedResponse("Samples")),
-        }
+        self.submit_sample_many(count)?.wait()
     }
 
     /// Fetches the engine's compact mergeable snapshot.
     pub fn snapshot(&mut self) -> Result<EngineSnapshot, ClientError> {
-        match self.round_trip(&Request::Snapshot)? {
-            Response::Snapshot(bytes) => Ok(EngineSnapshot::from_bytes(&bytes)?),
-            _ => Err(ClientError::UnexpectedResponse("Snapshot")),
-        }
+        self.submit_snapshot()?.wait()
     }
 
     /// Fetches the engine's counters, mass, and support.
     pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
-        match self.round_trip(&Request::Stats)? {
-            Response::Stats(stats) => Ok(stats),
-            _ => Err(ClientError::UnexpectedResponse("Stats")),
-        }
+        self.submit_stats()?.wait()
     }
 
     /// Pulls a complete engine checkpoint (a framed `KIND_ENGINE` payload
     /// — feed it to an engine `restore`, persist it, or send it back via
     /// [`Client::restore`]).
     pub fn checkpoint(&mut self) -> Result<Vec<u8>, ClientError> {
-        match self.round_trip(&Request::Checkpoint)? {
-            Response::Checkpoint(bytes) => Ok(bytes),
-            _ => Err(ClientError::UnexpectedResponse("Checkpoint")),
-        }
+        self.submit_checkpoint()?.wait()
     }
 
     /// Replaces the served engine's state with a previously captured
@@ -272,37 +684,200 @@ impl Client {
     /// and fatally close the connection); restore those out-of-band via
     /// the engine's own `restore`.
     pub fn restore(&mut self, checkpoint: &[u8]) -> Result<(), ClientError> {
-        if checkpoint.len() as u64 > pts_util::protocol::MAX_RESTORE_BYTES {
-            return Err(ClientError::CheckpointTooLarge {
-                bytes: checkpoint.len(),
-            });
-        }
-        match self.round_trip(&Request::Restore(checkpoint.to_vec()))? {
-            Response::Restored => Ok(()),
-            _ => Err(ClientError::UnexpectedResponse("Restored")),
-        }
+        self.submit_restore(checkpoint)?.wait()
     }
 
     /// Asks the server to shut down (acknowledged before the server's
     /// accept loop exits).
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
-        match self.round_trip(&Request::Shutdown)? {
-            Response::ShuttingDown => Ok(()),
-            _ => Err(ClientError::UnexpectedResponse("ShuttingDown")),
-        }
+        self.submit_shutdown()?.wait()
     }
+
+    // ---- fuzz-only hooks ----------------------------------------------
 
     /// Sends raw bytes **instead of** a well-formed request frame — the
     /// fuzz tests' hostile-client hook. The server's reply (if any) is
     /// read with [`Client::recv_response`].
+    #[doc(hidden)]
     pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
         self.writer.write_all(bytes)?;
         self.writer.flush()
     }
 
-    /// Reads one response frame without sending anything first (pairs
-    /// with [`Client::send_raw`]).
-    pub fn recv_response(&mut self) -> Result<Response, ClientError> {
-        Ok(read_response(&mut self.reader)?)
+    /// Pops the next response no [`Pending`] claimed (in arrival order),
+    /// with its echoed request id — how the fuzz tests observe the
+    /// server's answers to hostile frames sent via [`Client::send_raw`].
+    /// Blocks until a stray response arrives or the connection dies.
+    #[doc(hidden)]
+    pub fn recv_response(&mut self) -> Result<(u64, Response), ClientError> {
+        let Ok(mut s) = self.demux.state.lock() else {
+            return Err(ClientError::Io(std::io::Error::other(
+                "client demux poisoned",
+            )));
+        };
+        loop {
+            if let Some(hit) = s.stray.pop_front() {
+                return Ok(hit);
+            }
+            if let Some(dead) = &s.dead {
+                return Err(dead.to_error());
+            }
+            s = match self.demux.cv.wait(s) {
+                Ok(guard) => guard,
+                Err(_) => {
+                    return Err(ClientError::Io(std::io::Error::other(
+                        "client demux poisoned",
+                    )))
+                }
+            };
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        // Unblock the reader (it sees EOF/reset), mark the connection
+        // dead for any surviving Pending handles, and reap the thread.
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.demux
+            .die(std::io::ErrorKind::ConnectionAborted, "client dropped");
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The background demux loop: reads response frames and routes each by
+/// its echoed id until EOF, a decode failure, an I/O error, or an expired
+/// response deadline (judged against pending requests — see
+/// [`ClientConfig::read_timeout`]).
+fn reader_loop(stream: TcpStream, demux: Arc<Demux>, read_timeout: Option<Duration>) {
+    /// Retries the socket's short poll timeouts mid-frame until the
+    /// whole-frame deadline passes — a response frame gets `read_timeout`
+    /// from its first byte, not per read.
+    struct PatientReader<'a> {
+        inner: &'a mut BufReader<TcpStream>,
+        deadline: Option<Instant>,
+    }
+    impl Read for PatientReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            loop {
+                if matches!(self.deadline, Some(d) if Instant::now() >= d) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "response deadline expired mid-frame",
+                    ));
+                }
+                match self.inner.read(buf) {
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    other => return other,
+                }
+            }
+        }
+    }
+
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Poll for the first byte of the next frame in short slices so an
+        // idle connection never trips the response deadline.
+        let mut first = [0u8; 1];
+        match reader.read(&mut first) {
+            Ok(0) => {
+                return demux.die(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "connection closed by server",
+                )
+            }
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if demux.overdue(read_timeout) {
+                    return demux.die(
+                        std::io::ErrorKind::TimedOut,
+                        "response deadline expired with requests in flight",
+                    );
+                }
+                continue;
+            }
+            Err(e) => return demux.die(e.kind(), format!("read failed: {e}")),
+        }
+        let body = PatientReader {
+            inner: &mut reader,
+            deadline: read_timeout.map(|t| Instant::now() + t),
+        };
+        let mut src = std::io::Cursor::new(first).chain(body);
+        match read_response(&mut src) {
+            Ok((id, resp)) => demux.deliver(id, resp),
+            // Any torn/undecodable frame desyncs the stream — after it,
+            // responses can no longer be attributed to requests.
+            Err(e) => {
+                return demux.die(
+                    std::io::ErrorKind::InvalidData,
+                    format!("response stream desynced: {e}"),
+                )
+            }
+        }
+    }
+}
+
+// ---- typed response decoders (free fns so Pending stays a plain fn
+// pointer, no per-request allocation) ----------------------------------
+
+fn decode_ingested(resp: Response) -> Result<u64, ClientError> {
+    match resp {
+        Response::Ingested { accepted } => Ok(accepted),
+        _ => Err(ClientError::UnexpectedResponse("Ingested")),
+    }
+}
+
+fn decode_samples(resp: Response) -> Result<Vec<Option<Sample>>, ClientError> {
+    match resp {
+        Response::Samples(draws) => Ok(draws
+            .into_iter()
+            .map(|d| d.map(|(index, estimate)| Sample { index, estimate }))
+            .collect()),
+        _ => Err(ClientError::UnexpectedResponse("Samples")),
+    }
+}
+
+fn decode_snapshot(resp: Response) -> Result<EngineSnapshot, ClientError> {
+    match resp {
+        Response::Snapshot(bytes) => Ok(EngineSnapshot::from_bytes(&bytes)?),
+        _ => Err(ClientError::UnexpectedResponse("Snapshot")),
+    }
+}
+
+fn decode_stats(resp: Response) -> Result<ServiceStats, ClientError> {
+    match resp {
+        Response::Stats(stats) => Ok(stats),
+        _ => Err(ClientError::UnexpectedResponse("Stats")),
+    }
+}
+
+fn decode_checkpoint(resp: Response) -> Result<Vec<u8>, ClientError> {
+    match resp {
+        Response::Checkpoint(bytes) => Ok(bytes),
+        _ => Err(ClientError::UnexpectedResponse("Checkpoint")),
+    }
+}
+
+fn decode_restored(resp: Response) -> Result<(), ClientError> {
+    match resp {
+        Response::Restored => Ok(()),
+        _ => Err(ClientError::UnexpectedResponse("Restored")),
+    }
+}
+
+fn decode_shutdown(resp: Response) -> Result<(), ClientError> {
+    match resp {
+        Response::ShuttingDown => Ok(()),
+        _ => Err(ClientError::UnexpectedResponse("ShuttingDown")),
     }
 }

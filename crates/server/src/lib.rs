@@ -4,28 +4,35 @@
 //! the framed request/response protocol of [`pts_util::protocol`], built
 //! on nothing but `std::net`.
 //!
-//! The ROADMAP's serving story in one picture:
+//! The ROADMAP's serving story in one picture (wire v3, multiplexed):
 //!
 //! ```text
-//!  Client ──TCP──►  [ accept loop ]          one handler thread
-//!  Client ──TCP──►      │    │               per connection
-//!                   handler  handler
-//!                        \    /
+//!  Client ──TCP──►  [ accept loop ]      one reader thread per
+//!  Client ──TCP──►      │    │           connection, demuxing ids
+//!                   reader   reader
+//!                      \      /
+//!                  [ worker pool ]       bounded; per-connection FIFO,
+//!                        │               responses via per-conn write lock
 //!                   Mutex<SamplingService>   ShardedEngine or
 //!                        │                   ConcurrentEngine
 //!                   shard workers …          (engine-internal threads)
 //! ```
 //!
 //! * **[`Server`]** binds a listener, hosts any
-//!   [`pts_engine::SamplingService`] implementor, and spawns one handler
-//!   thread per accepted connection. Handlers answer every readable
-//!   request frame — malformed payloads included — with exactly one
-//!   response frame; protocol-recoverable errors keep the connection,
-//!   framing-fatal ones close it (see `pts_util::protocol` for the
-//!   normative classification).
-//! * **[`Client`]** is the matching blocking client: typed methods
-//!   (ingest / sample / snapshot / stats / checkpoint / restore /
-//!   shutdown) over one persistent connection.
+//!   [`pts_engine::SamplingService`] implementor, and serves each
+//!   connection with a reader thread that demuxes v3 request-id frames
+//!   into a bounded worker pool. Every readable request frame —
+//!   malformed payloads included — gets exactly one response frame under
+//!   the id it carried (id 0 when the failure is unattributable);
+//!   protocol-recoverable errors keep the connection, framing-fatal ones
+//!   close it (see `pts_util::protocol` for the normative
+//!   classification).
+//! * **[`Client`]** is the matching multiplexed client: the familiar
+//!   blocking methods (ingest / sample / snapshot / stats / checkpoint /
+//!   restore / shutdown) are sugar over one in-flight request, and the
+//!   `submit_*` twins return [`Pending`] handles so one connection can
+//!   hold up to [`ClientConfig::max_in_flight`] requests in flight with
+//!   out-of-order completion.
 //! * **[`serve`]** is the one-call entry point `examples/serve_demo.rs`
 //!   uses.
 //!
@@ -73,5 +80,5 @@ pub mod client;
 mod obs;
 pub mod server;
 
-pub use client::{Client, ClientConfig, ClientError};
+pub use client::{Client, ClientConfig, ClientError, Pending, DEFAULT_MAX_IN_FLIGHT};
 pub use server::{serve, Server};

@@ -37,6 +37,9 @@ pub(crate) struct ServerObs {
     pub conn_active: Gauge,
     /// `server.conn.frame_timeouts` — whole-frame deadlines tripped.
     pub conn_timeouts: Counter,
+    /// `server.requests.inflight` — requests enqueued (demuxed off a
+    /// connection) but not yet answered, across all connections.
+    pub inflight: Gauge,
     /// `server.frame_errors{class=…}` — the three `FrameError` classes
     /// plus sound frames whose payload failed to decode.
     pub frame_recoverable: Counter,
@@ -89,6 +92,7 @@ pub(crate) fn obs() -> &'static ServerObs {
             conn_closed: r.counter("server.conn.closed"),
             conn_active: r.gauge("server.conn.active"),
             conn_timeouts: r.counter("server.conn.frame_timeouts"),
+            inflight: r.gauge("server.requests.inflight"),
             frame_recoverable: r.counter_labeled("server.frame_errors", "class", "recoverable"),
             frame_fatal: r.counter_labeled("server.frame_errors", "class", "fatal"),
             frame_too_large: r.counter_labeled("server.frame_errors", "class", "too_large"),

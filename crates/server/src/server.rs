@@ -1,36 +1,53 @@
-//! The server: accept loop, per-connection handler threads, and the
-//! request dispatcher over a shared [`SamplingService`].
+//! The server: accept loop, per-connection demux readers, a bounded
+//! worker pool, and the request dispatcher over a shared
+//! [`SamplingService`].
 //!
-//! Threading model: the engine lives in one `Mutex` shared by all handler
-//! threads — requests on different connections serialize at the engine,
-//! which is exactly the consistency clients want (every response reflects
-//! all previously *answered* requests, across connections). Concurrency
-//! inside the engine is the engine's own business: a hosted
-//! [`pts_engine::ConcurrentEngine`] still applies runs on its per-shard
-//! worker threads while the mutex only serializes front-end calls.
+//! Threading model (wire v3): each accepted connection gets one reader
+//! thread that frames and demuxes requests — peeling the leading varint
+//! request id — into the connection's FIFO queue; a **bounded pool** of
+//! `WORKER_THREADS` workers drains those queues and writes each
+//! response (under the echoed id) through the connection's write lock.
+//! At most one worker owns a connection's FIFO at a time, so one
+//! connection's requests are processed **in submission order** — the
+//! ordering the cluster coordinator's pipelined ingest relies on — while
+//! different connections proceed in parallel up to the pool width.
+//! Responses on one connection may still be *observed* out of order by a
+//! multiplexed peer only in the trivial sense that the protocol permits
+//! it; this server's per-connection FIFO is an implementation choice,
+//! not a wire guarantee (PROTOCOL.md §4).
+//!
+//! The engine lives in one `Mutex` shared by all workers — requests
+//! serialize at the engine, which is exactly the consistency clients
+//! want (every response reflects all previously *answered* requests,
+//! across connections). Concurrency inside the engine is the engine's
+//! own business: a hosted [`pts_engine::ConcurrentEngine`] still applies
+//! runs on its per-shard worker threads while the mutex only serializes
+//! front-end calls.
 //!
 //! Shutdown: a `Shutdown` request (or [`Server::shutdown`]) sets a shared
-//! flag; the accept loop is woken by a loopback connection and exits, and
-//! handler threads observe the flag at their next idle poll and close.
-//! [`Server::join`] then completes once every handler has returned.
+//! flag; the accept loop is woken by a loopback connection, joins the
+//! connection readers (which observe the flag at their next idle poll),
+//! drops the job channel so the workers exit, and joins those too.
+//! [`Server::join`] then completes once everything has returned.
 
 use crate::obs::obs;
 use pts_engine::SamplingService;
 use pts_obs::{event, CountingWriter, Stopwatch};
 use pts_stream::Update;
 use pts_util::protocol::{
-    read_frame_lenient, write_response, ErrorCode, FrameError, Request, Response, ServiceError,
-    MAX_FRAME_BYTES,
+    read_frame_lenient, split_request_payload, write_response, ErrorCode, FrameError, Request,
+    Response, ServiceError, MAX_FRAME_BYTES,
 };
 use pts_util::wire::{Decode, WireError, KIND_REQUEST};
+use std::collections::VecDeque;
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How long a handler blocks waiting for the *first* byte of a request
+/// How long a reader blocks waiting for the *first* byte of a request
 /// before re-checking the shutdown flag. Bounds shutdown latency without
 /// burning CPU on idle connections.
 const IDLE_POLL: Duration = Duration::from_millis(50);
@@ -39,21 +56,36 @@ const IDLE_POLL: Duration = Duration::from_millis(50);
 /// complete frame must follow within this window. A peer that stalls — or
 /// trickles bytes to keep individual reads alive — is treated as gone
 /// when the deadline passes (fatal; the connection closes) rather than
-/// pinning the handler, and [`FrameBodyReader`] re-checks the shutdown
+/// pinning the reader, and [`FrameBodyReader`] re-checks the shutdown
 /// flag on every retry so teardown never waits on a slow peer.
 const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Dispatch workers shared by all connections. A bounded pool — not a
+/// thread per request — so a flood of pipelined requests queues instead
+/// of spawning unboundedly; the engine mutex means more workers buy
+/// cross-connection overlap of framing/encoding, not engine parallelism.
+const WORKER_THREADS: usize = 4;
+
+/// Per-connection cap on decoded-but-undispatched requests. The reader
+/// blocks at the cap (TCP backpressure does the rest), so a client
+/// pipelining faster than the engine drains cannot grow server memory
+/// without bound.
+const MAX_QUEUED_PER_CONN: usize = 1024;
 
 /// Wraps the mid-frame reads of a connection: retries the socket's short
 /// [`IDLE_POLL`] timeouts until data arrives, the whole-frame `deadline`
 /// passes, or shutdown is flagged — converting both expiries into a
-/// `TimedOut` error the frame reader classifies as fatal.
-struct FrameBodyReader<'a> {
-    stream: &'a mut TcpStream,
+/// `TimedOut` error the frame reader classifies as fatal. The deadline
+/// is fixed at construction — a **per-frame budget**: nothing a peer
+/// sends can extend it, so a byte-trickler is cut off at the same
+/// deadline as a silent staller (regression-tested below).
+struct FrameBodyReader<'a, R: Read> {
+    stream: &'a mut R,
     deadline: Instant,
     shutdown: &'a AtomicBool,
 }
 
-impl Read for FrameBodyReader<'_> {
+impl<R: Read> Read for FrameBodyReader<'_, R> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
@@ -87,12 +119,13 @@ impl Read for FrameBodyReader<'_> {
     }
 }
 
-/// The state all handler threads share. The shutdown flag lives in its
-/// own `Arc` so the non-generic [`Server`] handle can hold it too.
+/// The state all connection readers and workers share. The shutdown flag
+/// lives in its own `Arc` so the non-generic [`Server`] handle can hold
+/// it too.
 struct Shared<E> {
     engine: Mutex<E>,
     shutdown: Arc<AtomicBool>,
-    /// The listener's address — what a handler pokes to wake a blocking
+    /// The listener's address — what a worker pokes to wake a blocking
     /// `accept` after flagging shutdown.
     listen_addr: SocketAddr,
     /// When this server started serving (feeds the local-view
@@ -101,6 +134,32 @@ struct Shared<E> {
     /// Requests answered by this server, all kinds (feeds the local-view
     /// `ServiceStats::requests_served`; monotonic, never on the wire).
     requests: AtomicU64,
+}
+
+/// One connection's demux state: the FIFO of decoded requests awaiting a
+/// worker, and the write half every response goes through.
+struct Conn {
+    queue: Mutex<ConnQueue>,
+    /// Signals the reader blocked at [`MAX_QUEUED_PER_CONN`] that a job
+    /// was drained.
+    drained: Condvar,
+    writer: Mutex<ConnWriter>,
+}
+
+/// The FIFO plus its scheduling token.
+struct ConnQueue {
+    jobs: VecDeque<(u64, Job)>,
+    /// Whether a worker currently owns this FIFO. At most one at a time —
+    /// that single-consumer rule is what makes per-connection processing
+    /// order equal submission order.
+    scheduled: bool,
+}
+
+/// The buffered write half plus the byte count already credited to
+/// `server.bytes.out`.
+struct ConnWriter {
+    sink: BufWriter<CountingWriter<TcpStream>>,
+    flushed: u64,
 }
 
 /// A running sampling service bound to a TCP listener.
@@ -171,8 +230,9 @@ impl Server {
         let _ = TcpStream::connect(self.addr);
     }
 
-    /// Blocks until the accept loop and every handler thread have exited.
-    /// (A `Shutdown` request from a client triggers the same teardown.)
+    /// Blocks until the accept loop, every connection reader, and the
+    /// worker pool have exited. (A `Shutdown` request from a client
+    /// triggers the same teardown.)
     pub fn join(mut self) {
         self.shutdown();
         if let Some(handle) = self.accept.take() {
@@ -191,12 +251,28 @@ impl Drop for Server {
 }
 
 /// Accepts connections until the shutdown flag is set, then joins every
-/// handler it spawned.
+/// connection reader it spawned, closes the job channel, and joins the
+/// worker pool.
 fn accept_loop<E>(listener: TcpListener, shared: Arc<Shared<E>>)
 where
     E: SamplingService + Send + 'static,
 {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    // The ready channel carries "this connection's FIFO is non-empty and
+    // unowned" tokens; a worker claiming one owns the FIFO until empty.
+    let (ready_tx, ready_rx) = mpsc::channel::<Arc<Conn>>();
+    let ready_rx = Arc::new(Mutex::new(ready_rx));
+    let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(WORKER_THREADS);
+    for _ in 0..WORKER_THREADS {
+        let rx = Arc::clone(&ready_rx);
+        let shared = Arc::clone(&shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("pts-server-worker".into())
+            .spawn(move || worker_loop(rx, shared))
+        {
+            workers.push(handle);
+        }
+    }
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
     loop {
         let conn = listener.accept();
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -204,30 +280,47 @@ where
         }
         match conn {
             Ok((stream, _peer)) => {
+                // Pipelined responses are many small frames back-to-back;
+                // Nagle would hold each behind the previous one's ACK.
+                let _ = stream.set_nodelay(true);
                 let shared = Arc::clone(&shared);
+                let ready = ready_tx.clone();
                 if let Ok(handle) = std::thread::Builder::new()
                     .name("pts-server-conn".into())
-                    .spawn(move || handle_connection(stream, shared))
+                    .spawn(move || handle_connection(stream, shared, ready))
                 {
-                    handlers.push(handle);
+                    readers.push(handle);
                 }
             }
             // Transient accept errors (peer reset mid-handshake, fd
             // pressure) should not kill the service.
             Err(_) => continue,
         }
-        // Reap finished handlers so a long-lived server does not
+        // Reap finished readers so a long-lived server does not
         // accumulate joinable threads.
-        handlers.retain(|h| !h.is_finished());
+        readers.retain(|h| !h.is_finished());
     }
-    for handle in handlers {
+    for handle in readers {
+        let _ = handle.join();
+    }
+    // No reader holds a sender anymore: dropping ours disconnects the
+    // channel and the workers exit after draining what's left.
+    drop(ready_tx);
+    for handle in workers {
         let _ = handle.join();
     }
 }
 
-/// Serves one connection: reads request frames, answers each with exactly
-/// one response frame, until EOF, a fatal framing error, or shutdown.
-fn handle_connection<E: SamplingService>(stream: TcpStream, shared: Arc<Shared<E>>) {
+/// Serves one connection's read half: frames requests, peels each payload
+/// into `(id, body)`, and enqueues decoded requests for the worker pool —
+/// until EOF, a fatal framing error, or shutdown. Frame-level and
+/// id-level failures are answered inline (under id 0 — unattributable);
+/// body decode failures are answered under the request's own id.
+fn handle_connection<E: SamplingService>(
+    stream: TcpStream,
+    shared: Arc<Shared<E>>,
+    ready: mpsc::Sender<Arc<Conn>>,
+) {
     let o = obs();
     let peer = stream
         .peer_addr()
@@ -247,12 +340,20 @@ fn handle_connection<E: SamplingService>(stream: TcpStream, shared: Arc<Shared<E
         }
     }
     let _guard = ConnGuard(peer);
-    let Ok(read_half) = stream.try_clone() else {
+    let Ok(mut reader) = stream.try_clone() else {
         return;
     };
-    let mut reader = read_half;
-    let mut writer = BufWriter::new(CountingWriter::new(stream));
-    let mut flushed_out = 0u64;
+    let conn = Arc::new(Conn {
+        queue: Mutex::new(ConnQueue {
+            jobs: VecDeque::new(),
+            scheduled: false,
+        }),
+        drained: Condvar::new(),
+        writer: Mutex::new(ConnWriter {
+            sink: BufWriter::new(CountingWriter::new(stream)),
+            flushed: 0,
+        }),
+    });
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -262,7 +363,7 @@ fn handle_connection<E: SamplingService>(stream: TcpStream, shared: Arc<Shared<E
         // deadline: the socket keeps its short timeout and the body
         // reader re-checks the deadline and the shutdown flag on every
         // retry, so neither a stalled peer nor one trickling a byte at a
-        // time can pin the handler past FRAME_TIMEOUT (or past shutdown).
+        // time can pin the reader past FRAME_TIMEOUT (or past shutdown).
         let first = match poll_first_byte(&mut reader, &shared.shutdown) {
             Ok(Some(b)) => b,
             Ok(None) => return, // EOF or shutdown
@@ -276,61 +377,168 @@ fn handle_connection<E: SamplingService>(stream: TcpStream, shared: Arc<Shared<E
         let mut src = std::io::Cursor::new([first]).chain(body);
         let outcome = read_frame_lenient(KIND_REQUEST, MAX_FRAME_BYTES, &mut src);
         match outcome {
-            Ok(payload) => match Request::from_wire_bytes(&payload) {
-                Ok(request) => {
-                    let (response, shutdown) = dispatch(&shared, request);
-                    if respond(&mut writer, &mut flushed_out, &response).is_err() {
-                        return;
-                    }
-                    if shutdown {
-                        shared.shutdown.store(true, Ordering::SeqCst);
-                        event("server.shutdown", "shutdown request accepted");
-                        // Wake the accept loop so it observes the flag.
-                        let _ = TcpStream::connect(shared.listen_addr);
-                        return;
-                    }
-                }
-                // The frame was sound but its payload was not: answer
-                // in-band and keep the connection.
+            Ok(payload) => match split_request_payload(&payload) {
+                // The id itself was unreadable (or the reserved 0):
+                // answer unattributably, keep the connection.
                 Err(err) => {
                     obs().frame_payload.inc();
                     event("server.frame_error.payload", err.to_string());
-                    let response = error_response(ErrorCode::Malformed, &err);
-                    if respond(&mut writer, &mut flushed_out, &response).is_err() {
+                    if respond(&conn, 0, &error_response(ErrorCode::Malformed, &err)).is_err() {
                         return;
                     }
                 }
+                Ok((id, body)) => match Request::from_wire_bytes(body) {
+                    // The frame and id were sound but the body was not:
+                    // answer under the request's own id, in queue order
+                    // (errors must not overtake earlier responses).
+                    Err(err) => {
+                        obs().frame_payload.inc();
+                        event("server.frame_error.payload", err.to_string());
+                        let response = error_response(ErrorCode::Malformed, &err);
+                        if enqueue(&conn, &ready, &shared, id, Job::Reply(response)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(request) => {
+                        if enqueue(&conn, &ready, &shared, id, Job::Dispatch(request)).is_err() {
+                            return;
+                        }
+                    }
+                },
             },
-            // Frame boundary survived: report and continue.
+            // Frame boundary survived: report under id 0 and continue.
             Err(FrameError::Recoverable(err)) => {
                 obs().frame_recoverable.inc();
                 event("server.frame_error.recoverable", err.to_string());
-                let response = error_response(ErrorCode::Malformed, &err);
-                if respond(&mut writer, &mut flushed_out, &response).is_err() {
+                if respond(&conn, 0, &error_response(ErrorCode::Malformed, &err)).is_err() {
                     return;
                 }
             }
-            // Framing destroyed: best-effort report, then close.
+            // Framing destroyed: best-effort report under id 0, close.
             Err(FrameError::Fatal(err)) => {
                 obs().frame_fatal.inc();
                 event("server.frame_error.fatal", err.to_string());
-                let _ = respond(
-                    &mut writer,
-                    &mut flushed_out,
-                    &error_response(ErrorCode::Malformed, &err),
-                );
+                let _ = respond(&conn, 0, &error_response(ErrorCode::Malformed, &err));
                 return;
             }
             Err(FrameError::TooLarge(err)) => {
                 obs().frame_too_large.inc();
                 event("server.frame_error.too_large", err.to_string());
-                let _ = respond(
-                    &mut writer,
-                    &mut flushed_out,
-                    &error_response(ErrorCode::TooLarge, &err),
-                );
+                let _ = respond(&conn, 0, &error_response(ErrorCode::TooLarge, &err));
                 return;
             }
+        }
+    }
+}
+
+/// One unit of connection work, in FIFO position.
+enum Job {
+    /// A decoded request to run through [`dispatch`].
+    Dispatch(Request),
+    /// A pre-built response (a body decode error) that must keep its
+    /// place in the response order.
+    Reply(Response),
+}
+
+/// Appends a job to the connection FIFO (blocking at
+/// [`MAX_QUEUED_PER_CONN`]) and hands the connection to the worker pool
+/// if no worker owns it yet. `Err` means the connection should close
+/// (poisoned lock or the pool is gone at shutdown).
+fn enqueue<E>(
+    conn: &Arc<Conn>,
+    ready: &mpsc::Sender<Arc<Conn>>,
+    shared: &Shared<E>,
+    id: u64,
+    job: Job,
+) -> Result<(), ()> {
+    let Ok(mut q) = conn.queue.lock() else {
+        return Err(());
+    };
+    while q.jobs.len() >= MAX_QUEUED_PER_CONN {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(());
+        }
+        q = match conn.drained.wait_timeout(q, IDLE_POLL) {
+            Ok((guard, _)) => guard,
+            Err(_) => return Err(()),
+        };
+    }
+    q.jobs.push_back((id, job));
+    obs().inflight.add(1);
+    let kick = !q.scheduled;
+    if kick {
+        q.scheduled = true;
+    }
+    drop(q);
+    if kick && ready.send(Arc::clone(conn)).is_err() {
+        return Err(());
+    }
+    Ok(())
+}
+
+/// A worker: claims connections off the ready channel and drains each
+/// FIFO it owns, one job at a time.
+fn worker_loop<E: SamplingService>(
+    ready: Arc<Mutex<mpsc::Receiver<Arc<Conn>>>>,
+    shared: Arc<Shared<E>>,
+) {
+    loop {
+        let conn = {
+            let Ok(rx) = ready.lock() else {
+                return;
+            };
+            match rx.recv() {
+                Ok(conn) => conn,
+                Err(_) => return, // channel closed: shutdown
+            }
+        };
+        drain_connection(&conn, &shared);
+    }
+}
+
+/// Drains one connection's FIFO: pops jobs in order, dispatches, and
+/// writes each response under the connection's write lock. Releases
+/// ownership (`scheduled = false`) when the queue empties so the reader
+/// re-schedules the connection on its next enqueue.
+fn drain_connection<E: SamplingService>(conn: &Conn, shared: &Arc<Shared<E>>) {
+    loop {
+        let (id, job) = {
+            let Ok(mut q) = conn.queue.lock() else {
+                return;
+            };
+            match q.jobs.pop_front() {
+                Some(job) => job,
+                None => {
+                    q.scheduled = false;
+                    return;
+                }
+            }
+        };
+        conn.drained.notify_all();
+        let (response, wants_shutdown) = match job {
+            Job::Dispatch(request) => dispatch(shared, request),
+            Job::Reply(response) => (response, false),
+        };
+        let write_ok = respond(conn, id, &response).is_ok();
+        obs().inflight.add(-1);
+        if wants_shutdown {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            event("server.shutdown", "shutdown request accepted");
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(shared.listen_addr);
+        }
+        if !write_ok {
+            // The peer is gone: drop the rest of this queue (the reader
+            // learns via EOF/reset) and release ownership.
+            let Ok(mut q) = conn.queue.lock() else {
+                return;
+            };
+            obs().inflight.add(-(q.jobs.len() as i64));
+            q.jobs.clear();
+            q.scheduled = false;
+            drop(q);
+            conn.drained.notify_all();
+            return;
         }
     }
 }
@@ -362,19 +570,27 @@ fn poll_first_byte(reader: &mut TcpStream, shutdown: &AtomicBool) -> std::io::Re
     }
 }
 
-/// Writes one response frame, flushes it, and credits the newly flushed
-/// bytes to `server.bytes.out` (tracked via `flushed`, the byte count
-/// already credited on this connection).
-fn respond(
-    writer: &mut BufWriter<CountingWriter<TcpStream>>,
-    flushed: &mut u64,
-    response: &Response,
-) -> std::io::Result<()> {
-    write_response(response, writer)?;
-    writer.flush()?;
-    let total = writer.get_ref().count();
-    obs().bytes_out.add(total - *flushed);
-    *flushed = total;
+/// Writes one response frame under `request_id` through the connection's
+/// write lock, flushes it, and credits the newly flushed bytes to
+/// `server.bytes.out`. The frame is encoded *before* taking the lock;
+/// the guarded region is exactly the serialized write+flush (both the
+/// reader — answering frame errors inline — and any pool worker write
+/// here, so responses never interleave mid-frame). The lock-io analyzer
+/// pass flags socket I/O under a guard by design; these two calls are
+/// allowlisted as the per-connection write serialization point — this is
+/// not the engine lock, and blocking here only ever blocks this
+/// connection's other responses.
+fn respond(conn: &Conn, request_id: u64, response: &Response) -> std::io::Result<()> {
+    let mut frame = Vec::new();
+    write_response(request_id, response, &mut frame)?;
+    let Ok(mut w) = conn.writer.lock() else {
+        return Err(std::io::Error::other("connection writer poisoned"));
+    };
+    w.sink.write_all(&frame)?;
+    w.sink.flush()?;
+    let total = w.sink.get_ref().count();
+    obs().bytes_out.add(total - w.flushed);
+    w.flushed = total;
     Ok(())
 }
 
@@ -404,7 +620,7 @@ fn dispatch<E: SamplingService>(shared: &Shared<E>, request: Request) -> (Respon
         );
     };
     let response = match request {
-        // Unreachable through the wire (the v2 decoder rejects an empty
+        // Unreachable through the wire (the decoder rejects an empty
         // batch), but the dispatcher is also reachable by in-process
         // callers: keep the no-silent-no-op rule at both layers.
         Request::IngestBatch(pairs) if pairs.is_empty() => Response::Error(ServiceError::new(
@@ -473,5 +689,97 @@ fn checkpoint_error_code(err: &std::io::Error) -> ErrorCode {
     match err.get_ref().and_then(|e| e.downcast_ref::<WireError>()) {
         Some(WireError::Unsupported(_)) => ErrorCode::Unsupported,
         _ => ErrorCode::Internal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The satellite regression: a peer that delivers exactly one byte
+    /// per read must not extend the whole-frame budget — the deadline is
+    /// fixed at frame start, so the read fails within ~the budget even
+    /// though every individual read "succeeds".
+    #[test]
+    fn frame_deadline_is_a_per_frame_budget_against_byte_tricklers() {
+        /// Serves a plausible frame prefix then trickles payload bytes
+        /// forever, one per poll interval — the adversary the deadline
+        /// exists for: every individual read "succeeds", so only a fixed
+        /// per-frame budget can cut it off.
+        struct Trickler {
+            head: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for Trickler {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = if self.pos < self.head.len() {
+                    self.head[self.pos]
+                } else {
+                    // Past the header, pace the trickle like a real
+                    // 1-byte-per-poll peer.
+                    std::thread::sleep(Duration::from_millis(1));
+                    0x5A // endless "payload"
+                };
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        // magic | version | kind | len = 1 MiB, then a trickle that never
+        // delivers the full payload.
+        let mut head = Vec::new();
+        head.extend_from_slice(&pts_util::wire::WIRE_MAGIC);
+        head.push(pts_util::wire::WIRE_VERSION);
+        head.push(KIND_REQUEST);
+        head.extend_from_slice(&[0x80, 0x80, 0x40]); // varint 1 << 20
+        let mut trickler = Trickler { head, pos: 0 };
+        let shutdown = AtomicBool::new(false);
+        let budget = Duration::from_millis(100);
+        let started = Instant::now();
+        let mut body = FrameBodyReader {
+            stream: &mut trickler,
+            deadline: Instant::now() + budget,
+            shutdown: &shutdown,
+        };
+        let outcome = read_frame_lenient(KIND_REQUEST, MAX_FRAME_BYTES, &mut body);
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(outcome, Err(FrameError::Fatal(_))),
+            "trickled frame must die fatally, got {outcome:?}"
+        );
+        // Must cut off near the budget: far before the 10 s FRAME_TIMEOUT
+        // and certainly not never. Generous upper bound for slow CI.
+        assert!(
+            elapsed >= budget && elapsed < Duration::from_secs(5),
+            "deadline not honored: took {elapsed:?} for a {budget:?} budget"
+        );
+    }
+
+    /// Shutdown must also cut a trickled frame short, budget remaining or
+    /// not.
+    #[test]
+    fn shutdown_interrupts_mid_frame_reads() {
+        struct Endless;
+        impl Read for Endless {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = 0;
+                Ok(1)
+            }
+        }
+        let shutdown = AtomicBool::new(true);
+        let mut endless = Endless;
+        let mut body = FrameBodyReader {
+            stream: &mut endless,
+            deadline: Instant::now() + Duration::from_secs(60),
+            shutdown: &shutdown,
+        };
+        let mut buf = [0u8; 1];
+        let err = body.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
     }
 }

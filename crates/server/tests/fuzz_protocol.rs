@@ -5,11 +5,17 @@
 //! normative recoverable/fatal split in `pts_util::protocol`).
 //!
 //! Recoverable (same connection keeps working): byte-soup payloads inside
-//! a valid envelope, truncation at every prefix of a request payload,
-//! oversized *inner* length prefixes, checksum flips, version bumps,
-//! wrong frame kinds. Fatal (error response, then the server closes that
-//! connection — and only that connection): bad magic, envelope length
-//! over the service cap.
+//! a valid envelope, truncation at every prefix of a request body *and*
+//! of the request-id varint itself, the reserved id 0, duplicate ids,
+//! response frames where requests belong, oversized *inner* length
+//! prefixes, checksum flips, version bumps. Fatal (error response, then
+//! the server closes that connection — and only that connection): bad
+//! magic, envelope length over the service cap.
+//!
+//! Wire v3: every request payload is `varint request_id ‖ tag ‖ body`,
+//! and the server echoes the id on the response — or answers under the
+//! reserved id 0 when the failure is unattributable (unreadable id,
+//! frame-level error).
 
 use pts_engine::{ConcurrentEngine, EngineConfig, L0Factory};
 use pts_server::{serve, Client, ClientError};
@@ -37,11 +43,23 @@ fn enveloped(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Asserts the next response is an in-band error of `code`.
-fn expect_error(client: &mut Client, code: ErrorCode, context: &str) {
+/// A v3 request payload — `varint id ‖ body` — inside a valid envelope,
+/// so only the *body* (or the id value itself) is hostile.
+fn enveloped_v3(id: u64, body: &[u8]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u64(id);
+    let mut payload = w.as_bytes().to_vec();
+    payload.extend_from_slice(body);
+    enveloped(&payload)
+}
+
+/// Asserts the next response is an in-band error of `code` carried under
+/// `id` (0 = the failure was unattributable).
+fn expect_error(client: &mut Client, id: u64, code: ErrorCode, context: &str) {
     match client.recv_response() {
-        Ok(Response::Error(ServiceError { code: got, .. })) => {
+        Ok((got_id, Response::Error(ServiceError { code: got, .. }))) => {
             assert_eq!(got, code, "{context}: wrong error code");
+            assert_eq!(got_id, id, "{context}: wrong response id");
         }
         other => panic!("{context}: wanted error response, got {other:?}"),
     }
@@ -62,16 +80,21 @@ fn byte_soup_payloads_yield_errors_and_connection_survives() {
     for round in 0..200 {
         let len = (rng.next_u64() % 40) as usize;
         let soup: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
-        // Skip the rare soup that *is* a valid request (e.g. a lone Stats
-        // tag): the point is malformed payloads.
+        // Skip the rare soup that *is* a valid request body (e.g. a lone
+        // Stats tag): the point is malformed bodies under a sound id.
         if pts_util::wire::Decode::from_wire_bytes(&soup)
             .map(|_: Request| ())
             .is_ok()
         {
             continue;
         }
-        client.send_raw(&enveloped(&soup)).unwrap();
-        expect_error(&mut client, ErrorCode::Malformed, &format!("soup {round}"));
+        client.send_raw(&enveloped_v3(round + 1, &soup)).unwrap();
+        expect_error(
+            &mut client,
+            round + 1,
+            ErrorCode::Malformed,
+            &format!("soup {round}"),
+        );
     }
     assert_usable(&mut client, "after 200 soup rounds");
     client.shutdown_server().unwrap();
@@ -83,15 +106,104 @@ fn truncation_at_every_prefix_yields_errors_on_one_connection() {
     let (server, mut client) = live_server();
     let request = Request::IngestBatch(vec![(3, 5), (900, -2), (17, 1 << 40)]);
     let payload = request.to_wire_bytes().unwrap();
-    // Every proper prefix of this payload is malformed (the update count
-    // promises more pairs than the bytes deliver), each inside a fresh
-    // valid envelope: error response every time, same connection
-    // throughout.
+    // Every proper prefix of this body is malformed (the update count
+    // promises more pairs than the bytes deliver), each under a sound id
+    // inside a fresh valid envelope: error response under that id every
+    // time, same connection throughout.
     for cut in 0..payload.len() {
-        client.send_raw(&enveloped(&payload[..cut])).unwrap();
-        expect_error(&mut client, ErrorCode::Malformed, &format!("cut {cut}"));
+        let id = cut as u64 + 1;
+        client.send_raw(&enveloped_v3(id, &payload[..cut])).unwrap();
+        expect_error(&mut client, id, ErrorCode::Malformed, &format!("cut {cut}"));
     }
     assert_usable(&mut client, "after truncation sweep");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// The v3 twin of the body-truncation sweep: truncation at every prefix
+/// of the *request-id varint itself*. The id is unreadable, so the error
+/// comes back under the reserved id 0 — and the connection survives.
+#[test]
+fn truncation_at_every_prefix_of_the_id_field_yields_id_zero_errors() {
+    let (server, mut client) = live_server();
+    // u64::MAX is the maximal varint: ten bytes, every one continuation-
+    // flagged except the last — so every proper prefix is an unterminated
+    // varint.
+    let mut w = WireWriter::new();
+    w.put_u64(u64::MAX);
+    let id_bytes = w.as_bytes().to_vec();
+    assert_eq!(id_bytes.len(), 10, "u64::MAX must be the 10-byte varint");
+    for cut in 0..id_bytes.len() {
+        client.send_raw(&enveloped(&id_bytes[..cut])).unwrap();
+        expect_error(
+            &mut client,
+            0,
+            ErrorCode::Malformed,
+            &format!("id cut {cut}"),
+        );
+    }
+    // The full maximal id with no body is a readable id whose *body* is
+    // missing: attributable, so the error echoes u64::MAX.
+    client.send_raw(&enveloped(&id_bytes)).unwrap();
+    expect_error(&mut client, u64::MAX, ErrorCode::Malformed, "empty body");
+    assert_usable(&mut client, "after id-truncation sweep");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// The reserved id 0 on a request — even one whose body is a perfectly
+/// valid `Stats` — is rejected as unattributable (the error answers under
+/// id 0) and the connection survives.
+#[test]
+fn request_id_zero_is_rejected_in_band() {
+    let (server, mut client) = live_server();
+    let body = Request::Stats.to_wire_bytes().unwrap();
+    client.send_raw(&enveloped_v3(0, &body)).unwrap();
+    expect_error(&mut client, 0, ErrorCode::Malformed, "id 0 request");
+    assert_usable(&mut client, "after id-0 request");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// The server does not police id reuse: two in-flight requests under the
+/// same id are both answered (under that id, in submission order), and
+/// interleaved distinct-id pipelining echoes every id exactly once.
+/// Disambiguating duplicates is the client's problem — the typed client
+/// never issues them.
+#[test]
+fn duplicate_and_interleaved_request_ids_are_echoed() {
+    let (server, mut client) = live_server();
+
+    // Two Stats under the same id, written back-to-back before reading.
+    let mut twice = Vec::new();
+    pts_util::protocol::write_request(7, &Request::Stats, &mut twice).unwrap();
+    pts_util::protocol::write_request(7, &Request::Stats, &mut twice).unwrap();
+    client.send_raw(&twice).unwrap();
+    for round in 0..2 {
+        match client.recv_response() {
+            Ok((7, Response::Stats(_))) => {}
+            other => panic!("duplicate id round {round}: got {other:?}"),
+        }
+    }
+
+    // A pipelined burst of distinct ids: every id comes back exactly once.
+    let ids: Vec<u64> = (100..132).collect();
+    let mut burst = Vec::new();
+    for &id in &ids {
+        pts_util::protocol::write_request(id, &Request::Stats, &mut burst).unwrap();
+    }
+    client.send_raw(&burst).unwrap();
+    let mut seen = Vec::new();
+    for _ in &ids {
+        match client.recv_response() {
+            Ok((id, Response::Stats(_))) => seen.push(id),
+            other => panic!("interleaved burst: got {other:?}"),
+        }
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, ids, "every pipelined id must be echoed exactly once");
+
+    assert_usable(&mut client, "after id fuzz");
     client.shutdown_server().unwrap();
     server.join();
 }
@@ -106,15 +218,15 @@ fn oversized_inner_length_prefix_is_rejected_without_allocation() {
     w.put_u64(1 << 62);
     w.put_u8(0x00);
     w.put_u8(0x00);
-    client.send_raw(&enveloped(w.as_bytes())).unwrap();
-    expect_error(&mut client, ErrorCode::Malformed, "oversized count");
+    client.send_raw(&enveloped_v3(1, w.as_bytes())).unwrap();
+    expect_error(&mut client, 1, ErrorCode::Malformed, "oversized count");
 
     // Same attack through the Restore blob length.
     let mut w = WireWriter::new();
     w.put_u8(0x06); // Restore tag
     w.put_u64(u64::MAX); // blob "length"
-    client.send_raw(&enveloped(w.as_bytes())).unwrap();
-    expect_error(&mut client, ErrorCode::Malformed, "oversized blob");
+    client.send_raw(&enveloped_v3(2, w.as_bytes())).unwrap();
+    expect_error(&mut client, 2, ErrorCode::Malformed, "oversized blob");
 
     assert_usable(&mut client, "after oversized-length attacks");
     client.shutdown_server().unwrap();
@@ -126,38 +238,41 @@ fn checksum_flip_version_bump_and_wrong_kind_are_recoverable() {
     let (server, mut client) = live_server();
 
     let mut good = Vec::new();
-    pts_util::protocol::write_request(&Request::Stats, &mut good).unwrap();
+    pts_util::protocol::write_request(1, &Request::Stats, &mut good).unwrap();
 
-    // Flip each payload/checksum byte in turn: every flip is caught and
-    // answered, connection intact. (The Stats frame is magic(4) ‖ version ‖
-    // kind ‖ len, so payload + checksum start at offset 7; flipping the
-    // *length* byte destroys framing itself and is fatal by design, and
-    // the version byte is exercised separately below.)
+    // Flip each payload/checksum byte in turn: every flip is caught by
+    // the checksum and answered under id 0 (the frame can't be trusted,
+    // its id included), connection intact. (The frame is magic(4) ‖
+    // version ‖ kind ‖ len, so payload + checksum start at offset 7;
+    // flipping the *length* byte destroys framing itself and is fatal by
+    // design, and the version byte is exercised separately below.)
     for i in 7..good.len() {
         let mut corrupt = good.clone();
         corrupt[i] ^= 0x40;
         client.send_raw(&corrupt).unwrap();
-        expect_error(&mut client, ErrorCode::Malformed, &format!("flip {i}"));
+        expect_error(&mut client, 0, ErrorCode::Malformed, &format!("flip {i}"));
     }
 
     // Unknown envelope version.
     let mut bumped = good.clone();
     bumped[4] = WIRE_VERSION + 1;
     client.send_raw(&bumped).unwrap();
-    expect_error(&mut client, ErrorCode::Malformed, "version bump");
+    expect_error(&mut client, 0, ErrorCode::Malformed, "version bump");
 
-    // A response frame where a request belongs.
+    // A response frame where a request belongs — including a "response"
+    // to an id this connection never issued. The kind check rejects it
+    // before any id is looked at.
     let mut as_response = Vec::new();
-    pts_util::protocol::write_response(&Response::Restored, &mut as_response).unwrap();
+    pts_util::protocol::write_response(0xDEAD, &Response::Restored, &mut as_response).unwrap();
     client.send_raw(&as_response).unwrap();
-    expect_error(&mut client, ErrorCode::Malformed, "wrong kind");
+    expect_error(&mut client, 0, ErrorCode::Malformed, "wrong kind");
 
     assert_usable(&mut client, "after framing corruption sweep");
     client.shutdown_server().unwrap();
     server.join();
 }
 
-/// The v2 no-silent-work rule, exercised as raw hostile frames: an empty
+/// The no-silent-work rule, exercised as raw hostile frames: an empty
 /// `IngestBatch` and a zero `Sample` count are in-band recoverable
 /// errors, never silently-accepted no-ops — and the connection survives.
 #[test]
@@ -165,12 +280,12 @@ fn empty_batch_and_zero_sample_count_are_in_band_errors() {
     let (server, mut client) = live_server();
 
     // IngestBatch with count 0 (tag 0x01, varint 0).
-    client.send_raw(&enveloped(&[0x01, 0x00])).unwrap();
-    expect_error(&mut client, ErrorCode::Malformed, "empty ingest batch");
+    client.send_raw(&enveloped_v3(1, &[0x01, 0x00])).unwrap();
+    expect_error(&mut client, 1, ErrorCode::Malformed, "empty ingest batch");
 
     // Sample with count 0 (tag 0x02, varint 0).
-    client.send_raw(&enveloped(&[0x02, 0x00])).unwrap();
-    expect_error(&mut client, ErrorCode::Malformed, "zero sample count");
+    client.send_raw(&enveloped_v3(2, &[0x02, 0x00])).unwrap();
+    expect_error(&mut client, 2, ErrorCode::Malformed, "zero sample count");
 
     // The typed client surfaces the same rejection in-band.
     match client.ingest_batch(&[]) {
@@ -183,10 +298,10 @@ fn empty_batch_and_zero_sample_count_are_in_band_errors() {
     server.join();
 }
 
-/// The v2 `Stats` response carries the engine's universe (what the
-/// cluster coordinator validates slice assignments against), and its
-/// decoder rejects truncation at every prefix — the response-side twin
-/// of the request fuzz above.
+/// The `Stats` response carries the engine's universe (what the cluster
+/// coordinator validates slice assignments against), and its decoder
+/// rejects truncation at every prefix — the response-side twin of the
+/// request fuzz above.
 #[test]
 fn stats_response_reports_universe_and_rejects_truncation() {
     let (server, mut client) = live_server();
@@ -214,9 +329,10 @@ fn bad_magic_gets_an_error_then_a_clean_close_and_server_survives() {
     let (server, mut client) = live_server();
 
     // Raw soup on the wire (no envelope): framing is unrecoverable. The
-    // server still answers in-band — then closes this connection only.
+    // server still answers in-band (under id 0 — no id ever arrived) —
+    // then closes this connection only.
     client.send_raw(b"GARBAGE GARBAGE GARBAGE!").unwrap();
-    expect_error(&mut client, ErrorCode::Malformed, "raw soup");
+    expect_error(&mut client, 0, ErrorCode::Malformed, "raw soup");
     // The connection is now closed: the next round trip fails cleanly.
     assert!(matches!(
         client.stats(),
@@ -244,7 +360,7 @@ fn envelope_length_over_cap_is_too_large_then_close() {
     w.put_u64(pts_util::protocol::MAX_FRAME_BYTES + 1);
     frame.extend_from_slice(w.as_bytes());
     client.send_raw(&frame).unwrap();
-    expect_error(&mut client, ErrorCode::TooLarge, "over-cap length");
+    expect_error(&mut client, 0, ErrorCode::TooLarge, "over-cap length");
     assert!(matches!(
         client.stats(),
         Err(ClientError::Io(_) | ClientError::Wire(_))

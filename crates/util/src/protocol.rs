@@ -3,10 +3,16 @@
 //!
 //! [`crate::wire`] gives engine state a durable byte encoding; this module
 //! gives a *conversation* one. A client sends [`Request`] frames, a server
-//! answers each with exactly one [`Response`] frame, in order, over any
-//! reliable byte stream (`pts-server` runs it over TCP). The module is
+//! answers each with exactly one [`Response`] frame, over any reliable
+//! byte stream (`pts-server` runs it over TCP). The module is
 //! transport-agnostic and dependency-free: everything here is plain
 //! `std::io`.
+//!
+//! Since wire version 3 the conversation is **multiplexed**: every
+//! request carries a client-assigned `request_id` which its response
+//! echoes verbatim, so one connection can hold many requests in flight
+//! and the server may answer them **in any order**. A client that wants
+//! the old lockstep behavior simply keeps one request in flight.
 //!
 //! # Frame layout (normative)
 //!
@@ -15,13 +21,29 @@
 //! ```text
 //! offset  bytes  field
 //! 0       4      magic        "PTSW" (0x50 0x54 0x53 0x57)
-//! 4       1      version      WIRE_VERSION (currently 0x02)
+//! 4       1      version      WIRE_VERSION (currently 0x03)
 //! 5       1      kind         KIND_REQUEST (0x04) or KIND_RESPONSE (0x05)
 //! 6       1–10   len          payload length, LEB128 varint
-//! 6+|len| len    payload      the message body (grammar below)
+//! 6+|len| len    payload      varint request_id ‖ message body (below)
 //! …       8      checksum     FNV-1a 64 over version ‖ kind ‖ payload,
 //!                             little-endian (see [`crate::wire::fnv1a64`])
 //! ```
+//!
+//! # Request ids (normative)
+//!
+//! Every request and response payload **leads with a varint
+//! `request_id`**, ahead of the tag byte:
+//!
+//! * A request's id is client-assigned and must be **≥ 1**; a request
+//!   carrying id 0 fails decode (and draws a recoverable `malformed`
+//!   error response, per the semantics below).
+//! * A response echoes its request's id verbatim. The server does not
+//!   police id reuse — correlating responses is the client's problem,
+//!   and the reference client assigns ids sequentially.
+//! * Id **0** is reserved for *unattributable* server error responses:
+//!   when a request payload is so damaged that even its leading id
+//!   varint cannot be read (or the framing itself failed), the server
+//!   still answers — with the error response carrying id 0.
 //!
 //! Primitive encodings inside a payload are the wire vocabulary:
 //! `varint` is LEB128 (7 value bits per byte, high bit = continue, max 10
@@ -32,7 +54,8 @@
 //!
 //! # Request grammar (normative)
 //!
-//! A request payload is a one-byte request tag followed by the tag's body:
+//! After the leading varint request id, a request payload is a one-byte
+//! request tag followed by the tag's body:
 //!
 //! ```text
 //! 0x01 IngestBatch   varint count (≥ 1), then per update:
@@ -47,7 +70,9 @@
 //!
 //! # Response grammar (normative)
 //!
-//! A response payload is a one-byte response tag followed by the body:
+//! After the leading varint request id (echoed from the request, or 0
+//! for an unattributable error), a response payload is a one-byte
+//! response tag followed by the body:
 //!
 //! ```text
 //! 0x00 Error         u8 code ‖ string message     (codes below)
@@ -508,28 +533,71 @@ impl Decode for Response {
     }
 }
 
-/// Writes one request as a framed `KIND_REQUEST` envelope.
-pub fn write_request<W: Write>(req: &Request, sink: &mut W) -> std::io::Result<()> {
-    let payload = req.to_wire_bytes().expect("requests always encode");
-    write_frame(KIND_REQUEST, &payload, sink)
+/// Writes one request under `request_id` as a framed `KIND_REQUEST`
+/// envelope: `varint request_id ‖ request body`.
+///
+/// `request_id` must be ≥ 1 (id 0 is reserved for unattributable server
+/// error responses — see the module docs); debug builds assert this.
+pub fn write_request<W: Write>(
+    request_id: u64,
+    req: &Request,
+    sink: &mut W,
+) -> std::io::Result<()> {
+    debug_assert!(request_id != 0, "request id 0 is reserved");
+    let mut w = WireWriter::new();
+    w.put_u64(request_id);
+    req.encode(&mut w).expect("requests always encode");
+    write_frame(KIND_REQUEST, w.as_bytes(), sink)
 }
 
-/// Reads one framed request (strict: any malformation is an error; servers
-/// wanting to keep the connection should use [`read_frame_lenient`] and
-/// decode the payload themselves).
-pub fn read_request<R: Read>(src: &mut R) -> Result<Request, WireError> {
-    Request::from_wire_bytes(&read_frame(KIND_REQUEST, src)?)
+/// Reads one framed request; returns its id and body (strict: any
+/// malformation is an error; servers wanting to keep the connection
+/// should use [`read_frame_lenient`] and decode the payload themselves
+/// via [`split_request_payload`]).
+pub fn read_request<R: Read>(src: &mut R) -> Result<(u64, Request), WireError> {
+    let payload = read_frame(KIND_REQUEST, src)?;
+    let (id, body) = split_request_payload(&payload)?;
+    Ok((id, Request::from_wire_bytes(body)?))
 }
 
-/// Writes one response as a framed `KIND_RESPONSE` envelope.
-pub fn write_response<W: Write>(resp: &Response, sink: &mut W) -> std::io::Result<()> {
-    let payload = resp.to_wire_bytes().expect("responses always encode");
-    write_frame(KIND_RESPONSE, &payload, sink)
+/// Splits a request payload into its leading varint `request_id` and the
+/// remaining body bytes, enforcing the id ≥ 1 rule (a request carrying
+/// id 0 is malformed — id 0 is reserved for unattributable server error
+/// responses). This is the server's demux entry point: it peels the id
+/// *before* decoding the body, so a body decode failure can still be
+/// answered under the request's own id.
+pub fn split_request_payload(payload: &[u8]) -> Result<(u64, &[u8]), WireError> {
+    let mut r = WireReader::new(payload);
+    let id = r.get_u64()?;
+    if id == 0 {
+        return Err(WireError::Invalid("request id 0 is reserved"));
+    }
+    Ok((id, &payload[payload.len() - r.remaining()..]))
 }
 
-/// Reads one framed response.
-pub fn read_response<R: Read>(src: &mut R) -> Result<Response, WireError> {
-    Response::from_wire_bytes(&read_frame(KIND_RESPONSE, src)?)
+/// Writes one response as a framed `KIND_RESPONSE` envelope:
+/// `varint request_id ‖ response body`. The id echoes the request's
+/// (id 0 = unattributable server error, the one id a request can't use).
+pub fn write_response<W: Write>(
+    request_id: u64,
+    resp: &Response,
+    sink: &mut W,
+) -> std::io::Result<()> {
+    let mut w = WireWriter::new();
+    w.put_u64(request_id);
+    resp.encode(&mut w).expect("responses always encode");
+    write_frame(KIND_RESPONSE, w.as_bytes(), sink)
+}
+
+/// Reads one framed response; returns the echoed request id (0 =
+/// unattributable server error) and the response.
+pub fn read_response<R: Read>(src: &mut R) -> Result<(u64, Response), WireError> {
+    let payload = read_frame(KIND_RESPONSE, src)?;
+    let mut r = WireReader::new(&payload);
+    let id = r.get_u64()?;
+    let resp = Response::decode(&mut r)?;
+    r.finish()?;
+    Ok((id, resp))
 }
 
 // The lenient frame reader and its recoverable/fatal classification live
@@ -544,17 +612,24 @@ mod tests {
     use crate::wire::{WIRE_MAGIC, WIRE_VERSION};
 
     fn roundtrip_request(req: Request) {
-        let mut buf = Vec::new();
-        write_request(&req, &mut buf).unwrap();
-        let back = read_request(&mut buf.as_slice()).unwrap();
-        assert_eq!(back, req);
+        // Ids spanning 1, 2, and 10 varint bytes: the id prefix must
+        // frame and demux identically at every width.
+        for id in [1u64, 7, 300, u64::MAX] {
+            let mut buf = Vec::new();
+            write_request(id, &req, &mut buf).unwrap();
+            let (back_id, back) = read_request(&mut buf.as_slice()).unwrap();
+            assert_eq!((back_id, back), (id, req.clone()));
+        }
     }
 
     fn roundtrip_response(resp: Response) {
-        let mut buf = Vec::new();
-        write_response(&resp, &mut buf).unwrap();
-        let back = read_response(&mut buf.as_slice()).unwrap();
-        assert_eq!(back, resp);
+        // Id 0 is legal on responses (unattributable server errors).
+        for id in [0u64, 1, 300, u64::MAX] {
+            let mut buf = Vec::new();
+            write_response(id, &resp, &mut buf).unwrap();
+            let (back_id, back) = read_response(&mut buf.as_slice()).unwrap();
+            assert_eq!((back_id, back), (id, resp.clone()));
+        }
     }
 
     #[test]
@@ -695,47 +770,122 @@ mod tests {
         }
     }
 
+    #[test]
+    fn request_id_zero_rejected_everywhere() {
+        // A request payload whose leading varint id is 0 must fail both
+        // the demux split and the strict framed read.
+        let mut w = WireWriter::new();
+        w.put_u64(0);
+        Request::Stats.encode(&mut w).unwrap();
+        assert!(matches!(
+            split_request_payload(w.as_bytes()),
+            Err(WireError::Invalid("request id 0 is reserved"))
+        ));
+        let mut frame = Vec::new();
+        write_frame(KIND_REQUEST, w.as_bytes(), &mut frame).unwrap();
+        assert!(read_request(&mut frame.as_slice()).is_err());
+        // Id 0 stays legal on the response side (unattributable errors).
+        let mut resp = Vec::new();
+        write_response(
+            0,
+            &Response::Error(ServiceError::new(ErrorCode::Malformed, "x")),
+            &mut resp,
+        )
+        .unwrap();
+        assert_eq!(read_response(&mut resp.as_slice()).unwrap().0, 0);
+    }
+
+    #[test]
+    fn split_request_payload_demuxes_id_from_body() {
+        // A multi-byte varint id: the split must hand back exactly the
+        // body bytes after the id, for any body.
+        let mut w = WireWriter::new();
+        w.put_u64(300); // two varint bytes: 0xAC 0x02
+        w.put_u8(REQ_STATS);
+        let (id, body) = split_request_payload(w.as_bytes()).unwrap();
+        assert_eq!(id, 300);
+        assert_eq!(body, [REQ_STATS]);
+        assert_eq!(Request::from_wire_bytes(body).unwrap(), Request::Stats);
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_of_the_id_field_errors() {
+        // u64::MAX is a 10-byte varint: every proper prefix of the id
+        // field alone must fail the split (never panic, never misdecode),
+        // and so must the id with no body behind it.
+        let mut w = WireWriter::new();
+        w.put_u64(u64::MAX);
+        let id_bytes = w.as_bytes().to_vec();
+        assert_eq!(id_bytes.len(), 10);
+        for cut in 0..id_bytes.len() {
+            assert!(
+                split_request_payload(&id_bytes[..cut]).is_err(),
+                "id cut at {cut} split"
+            );
+        }
+        // The full id with an empty body splits — the *body* decode is
+        // what fails (the demux layer answers under the request's id).
+        let (id, body) = split_request_payload(&id_bytes).unwrap();
+        assert_eq!(id, u64::MAX);
+        assert!(Request::from_wire_bytes(body).is_err());
+    }
+
     /// The PROTOCOL.md §"Worked examples" hex bytes, pinned so the document
     /// cannot drift from the implementation.
     #[test]
     fn protocol_md_worked_examples_are_exact() {
-        // Example 1: a Stats request.
+        // Example 1: a Stats request under id 1.
         let mut stats = Vec::new();
-        write_request(&Request::Stats, &mut stats).unwrap();
+        write_request(1, &Request::Stats, &mut stats).unwrap();
         assert_eq!(
             stats,
             [
-                0x50, 0x54, 0x53, 0x57, 0x02, 0x04, 0x01, 0x04, 0x35, 0xA7, 0xD3, 0x75, 0x18, 0x74,
-                0x92, 0xEA
+                0x50, 0x54, 0x53, 0x57, 0x03, 0x04, 0x02, 0x01, 0x04, 0x27, 0xB5, 0xA6, 0x07, 0x88,
+                0x78, 0xC9, 0x0F
             ],
             "Stats request frame drifted: {stats:02X?}"
         );
-        // Example 2: IngestBatch [(3, +5), (900, -2)].
+        // Example 2: IngestBatch [(3, +5), (900, -2)] under id 2.
         let mut ingest = Vec::new();
-        write_request(&Request::IngestBatch(vec![(3, 5), (900, -2)]), &mut ingest).unwrap();
+        write_request(
+            2,
+            &Request::IngestBatch(vec![(3, 5), (900, -2)]),
+            &mut ingest,
+        )
+        .unwrap();
         assert_eq!(
             ingest,
             [
-                0x50, 0x54, 0x53, 0x57, 0x02, 0x04, 0x07, 0x01, 0x02, 0x03, 0x0A, 0x84, 0x07, 0x03,
-                0xED, 0xF9, 0x60, 0xDF, 0x2B, 0x6B, 0x3B, 0x01
+                0x50, 0x54, 0x53, 0x57, 0x03, 0x04, 0x08, 0x02, 0x01, 0x02, 0x03, 0x0A, 0x84, 0x07,
+                0x03, 0xB8, 0xA0, 0x40, 0x9D, 0x2E, 0x45, 0x16, 0xEA
             ],
             "IngestBatch request frame drifted: {ingest:02X?}"
         );
         // Example 3: a Samples response carrying one draw of index 3,
-        // estimate 5.0, and one ⊥.
+        // estimate 5.0, and one ⊥ — echoing request id 2.
         let mut samples = Vec::new();
-        write_response(&Response::Samples(vec![Some((3, 5.0)), None]), &mut samples).unwrap();
+        write_response(
+            2,
+            &Response::Samples(vec![Some((3, 5.0)), None]),
+            &mut samples,
+        )
+        .unwrap();
         assert_eq!(
             samples,
             [
-                0x50, 0x54, 0x53, 0x57, 0x02, 0x05, 0x0D, 0x02, 0x02, 0x01, 0x03, 0x00, 0x00, 0x00,
-                0x00, 0x00, 0x00, 0x14, 0x40, 0x00, 0xF8, 0x3C, 0xD2, 0xFF, 0xD0, 0x1D, 0x52, 0xD9
+                0x50, 0x54, 0x53, 0x57, 0x03, 0x05, 0x0E, 0x02, 0x02, 0x02, 0x01, 0x03, 0x00, 0x00,
+                0x00, 0x00, 0x00, 0x00, 0x14, 0x40, 0x00, 0xFB, 0x5D, 0x5F, 0x05, 0x4B, 0x5B, 0x33,
+                0x0E
             ],
             "Samples response frame drifted: {samples:02X?}"
         );
-        // Example 4: an error response (Malformed, "unknown request tag").
+        // Example 4: an error response (Malformed, "unknown request tag")
+        // echoing request id 5 — the body's tag was unreadable but its id
+        // was, so the error is attributable (id 0 is only for requests so
+        // damaged even the id couldn't be read).
         let mut error = Vec::new();
         write_response(
+            5,
             &Response::Error(ServiceError::new(
                 ErrorCode::Malformed,
                 "unknown request tag",
@@ -746,18 +896,19 @@ mod tests {
         assert_eq!(
             error,
             [
-                0x50, 0x54, 0x53, 0x57, 0x02, 0x05, 0x16, 0x00, 0x01, 0x13, 0x75, 0x6E, 0x6B, 0x6E,
-                0x6F, 0x77, 0x6E, 0x20, 0x72, 0x65, 0x71, 0x75, 0x65, 0x73, 0x74, 0x20, 0x74, 0x61,
-                0x67, 0xFF, 0x6A, 0x84, 0x5E, 0xD2, 0xF8, 0x4F, 0x72
+                0x50, 0x54, 0x53, 0x57, 0x03, 0x05, 0x17, 0x05, 0x00, 0x01, 0x13, 0x75, 0x6E, 0x6B,
+                0x6E, 0x6F, 0x77, 0x6E, 0x20, 0x72, 0x65, 0x71, 0x75, 0x65, 0x73, 0x74, 0x20, 0x74,
+                0x61, 0x67, 0xCF, 0x68, 0xDB, 0x64, 0x14, 0x20, 0x28, 0xA6
             ],
             "Error response frame drifted: {error:02X?}"
         );
-        // Example 5: the version-2 Stats response body — universe 4096,
+        // Example 5: a Stats response echoing id 1 — universe 4096,
         // 1000 updates over 4 batches, 6 samples, 1 fail, 0 merges, mass
         // 123.5, support 9. The local-view fields are deliberately
         // nonzero: the pinned bytes below prove they never reach the wire.
         let mut report = Vec::new();
         write_response(
+            1,
             &Response::Stats(ServiceStats {
                 universe: 4096,
                 updates: 1000,
@@ -776,9 +927,9 @@ mod tests {
         assert_eq!(
             report,
             [
-                0x50, 0x54, 0x53, 0x57, 0x02, 0x05, 0x12, 0x04, 0x80, 0x20, 0xE8, 0x07, 0x04, 0x06,
-                0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x5E, 0x40, 0x09, 0xA7, 0xA3, 0x0D,
-                0x20, 0x3C, 0x6F, 0x05, 0xC7
+                0x50, 0x54, 0x53, 0x57, 0x03, 0x05, 0x13, 0x01, 0x04, 0x80, 0x20, 0xE8, 0x07, 0x04,
+                0x06, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x5E, 0x40, 0x09, 0xDB, 0xF5,
+                0x10, 0x08, 0x89, 0x92, 0x63, 0x99
             ],
             "Stats response frame drifted: {report:02X?}"
         );
@@ -787,12 +938,14 @@ mod tests {
     #[test]
     fn lenient_read_classifies_fatal_vs_recoverable() {
         let mut good = Vec::new();
-        write_request(&Request::Stats, &mut good).unwrap();
+        write_request(9, &Request::Stats, &mut good).unwrap();
 
         // Clean read.
         let payload = read_frame_lenient(KIND_REQUEST, MAX_FRAME_BYTES, &mut good.as_slice())
             .expect("well-formed frame reads");
-        assert_eq!(Request::from_wire_bytes(&payload).unwrap(), Request::Stats);
+        let (id, body) = split_request_payload(&payload).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(Request::from_wire_bytes(body).unwrap(), Request::Stats);
 
         // Bad magic: fatal.
         let mut bad = good.clone();

@@ -46,7 +46,14 @@ pub const WIRE_MAGIC: [u8; 4] = *b"PTSW";
 ///   to), and the request grammar tightened: an `IngestBatch` must carry
 ///   at least one update. Grammar changes are never made in place, hence
 ///   the bump.
-pub const WIRE_VERSION: u8 = 2;
+/// * **3** — request and response payloads lead with a varint
+///   `request_id` (client-assigned, echoed verbatim), multiplexing many
+///   in-flight requests over one connection with out-of-order completion.
+///   Id `0` is reserved for server error responses that cannot be
+///   attributed to a request (the id itself failed to decode). Same rule
+///   as v2: the payload layout changed, so the version bumps and v2
+///   endpoints reject v3 frames recoverably (and vice versa).
+pub const WIRE_VERSION: u8 = 3;
 
 /// Frame kind: a full engine checkpoint (config + factory + RNG + stats +
 /// per-shard state).
@@ -480,6 +487,19 @@ pub enum FrameError {
 }
 
 impl FrameError {
+    /// The uniform recoverability classification shared across the
+    /// stack's error surfaces (`pts_server::ClientError::is_recoverable`,
+    /// `pts_cluster::ClusterError::is_recoverable` follow the same
+    /// contract): `true` means the byte stream is still at a frame
+    /// boundary, so the consumer may answer in-band and keep using the
+    /// connection; `false` means framing state is lost and the connection
+    /// must be closed (and, for a client, re-established). Only
+    /// [`FrameError::Recoverable`] is recoverable — [`FrameError::Fatal`]
+    /// and [`FrameError::TooLarge`] both destroy the stream position.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, FrameError::Recoverable(_))
+    }
+
     /// The underlying wire error, regardless of class.
     pub fn wire_error(&self) -> &WireError {
         match self {

@@ -50,10 +50,12 @@
 //! with one worker thread per shard — identical outputs (bit-for-bit, same
 //! seeds), pipelined batched ingest, and parallel pool catch-up.
 //!
-//! Behind a socket, [`pts_server`] serves either engine over a framed
-//! TCP protocol (see `PROTOCOL.md`) with a matching blocking client —
-//! `examples/serve_demo.rs` runs the full ingest → sample → checkpoint →
-//! kill → restore arc over loopback.
+//! Behind a socket, [`pts_server`] serves either engine over a framed,
+//! request-id multiplexed TCP protocol (see `PROTOCOL.md`) with a
+//! matching client — blocking methods plus a pipelined
+//! `submit_*`/[`pts_server::Pending`] API — and `examples/serve_demo.rs`
+//! runs the full ingest → sample → checkpoint → kill → restore arc over
+//! loopback.
 //!
 //! ## Crate map
 //!
@@ -111,7 +113,7 @@ pub mod prelude {
         L0Params, LpLe2Batch, LpLe2Params, PerfectL0Sampler, PerfectLpLe2Sampler, PrecisionParams,
         PrecisionSampler, ReservoirSampler, Sample, TurnstileSampler,
     };
-    pub use pts_server::{serve, Client, ClientConfig, ClientError, Server};
+    pub use pts_server::{serve, Client, ClientConfig, ClientError, Pending, Server};
     pub use pts_sketch::LinearSketch;
     pub use pts_stream::{FrequencyVector, Stream, StreamStyle, Update};
     pub use pts_util::protocol::{ErrorCode, ServiceError, ServiceStats};
