@@ -20,6 +20,7 @@ pub mod obs;
 pub mod service;
 pub mod space;
 pub mod table1;
+pub mod tenants;
 pub mod throughput;
 pub mod timing;
 pub mod wire;
@@ -28,7 +29,7 @@ use pts_util::Table;
 
 /// A runnable experiment.
 pub struct Experiment {
-    /// Identifier (`tab1`, `e1`, …, `s1`, `t1`, `w1`, `n1`, `c1`, `m1`, `o1`, `a3`).
+    /// Identifier (`tab1`, `e1`, …, `s1`, `t1`, `w1`, `n1`, `c1`, `m1`, `mt1`, `o1`, `a3`).
     pub id: &'static str,
     /// What it reproduces.
     pub title: &'static str,
@@ -133,6 +134,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "m1",
             title: "M1 — pipelined requests/sec vs in-flight depth + scatter vs N (wire v3)",
             run: multiplex::m1_multiplexing,
+        },
+        Experiment {
+            id: "mt1",
+            title: "MT1 — multi-tenant serving: req/sec + bytes/tenant vs tenant count (wire v4)",
+            run: tenants::mt1_tenants,
         },
         Experiment {
             id: "o1",

@@ -62,6 +62,24 @@
 //!
 //! [`Coordinator::rebalance`] is the same checkpoint stream pointed at
 //! a live standby instead of a restart.
+//!
+//! ## Tenancy (wire v4)
+//!
+//! Since wire v4 every node hosts a *tenant map*, and the coordinator
+//! extends the slice partition per tenant: a namespace created through
+//! [`Coordinator::create_namespace`] exists on every slice owner, each
+//! node holding that tenant's sub-vector over its slice, so the two-stage
+//! law above holds per namespace with complete cross-tenant isolation
+//! (disjoint engines end to end). Routing is namespace-aware — each
+//! tenant starts with the default slice→node assignment and
+//! [`Coordinator::migrate_tenant`] (the tenant-granular
+//! [`Coordinator::rebalance`]) re-points *one tenant's* slices at a
+//! different node by streaming only that tenant's checkpoint, leaving
+//! every other namespace where it was. [`Coordinator::checkpoint_tenant`]
+//! / [`Coordinator::restore_tenant`] are the matching per-tenant halves
+//! of [`Coordinator::checkpoint_node`] / [`Coordinator::rejoin`], so an
+//! individual tenant can be shed, persisted, and revived on a different
+//! node draw-for-draw identically (pinned by `tests/cluster_law.rs`).
 
 use crate::config::ClusterConfig;
 use crate::obs::obs;
@@ -70,9 +88,9 @@ use pts_obs::{event, Stopwatch};
 use pts_samplers::Sample;
 use pts_server::{Client, ClientConfig, ClientError, Pending};
 use pts_stream::Update;
-use pts_util::protocol::{ServiceStats, MAX_SAMPLE_COUNT};
+use pts_util::protocol::{ServiceStats, DEFAULT_NAMESPACE, MAX_SAMPLE_COUNT};
 use pts_util::Xoshiro256pp;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Seed stream tag for the coordinator's node-pick RNG (disjoint from the
 /// engine's internal streams by construction — different consumer).
@@ -253,8 +271,14 @@ pub struct Coordinator {
     universe: usize,
     /// Slice boundaries: slice `s` covers `[cuts[s], cuts[s+1])`.
     cuts: Vec<u64>,
-    /// Which node owns each slice.
+    /// Which node owns each slice (the default namespace's assignment,
+    /// and the starting assignment of every created tenant).
     slice_owner: Vec<usize>,
+    /// Per-tenant slice→node overrides for namespaces whose ownership
+    /// has diverged from `slice_owner` (created by
+    /// [`Coordinator::create_namespace`], re-pointed by
+    /// [`Coordinator::migrate_tenant`]).
+    tenant_owner: HashMap<u64, Vec<usize>>,
     nodes: Vec<Node>,
     client_config: ClientConfig,
     /// Drives the node pick at query time — the cluster analogue of the
@@ -292,6 +316,7 @@ impl Coordinator {
             universe: config.universe,
             cuts,
             slice_owner,
+            tenant_owner: HashMap::new(),
             nodes: config
                 .nodes
                 .iter()
@@ -450,11 +475,22 @@ impl Coordinator {
         }
     }
 
-    /// The distinct slice-owning nodes, in slice order (deterministic —
-    /// the draw-for-draw contracts depend on a canonical scatter order).
-    fn owner_nodes(&self) -> Vec<usize> {
-        let mut owners: Vec<usize> = Vec::with_capacity(self.slice_owner.len());
-        for &node in &self.slice_owner {
+    /// The slice→node assignment of namespace `ns`: the default
+    /// assignment unless a migration re-pointed this tenant.
+    fn ns_slice_owner(&self, ns: u64) -> &[usize] {
+        self.tenant_owner
+            .get(&ns)
+            .map(Vec::as_slice)
+            .unwrap_or(&self.slice_owner)
+    }
+
+    /// The distinct nodes owning `ns`'s slices, in slice order
+    /// (deterministic — the draw-for-draw contracts depend on a canonical
+    /// scatter order).
+    fn owner_nodes(&self, ns: u64) -> Vec<usize> {
+        let assignment = self.ns_slice_owner(ns);
+        let mut owners: Vec<usize> = Vec::with_capacity(assignment.len());
+        for &node in assignment {
             if !owners.contains(&node) {
                 owners.push(node);
             }
@@ -479,6 +515,16 @@ impl Coordinator {
     /// at once, an error return means any subset of the *other* touched
     /// nodes may have applied theirs (see the module docs).
     pub fn ingest_batch(&mut self, batch: &[Update]) -> Result<u64, ClusterError> {
+        self.ingest_batch_in(DEFAULT_NAMESPACE, batch)
+    }
+
+    /// [`Coordinator::ingest_batch`] addressed to namespace `ns` — same
+    /// routing and pipelining, against that tenant's slice owners.
+    pub fn ingest_batch_ns(&mut self, ns: u64, batch: &[Update]) -> Result<u64, ClusterError> {
+        self.ingest_batch_in(ns, batch)
+    }
+
+    fn ingest_batch_in(&mut self, ns: u64, batch: &[Update]) -> Result<u64, ClusterError> {
         if let Some(u) = batch
             .iter()
             .find(|u| (u.index as u128) >= self.universe as u128)
@@ -492,21 +538,21 @@ impl Coordinator {
             let slice = self.slice_of(u.index);
             self.plan[slice].push(u);
         }
+        let owner_of_slice = self.ns_slice_owner(ns).to_vec();
         // Submit every touched node's sub-batch before awaiting any ack.
         let mut sent: Vec<(usize, Pending<u64>)> = Vec::new();
         let mut first_err: Option<ClusterError> = None;
-        for slice in 0..self.plan.len() {
+        for (slice, &node) in owner_of_slice.iter().enumerate() {
             if self.plan[slice].is_empty() {
                 continue;
             }
-            let node = self.slice_owner[slice];
             let run = std::mem::take(&mut self.plan[slice]);
             // Two-step match: the submit result must outlive the client
             // borrow before `fail_node` can re-borrow `self`.
             let submitted = self.nodes[node]
                 .client
                 .as_mut()
-                .map(|client| client.submit_ingest_batch(&run));
+                .map(|client| client.submit_ingest_batch_ns(ns, &run));
             self.plan[slice] = run;
             match submitted {
                 None => {
@@ -543,7 +589,13 @@ impl Coordinator {
     /// The exact cluster `G`-mass `Σ_j G(x_j)`: a `Stats` scatter over
     /// the slice owners, summed.
     pub fn mass(&mut self) -> Result<f64, ClusterError> {
-        Ok(self.scatter_masses()?.2)
+        Ok(self.scatter_masses(DEFAULT_NAMESPACE)?.2)
+    }
+
+    /// [`Coordinator::mass`] for namespace `ns` — that tenant's exact
+    /// cluster-wide `G`-mass.
+    pub fn mass_ns(&mut self, ns: u64) -> Result<f64, ClusterError> {
+        Ok(self.scatter_masses(ns)?.2)
     }
 
     /// Scatters a `Stats` query to every slice owner; returns the owners,
@@ -553,15 +605,15 @@ impl Coordinator {
     /// before any answer is awaited, so wall-clock cost is ~one round
     /// trip regardless of owner count (the `m1` bench's scatter row
     /// measures exactly this path).
-    fn scatter_masses(&mut self) -> Result<(Vec<usize>, Vec<f64>, f64), ClusterError> {
+    fn scatter_masses(&mut self, ns: u64) -> Result<(Vec<usize>, Vec<f64>, f64), ClusterError> {
         let sw = Stopwatch::start();
-        let owners = self.owner_nodes();
+        let owners = self.owner_nodes(ns);
         let mut pend: Vec<Pending<ServiceStats>> = Vec::with_capacity(owners.len());
         for &node in &owners {
             let submitted = self.nodes[node]
                 .client
                 .as_mut()
-                .map(|client| client.submit_stats());
+                .map(|client| client.submit_stats_ns(ns));
             match submitted {
                 None => return Err(self.node_down(node)),
                 Some(Err(source)) => return Err(self.fail_node(node, source)),
@@ -586,6 +638,11 @@ impl Coordinator {
         Ok(self.sample_many(1)?.pop().flatten())
     }
 
+    /// [`Coordinator::sample`] from namespace `ns`'s own law.
+    pub fn sample_ns(&mut self, ns: u64) -> Result<Option<Sample>, ClusterError> {
+        Ok(self.sample_many_ns(ns, 1)?.pop().flatten())
+    }
+
     /// Draws `count` samples: one mass scatter, `count` node picks, then
     /// one batched `Sample` fetch per picked node (split into
     /// protocol-sized requests as needed), reassembled in draw order.
@@ -608,10 +665,27 @@ impl Coordinator {
     /// draw-for-draw identity with an uninterrupted control is lost in
     /// that narrow window.
     pub fn sample_many(&mut self, count: u64) -> Result<Vec<Option<Sample>>, ClusterError> {
+        self.sample_many_in(DEFAULT_NAMESPACE, count)
+    }
+
+    /// [`Coordinator::sample_many`] from namespace `ns`'s own law — the
+    /// scatter, picks, and fetches all address that tenant's engines, so
+    /// tenants sample independently (no shared state, and the node-pick
+    /// RNG is only consumed by delivered bursts, whichever tenant they
+    /// serve).
+    pub fn sample_many_ns(
+        &mut self,
+        ns: u64,
+        count: u64,
+    ) -> Result<Vec<Option<Sample>>, ClusterError> {
+        self.sample_many_in(ns, count)
+    }
+
+    fn sample_many_in(&mut self, ns: u64, count: u64) -> Result<Vec<Option<Sample>>, ClusterError> {
         if count == 0 {
             return Ok(Vec::new());
         }
-        let (owners, masses, total) = self.scatter_masses()?;
+        let (owners, masses, total) = self.scatter_masses(ns)?;
         if total <= 0.0 {
             // The zero vector: ⊥ without consuming RNG, like the engine.
             return Ok(vec![None; count as usize]);
@@ -642,7 +716,7 @@ impl Coordinator {
                 let submitted = self.nodes[node]
                     .client
                     .as_mut()
-                    .map(|client| client.submit_sample_many(take));
+                    .map(|client| client.submit_sample_many_ns(ns, take));
                 match submitted {
                     None => {
                         fetch_err = Some(self.node_down(node));
@@ -750,6 +824,204 @@ impl Coordinator {
     pub fn checkpoint_node(&mut self, node: usize) -> Result<Vec<u8>, ClusterError> {
         self.check_node_index(node)?;
         self.with_node(node, |client| client.checkpoint())
+    }
+
+    /// Creates namespace `ns` on every slice owner (pipelined scatter),
+    /// so the tenant exists cluster-wide with the default slice→node
+    /// assignment. Every node builds the tenant's engine through its own
+    /// spawner — the nodes must be serving with one
+    /// ([`pts_server::serve_with_spawner`]).
+    ///
+    /// On error, the subset of owners that already acknowledged keeps the
+    /// namespace (each node's create is atomic, the scatter is not); the
+    /// error names the node that broke so the caller can repair and
+    /// retry or [`Coordinator::drop_namespace`] the partial tenant.
+    pub fn create_namespace(&mut self, ns: u64) -> Result<(), ClusterError> {
+        if ns == DEFAULT_NAMESPACE {
+            return Err(ClusterError::Topology("namespace 0 always exists"));
+        }
+        let owners = self.owner_nodes(DEFAULT_NAMESPACE);
+        let mut pend: Vec<Pending<()>> = Vec::with_capacity(owners.len());
+        for &node in &owners {
+            let submitted = self.nodes[node]
+                .client
+                .as_mut()
+                .map(|client| client.submit_create_namespace(ns));
+            match submitted {
+                None => return Err(self.node_down(node)),
+                Some(Err(source)) => return Err(self.fail_node(node, source)),
+                Some(Ok(pending)) => pend.push(pending),
+            }
+        }
+        let mut first_err: Option<ClusterError> = None;
+        for (&node, pending) in owners.iter().zip(pend) {
+            if let Err(source) = pending.wait() {
+                let err = self.fail_node(node, source);
+                first_err.get_or_insert(err);
+            }
+        }
+        if let Some(err) = first_err {
+            return Err(err);
+        }
+        self.tenant_owner.insert(ns, self.slice_owner.clone());
+        event(
+            "cluster.tenant.create",
+            format!("namespace {ns} on {} owner(s)", owners.len()),
+        );
+        Ok(())
+    }
+
+    /// Drops namespace `ns` from every node currently hosting it
+    /// (pipelined scatter), releasing the tenant's engines cluster-wide.
+    /// Like [`Coordinator::create_namespace`], the scatter is per-node
+    /// atomic only: on error some nodes may have dropped their share
+    /// while others kept theirs — retry after repairing the named node.
+    pub fn drop_namespace(&mut self, ns: u64) -> Result<(), ClusterError> {
+        if ns == DEFAULT_NAMESPACE {
+            return Err(ClusterError::Topology("namespace 0 cannot be dropped"));
+        }
+        let owners = self.owner_nodes(ns);
+        let mut pend: Vec<Pending<()>> = Vec::with_capacity(owners.len());
+        for &node in &owners {
+            let submitted = self.nodes[node]
+                .client
+                .as_mut()
+                .map(|client| client.submit_drop_namespace(ns));
+            match submitted {
+                None => return Err(self.node_down(node)),
+                Some(Err(source)) => return Err(self.fail_node(node, source)),
+                Some(Ok(pending)) => pend.push(pending),
+            }
+        }
+        let mut first_err: Option<ClusterError> = None;
+        for (&node, pending) in owners.iter().zip(pend) {
+            if let Err(source) = pending.wait() {
+                let err = self.fail_node(node, source);
+                first_err.get_or_insert(err);
+            }
+        }
+        if let Some(err) = first_err {
+            return Err(err);
+        }
+        self.tenant_owner.remove(&ns);
+        event("cluster.tenant.drop", format!("namespace {ns}"));
+        Ok(())
+    }
+
+    /// Pulls one tenant's checkpoint from one node — the bytes covering
+    /// exactly `ns`'s sub-vector over `node`'s slices, which is what
+    /// makes shedding and reviving an individual tenant possible without
+    /// touching its neighbors.
+    pub fn checkpoint_tenant(&mut self, node: usize, ns: u64) -> Result<Vec<u8>, ClusterError> {
+        self.check_node_index(node)?;
+        self.with_node(node, |client| client.checkpoint_ns(ns))
+    }
+
+    /// Revives namespace `ns`'s `from`-owned slices on node `to` from a
+    /// checkpoint previously pulled via [`Coordinator::checkpoint_tenant`]
+    /// — the per-tenant half of [`Coordinator::rejoin`]: `from` itself is
+    /// never contacted (it may be dead; that is the point), only `ns`'s
+    /// ownership is re-pointed, so every other namespace stays where it
+    /// was. The tenant continues draw-for-draw identical on its new node
+    /// (S29 bit-exactness, per tenant, through the wire).
+    pub fn restore_tenant(
+        &mut self,
+        ns: u64,
+        from: usize,
+        to: usize,
+        checkpoint: &[u8],
+    ) -> Result<(), ClusterError> {
+        if ns == DEFAULT_NAMESPACE {
+            return Err(ClusterError::Topology(
+                "restore the default tenant via rejoin",
+            ));
+        }
+        self.check_node_index(from)?;
+        self.check_node_index(to)?;
+        if from == to {
+            return Err(ClusterError::Topology("restore onto the same node"));
+        }
+        if !self.ns_slice_owner(ns).contains(&from) {
+            return Err(ClusterError::Topology(
+                "restore source owns none of this tenant's slices",
+            ));
+        }
+        if self.ns_slice_owner(ns).contains(&to) {
+            return Err(ClusterError::Topology(
+                "restore target already hosts this tenant",
+            ));
+        }
+        self.with_node(to, |client| client.create_namespace(ns))?;
+        let restored = self.with_node(to, |client| client.restore_ns(ns, checkpoint));
+        if restored.is_err() {
+            // A tenant that accepted the create but not the checkpoint is
+            // blank — letting it own slices would corrupt the law. Shed
+            // it (best-effort: the node may just have died).
+            let _ = self.with_node(to, |client| client.drop_namespace(ns));
+            return restored;
+        }
+        // Universe re-validation, exactly like rejoin: the restore
+        // replaced the tenant's engine wholesale.
+        let stats = self.with_node(to, |client| client.stats_ns(ns))?;
+        if stats.universe != self.universe as u64 {
+            let _ = self.with_node(to, |client| client.drop_namespace(ns));
+            return Err(ClusterError::UniverseMismatch {
+                node: to,
+                got: stats.universe,
+                want: self.universe as u64,
+            });
+        }
+        let assignment = self
+            .tenant_owner
+            .entry(ns)
+            .or_insert_with(|| self.slice_owner.clone());
+        for owner in assignment.iter_mut() {
+            if *owner == from {
+                *owner = to;
+            }
+        }
+        event(
+            "cluster.tenant.restore",
+            format!(
+                "namespace {ns} slices {from} -> {to}, {} checkpoint bytes",
+                checkpoint.len()
+            ),
+        );
+        Ok(())
+    }
+
+    /// Migrates one tenant's `from`-owned slices to node `to` — the
+    /// tenant-granular [`Coordinator::rebalance`]: checkpoint `ns` on
+    /// `from`, create-and-restore it on `to`, drop `from`'s now-stale
+    /// copy, and flip only `ns`'s ownership. `from` keeps serving every
+    /// other namespace; `to` may be a standby or an active owner of other
+    /// tenants — it just must not host `ns` yet. The tenant's law is
+    /// preserved exactly (pinned by `tests/cluster_law.rs`).
+    pub fn migrate_tenant(&mut self, ns: u64, from: usize, to: usize) -> Result<(), ClusterError> {
+        if ns == DEFAULT_NAMESPACE {
+            return Err(ClusterError::Topology(
+                "migrate the default tenant with rebalance",
+            ));
+        }
+        let sw = Stopwatch::start();
+        let checkpoint = self.checkpoint_tenant(from, ns)?;
+        self.restore_tenant(ns, from, to, &checkpoint)?;
+        // Shed the stale copy. A failure here leaves `from` hosting a
+        // no-longer-routed copy of `ns` — harmless to the law (nothing
+        // routes there), retryable once the node is repaired.
+        self.with_node(from, |client| client.drop_namespace(ns))?;
+        self.rebalances += 1;
+        let o = obs();
+        o.rebalance_bytes.add(checkpoint.len() as u64);
+        o.rebalance_ns.observe_elapsed(sw);
+        event(
+            "cluster.tenant.migrate",
+            format!(
+                "namespace {ns} slices {from} -> {to}, {} checkpoint bytes",
+                checkpoint.len()
+            ),
+        );
+        Ok(())
     }
 
     /// Migrates `from`'s slice to the standby node `to` by streaming a

@@ -12,10 +12,14 @@
 //! * **Rebalance mid-stream** — migrating a slice to a standby between
 //!   two halves of a stream preserves the sampling law over the final
 //!   vector.
+//! * **Tenant migration identity** — checkpoint one tenant on one node,
+//!   shed it there, restore it onto a *different* node: that tenant (and
+//!   every other namespace) continues draw-for-draw identical to an
+//!   uninterrupted control cluster.
 
 use pts_cluster::{ClusterConfig, ClusterError, Coordinator, NodeHealth};
 use pts_engine::{ConcurrentEngine, EngineConfig, L0Factory, LpLe2Factory, SamplerFactory};
-use pts_server::{serve, ClientConfig, Server};
+use pts_server::{serve, serve_with_spawner, ClientConfig, Server};
 use pts_stream::{FrequencyVector, Update};
 use pts_util::stats::chi_square_test;
 use pts_util::{Decode, Encode};
@@ -41,6 +45,40 @@ where
                 factory.clone(),
             );
             serve("127.0.0.1:0", engine).expect("bind loopback node")
+        })
+        .collect()
+}
+
+/// Spawns `count` tenant-capable loopback servers: the default engine is
+/// seeded `100 + i` like [`spawn_nodes`], and each server's spawner
+/// builds tenant engines over the same universe/factory with a seed
+/// that is a pure function of `(i, ns)` — so two clusters spawned this
+/// way build bit-identical tenants and can be compared draw for draw.
+fn spawn_tenant_nodes<F>(universe: usize, count: usize, factory: F) -> Vec<Server>
+where
+    F: SamplerFactory + Encode + Decode + Send + Sync + 'static,
+    F::Sampler: Encode + Decode + Send + 'static,
+{
+    (0..count)
+        .map(|i| {
+            let engine = ConcurrentEngine::new(
+                EngineConfig::new(universe)
+                    .shards(2)
+                    .pool_size(2)
+                    .seed(100 + i as u64),
+                factory.clone(),
+            );
+            let tenant_factory = factory.clone();
+            serve_with_spawner("127.0.0.1:0", engine, move |ns| {
+                ConcurrentEngine::new(
+                    EngineConfig::new(universe)
+                        .shards(2)
+                        .pool_size(2)
+                        .seed(100 + i as u64 + 7919 * (ns + 1)),
+                    tenant_factory.clone(),
+                )
+            })
+            .expect("bind tenant-capable loopback node")
         })
         .collect()
 }
@@ -491,6 +529,144 @@ fn universe_mismatch_is_detected_at_connect() {
         other => panic!("wanted a universe mismatch, got {other:?}"),
     }
     for server in servers {
+        server.join();
+    }
+}
+
+/// The tenant-granular acceptance scenario: two identical clusters (two
+/// owners + a standby each) hosting namespaces 0 and 7. The subject
+/// checkpoints tenant 7 on node 0, sheds it there, and restores it onto
+/// the standby; the control never does. Tenant 7 *and* namespace 0 then
+/// continue draw-for-draw identical to the control, a second tenant
+/// migrated with the one-call `migrate_tenant` stays identical too, and
+/// the topology guard rails are typed.
+#[test]
+fn tenant_checkpoint_restore_on_another_node_is_draw_for_draw_identical() {
+    let n = 96;
+    let factory = LpLe2Factory::for_universe(n, 2.0);
+
+    let tenant_cluster = |servers: &[Server]| {
+        let config = ClusterConfig::new(n)
+            .seed(55)
+            .client(
+                ClientConfig::new()
+                    .connect_timeout(Duration::from_secs(5))
+                    .read_timeout(Duration::from_secs(10)),
+            )
+            .node(servers[0].local_addr().to_string())
+            .node(servers[1].local_addr().to_string())
+            .standby(servers[2].local_addr().to_string());
+        Coordinator::connect(config).expect("connect")
+    };
+    let subject_servers = spawn_tenant_nodes(n, 3, factory);
+    let control_servers = spawn_tenant_nodes(n, 3, factory);
+    let mut subject = tenant_cluster(&subject_servers);
+    let mut control = tenant_cluster(&control_servers);
+
+    let base = pts_stream::gen::zipf_vector(n, 1.1, 60, 5);
+    let tenant = pts_stream::gen::zipf_vector(n, 1.0, 50, 6);
+    for cluster in [&mut subject, &mut control] {
+        cluster.create_namespace(7).unwrap();
+        cluster.ingest_batch(&updates_of(&base)).unwrap();
+        cluster.ingest_batch_ns(7, &updates_of(&tenant)).unwrap();
+    }
+
+    // Per-tenant isolation at the mass level: each namespace reports
+    // exactly its own stream's mass.
+    let tenant_mass: f64 = tenant.values().iter().map(|&v| factory.weight(v)).sum();
+    let got = subject.mass_ns(7).unwrap();
+    assert!(
+        (got - tenant_mass).abs() < 1e-6 * tenant_mass.max(1.0),
+        "tenant mass {got} vs {tenant_mass}"
+    );
+    assert_eq!(got, control.mass_ns(7).unwrap());
+
+    // Warm-up: both namespaces identical across clusters, and pool state
+    // is mid-life (the checkpoint must carry it).
+    assert_eq!(
+        subject.sample_many_ns(7, 6).unwrap(),
+        control.sample_many_ns(7, 6).unwrap()
+    );
+    assert_eq!(
+        subject.sample_many(6).unwrap(),
+        control.sample_many(6).unwrap()
+    );
+
+    // Checkpoint tenant 7's node-0 share, shed it there (server-side —
+    // node 0 keeps serving namespace 0), restore onto the standby.
+    let bytes = subject.checkpoint_tenant(0, 7).unwrap();
+    let mut direct = pts_server::Client::connect(subject.node_addr(0)).unwrap();
+    direct.drop_namespace(7).unwrap();
+    drop(direct);
+    subject.restore_tenant(7, 0, 2, &bytes).unwrap();
+
+    // Tenant 7 now scatters to (standby, node 1); namespace 0 still
+    // lives on (0, 1). Under continued churn, every draw matches the
+    // uninterrupted control — per tenant.
+    let churn: Vec<Update> = tenant
+        .iter_nonzero()
+        .take(20)
+        .map(|(i, v)| Update::new(i, -v.signum()))
+        .collect();
+    subject.ingest_batch_ns(7, &churn).unwrap();
+    control.ingest_batch_ns(7, &churn).unwrap();
+    assert_eq!(subject.mass_ns(7).unwrap(), control.mass_ns(7).unwrap());
+    assert_eq!(
+        subject.sample_many_ns(7, 40).unwrap(),
+        control.sample_many_ns(7, 40).unwrap(),
+        "restored tenant diverged from the uninterrupted control"
+    );
+    assert_eq!(
+        subject.sample_many(40).unwrap(),
+        control.sample_many(40).unwrap(),
+        "namespace 0 must be untouched by the tenant migration"
+    );
+
+    // The one-call migration (checkpoint → restore → shed) on a second
+    // tenant: same identity, counted as a rebalance.
+    for cluster in [&mut subject, &mut control] {
+        cluster.create_namespace(9).unwrap();
+        cluster.ingest_batch_ns(9, &updates_of(&base)).unwrap();
+    }
+    subject.migrate_tenant(9, 1, 2).unwrap();
+    assert_eq!(
+        subject.sample_many_ns(9, 24).unwrap(),
+        control.sample_many_ns(9, 24).unwrap(),
+        "one-call migrated tenant diverged"
+    );
+    assert_eq!(subject.stats().rebalances, 1);
+
+    // Guard rails: the default tenant is managed via rebalance/rejoin,
+    // and a target already hosting the namespace is typed misuse.
+    assert!(matches!(
+        subject.create_namespace(0),
+        Err(ClusterError::Topology(_))
+    ));
+    assert!(matches!(
+        subject.migrate_tenant(0, 0, 2),
+        Err(ClusterError::Topology(_))
+    ));
+    assert!(matches!(
+        subject.migrate_tenant(7, 1, 2),
+        Err(ClusterError::Topology(_))
+    ));
+
+    // Dropping tenant 7 cluster-wide sheds its engines; namespace 0
+    // keeps serving, still identical to the control.
+    subject.drop_namespace(7).unwrap();
+    control.drop_namespace(7).unwrap();
+    assert!(
+        matches!(subject.sample_ns(7), Err(ClusterError::Node { .. })),
+        "a dropped tenant must answer unknown-namespace in-band"
+    );
+    assert_eq!(
+        subject.sample_many(10).unwrap(),
+        control.sample_many(10).unwrap()
+    );
+
+    drop(subject);
+    drop(control);
+    for server in subject_servers.into_iter().chain(control_servers) {
         server.join();
     }
 }

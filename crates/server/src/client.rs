@@ -26,6 +26,14 @@
 //!   [`ClientConfig::max_in_flight`] submitted before waiting any, and
 //!   the connection amortizes one round trip over the whole window.
 //!
+//! Since wire v4 every request is addressed to a **namespace** (a
+//! logical tenant engine on the server). The un-suffixed methods all
+//! target the default namespace 0, so single-tenant code is unchanged;
+//! the `*_ns` variants ([`Client::ingest_batch_ns`],
+//! [`Client::submit_stats_ns`], …) address any tenant, and
+//! [`Client::create_namespace`] / [`Client::drop_namespace`] /
+//! [`Client::list_namespaces`] manage the tenant set itself.
+//!
 //! The recoverable/fatal error split is preserved *per request*: an
 //! in-band error response resolves only its own id (as
 //! [`ClientError::Server`]); a connection-level failure (I/O error,
@@ -42,7 +50,7 @@ use pts_engine::EngineSnapshot;
 use pts_samplers::Sample;
 use pts_stream::Update;
 use pts_util::protocol::{
-    read_response, write_request, Request, Response, ServiceError, ServiceStats,
+    read_response, write_request, Request, Response, ServiceError, ServiceStats, DEFAULT_NAMESPACE,
 };
 use pts_util::wire::WireError;
 use std::collections::{HashMap, VecDeque};
@@ -522,9 +530,10 @@ impl Client {
 
     /// Assigns an id, registers its slot (blocking while the connection
     /// is at [`ClientConfig::max_in_flight`]), and writes one request
-    /// frame. A write failure is fatal: the stream position is torn, so
-    /// the connection is poisoned and every outstanding request fails.
-    fn submit_raw(&mut self, request: &Request) -> Result<u64, ClientError> {
+    /// frame addressed to `ns`. A write failure is fatal: the stream
+    /// position is torn, so the connection is poisoned and every
+    /// outstanding request fails.
+    fn submit_raw(&mut self, ns: u64, request: &Request) -> Result<u64, ClientError> {
         let id = {
             let Ok(mut s) = self.demux.state.lock() else {
                 return Err(ClientError::Io(std::io::Error::other(
@@ -561,7 +570,7 @@ impl Client {
             }
             id
         };
-        match write_request(id, request, &mut self.writer).and_then(|()| self.writer.flush()) {
+        match write_request(id, ns, request, &mut self.writer).and_then(|()| self.writer.flush()) {
             Ok(()) => Ok(id),
             Err(e) => {
                 if let Ok(mut s) = self.demux.state.lock() {
@@ -587,12 +596,24 @@ impl Client {
     }
 
     // ---- pipelined submission API -------------------------------------
+    //
+    // The un-suffixed methods are namespace-0 sugar; the `_ns` variants
+    // address any tenant.
 
     /// Submits a batch of turnstile updates without waiting; resolves to
     /// the accepted count.
     pub fn submit_ingest_batch(&mut self, batch: &[Update]) -> Result<Pending<u64>, ClientError> {
+        self.submit_ingest_batch_ns(DEFAULT_NAMESPACE, batch)
+    }
+
+    /// [`Client::submit_ingest_batch`] addressed to namespace `ns`.
+    pub fn submit_ingest_batch_ns(
+        &mut self,
+        ns: u64,
+        batch: &[Update],
+    ) -> Result<Pending<u64>, ClientError> {
         let pairs = batch.iter().map(|u| (u.index, u.delta)).collect();
-        let id = self.submit_raw(&Request::IngestBatch(pairs))?;
+        let id = self.submit_raw(ns, &Request::IngestBatch(pairs))?;
         Ok(self.pending(id, decode_ingested))
     }
 
@@ -602,45 +623,105 @@ impl Client {
         &mut self,
         count: u64,
     ) -> Result<Pending<Vec<Option<Sample>>>, ClientError> {
-        let id = self.submit_raw(&Request::Sample { count })?;
+        self.submit_sample_many_ns(DEFAULT_NAMESPACE, count)
+    }
+
+    /// [`Client::submit_sample_many`] addressed to namespace `ns`.
+    pub fn submit_sample_many_ns(
+        &mut self,
+        ns: u64,
+        count: u64,
+    ) -> Result<Pending<Vec<Option<Sample>>>, ClientError> {
+        let id = self.submit_raw(ns, &Request::Sample { count })?;
         Ok(self.pending(id, decode_samples))
     }
 
     /// Submits a snapshot request without waiting.
     pub fn submit_snapshot(&mut self) -> Result<Pending<EngineSnapshot>, ClientError> {
-        let id = self.submit_raw(&Request::Snapshot)?;
+        self.submit_snapshot_ns(DEFAULT_NAMESPACE)
+    }
+
+    /// [`Client::submit_snapshot`] addressed to namespace `ns`.
+    pub fn submit_snapshot_ns(&mut self, ns: u64) -> Result<Pending<EngineSnapshot>, ClientError> {
+        let id = self.submit_raw(ns, &Request::Snapshot)?;
         Ok(self.pending(id, decode_snapshot))
     }
 
     /// Submits a stats request without waiting — the building block of
     /// the cluster's concurrent `Stats` scatter.
     pub fn submit_stats(&mut self) -> Result<Pending<ServiceStats>, ClientError> {
-        let id = self.submit_raw(&Request::Stats)?;
+        self.submit_stats_ns(DEFAULT_NAMESPACE)
+    }
+
+    /// [`Client::submit_stats`] addressed to namespace `ns` — stats are
+    /// per-tenant (each namespace has its own counters, mass, support).
+    pub fn submit_stats_ns(&mut self, ns: u64) -> Result<Pending<ServiceStats>, ClientError> {
+        let id = self.submit_raw(ns, &Request::Stats)?;
         Ok(self.pending(id, decode_stats))
     }
 
     /// Submits a checkpoint pull without waiting.
     pub fn submit_checkpoint(&mut self) -> Result<Pending<Vec<u8>>, ClientError> {
-        let id = self.submit_raw(&Request::Checkpoint)?;
+        self.submit_checkpoint_ns(DEFAULT_NAMESPACE)
+    }
+
+    /// [`Client::submit_checkpoint`] addressed to namespace `ns` —
+    /// checkpoints are per-tenant, which is what makes individual tenants
+    /// migratable.
+    pub fn submit_checkpoint_ns(&mut self, ns: u64) -> Result<Pending<Vec<u8>>, ClientError> {
+        let id = self.submit_raw(ns, &Request::Checkpoint)?;
         Ok(self.pending(id, decode_checkpoint))
     }
 
     /// Submits a restore without waiting (the [`Client::restore`] size
     /// cap applies before anything is sent).
     pub fn submit_restore(&mut self, checkpoint: &[u8]) -> Result<Pending<()>, ClientError> {
+        self.submit_restore_ns(DEFAULT_NAMESPACE, checkpoint)
+    }
+
+    /// [`Client::submit_restore`] addressed to namespace `ns`.
+    pub fn submit_restore_ns(
+        &mut self,
+        ns: u64,
+        checkpoint: &[u8],
+    ) -> Result<Pending<()>, ClientError> {
         if checkpoint.len() as u64 > pts_util::protocol::MAX_RESTORE_BYTES {
             return Err(ClientError::CheckpointTooLarge {
                 bytes: checkpoint.len(),
             });
         }
-        let id = self.submit_raw(&Request::Restore(checkpoint.to_vec()))?;
+        let id = self.submit_raw(ns, &Request::Restore(checkpoint.to_vec()))?;
         Ok(self.pending(id, decode_restored))
     }
 
-    /// Submits a server shutdown request without waiting.
+    /// Submits a server shutdown request without waiting (server-scoped:
+    /// no namespace to address).
     pub fn submit_shutdown(&mut self) -> Result<Pending<()>, ClientError> {
-        let id = self.submit_raw(&Request::Shutdown)?;
+        let id = self.submit_raw(DEFAULT_NAMESPACE, &Request::Shutdown)?;
         Ok(self.pending(id, decode_shutdown))
+    }
+
+    /// Submits a namespace creation without waiting. The server builds
+    /// the tenant's engine through its spawner; creating an existing
+    /// namespace (or 0) resolves as a recoverable server error.
+    pub fn submit_create_namespace(&mut self, ns: u64) -> Result<Pending<()>, ClientError> {
+        let id = self.submit_raw(ns, &Request::CreateNamespace)?;
+        Ok(self.pending(id, decode_ns_created))
+    }
+
+    /// Submits a namespace drop without waiting. Dropping namespace 0 or
+    /// a namespace the server does not host resolves as a recoverable
+    /// server error.
+    pub fn submit_drop_namespace(&mut self, ns: u64) -> Result<Pending<()>, ClientError> {
+        let id = self.submit_raw(ns, &Request::DropNamespace)?;
+        Ok(self.pending(id, decode_ns_dropped))
+    }
+
+    /// Submits a namespace listing without waiting; resolves to the
+    /// hosted namespaces in ascending order.
+    pub fn submit_list_namespaces(&mut self) -> Result<Pending<Vec<u64>>, ClientError> {
+        let id = self.submit_raw(DEFAULT_NAMESPACE, &Request::ListNamespaces)?;
+        Ok(self.pending(id, decode_namespaces))
     }
 
     // ---- blocking API (sugar: one in-flight request) ------------------
@@ -650,9 +731,19 @@ impl Client {
         self.submit_ingest_batch(batch)?.wait()
     }
 
+    /// [`Client::ingest_batch`] addressed to namespace `ns`.
+    pub fn ingest_batch_ns(&mut self, ns: u64, batch: &[Update]) -> Result<u64, ClientError> {
+        self.submit_ingest_batch_ns(ns, batch)?.wait()
+    }
+
     /// Draws one sample from the served engine (`None` is the paper's ⊥).
     pub fn sample(&mut self) -> Result<Option<Sample>, ClientError> {
         Ok(self.sample_many(1)?.pop().flatten())
+    }
+
+    /// [`Client::sample`] addressed to namespace `ns`.
+    pub fn sample_ns(&mut self, ns: u64) -> Result<Option<Sample>, ClientError> {
+        Ok(self.sample_many_ns(ns, 1)?.pop().flatten())
     }
 
     /// Draws `count` samples in one round trip, in draw order.
@@ -660,9 +751,23 @@ impl Client {
         self.submit_sample_many(count)?.wait()
     }
 
+    /// [`Client::sample_many`] addressed to namespace `ns`.
+    pub fn sample_many_ns(
+        &mut self,
+        ns: u64,
+        count: u64,
+    ) -> Result<Vec<Option<Sample>>, ClientError> {
+        self.submit_sample_many_ns(ns, count)?.wait()
+    }
+
     /// Fetches the engine's compact mergeable snapshot.
     pub fn snapshot(&mut self) -> Result<EngineSnapshot, ClientError> {
         self.submit_snapshot()?.wait()
+    }
+
+    /// [`Client::snapshot`] addressed to namespace `ns`.
+    pub fn snapshot_ns(&mut self, ns: u64) -> Result<EngineSnapshot, ClientError> {
+        self.submit_snapshot_ns(ns)?.wait()
     }
 
     /// Fetches the engine's counters, mass, and support.
@@ -670,11 +775,21 @@ impl Client {
         self.submit_stats()?.wait()
     }
 
+    /// [`Client::stats`] addressed to namespace `ns`.
+    pub fn stats_ns(&mut self, ns: u64) -> Result<ServiceStats, ClientError> {
+        self.submit_stats_ns(ns)?.wait()
+    }
+
     /// Pulls a complete engine checkpoint (a framed `KIND_ENGINE` payload
     /// — feed it to an engine `restore`, persist it, or send it back via
     /// [`Client::restore`]).
     pub fn checkpoint(&mut self) -> Result<Vec<u8>, ClientError> {
         self.submit_checkpoint()?.wait()
+    }
+
+    /// [`Client::checkpoint`] addressed to namespace `ns`.
+    pub fn checkpoint_ns(&mut self, ns: u64) -> Result<Vec<u8>, ClientError> {
+        self.submit_checkpoint_ns(ns)?.wait()
     }
 
     /// Replaces the served engine's state with a previously captured
@@ -687,10 +802,33 @@ impl Client {
         self.submit_restore(checkpoint)?.wait()
     }
 
+    /// [`Client::restore`] addressed to namespace `ns` — how a migrated
+    /// tenant's state lands on its new node.
+    pub fn restore_ns(&mut self, ns: u64, checkpoint: &[u8]) -> Result<(), ClientError> {
+        self.submit_restore_ns(ns, checkpoint)?.wait()
+    }
+
     /// Asks the server to shut down (acknowledged before the server's
     /// accept loop exits).
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         self.submit_shutdown()?.wait()
+    }
+
+    /// Creates namespace `ns` on the server (a fresh tenant engine built
+    /// by the server's spawner).
+    pub fn create_namespace(&mut self, ns: u64) -> Result<(), ClientError> {
+        self.submit_create_namespace(ns)?.wait()
+    }
+
+    /// Drops namespace `ns`, releasing its tenant engine.
+    pub fn drop_namespace(&mut self, ns: u64) -> Result<(), ClientError> {
+        self.submit_drop_namespace(ns)?.wait()
+    }
+
+    /// Lists every namespace the server hosts, ascending (always
+    /// contains 0).
+    pub fn list_namespaces(&mut self) -> Result<Vec<u64>, ClientError> {
+        self.submit_list_namespaces()?.wait()
     }
 
     // ---- fuzz-only hooks ----------------------------------------------
@@ -879,5 +1017,26 @@ fn decode_shutdown(resp: Response) -> Result<(), ClientError> {
     match resp {
         Response::ShuttingDown => Ok(()),
         _ => Err(ClientError::UnexpectedResponse("ShuttingDown")),
+    }
+}
+
+fn decode_ns_created(resp: Response) -> Result<(), ClientError> {
+    match resp {
+        Response::NamespaceCreated => Ok(()),
+        _ => Err(ClientError::UnexpectedResponse("NamespaceCreated")),
+    }
+}
+
+fn decode_ns_dropped(resp: Response) -> Result<(), ClientError> {
+    match resp {
+        Response::NamespaceDropped => Ok(()),
+        _ => Err(ClientError::UnexpectedResponse("NamespaceDropped")),
+    }
+}
+
+fn decode_namespaces(resp: Response) -> Result<Vec<u64>, ClientError> {
+    match resp {
+        Response::Namespaces(ids) => Ok(ids),
+        _ => Err(ClientError::UnexpectedResponse("Namespaces")),
     }
 }

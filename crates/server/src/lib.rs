@@ -4,7 +4,8 @@
 //! the framed request/response protocol of [`pts_util::protocol`], built
 //! on nothing but `std::net`.
 //!
-//! The ROADMAP's serving story in one picture (wire v3, multiplexed):
+//! The ROADMAP's serving story in one picture (wire v4, multiplexed and
+//! multi-tenant):
 //!
 //! ```text
 //!  Client ──TCP──►  [ accept loop ]      one reader thread per
@@ -13,26 +14,34 @@
 //!                      \      /
 //!                  [ worker pool ]       bounded; per-connection FIFO,
 //!                        │               responses via per-conn write lock
-//!                   Mutex<SamplingService>   ShardedEngine or
-//!                        │                   ConcurrentEngine
-//!                   shard workers …          (engine-internal threads)
+//!                   [ TenantMap ]        namespace → Arc<Mutex<engine>>
+//!                    │    │    │         (sharded-lock map; ns 0 is the
+//!                   ns 0  ns 7  ns 42    default tenant, spawner builds
+//!                                        the rest lazily on demand)
 //! ```
 //!
 //! * **[`Server`]** binds a listener, hosts any
 //!   [`pts_engine::SamplingService`] implementor, and serves each
-//!   connection with a reader thread that demuxes v3 request-id frames
-//!   into a bounded worker pool. Every readable request frame —
+//!   connection with a reader thread that demuxes v4 request-id frames
+//!   into a bounded worker pool. Every request addresses a **namespace**
+//!   (tenant): the engine passed at bind is namespace 0, and
+//!   [`Server::bind_with_spawner`] / [`serve_with_spawner`] additionally
+//!   accept a factory closure so clients can create and drop further
+//!   tenants at runtime — each a fully isolated engine sharing the same
+//!   worker pool (no per-tenant threads). Every readable request frame —
 //!   malformed payloads included — gets exactly one response frame under
 //!   the id it carried (id 0 when the failure is unattributable);
-//!   protocol-recoverable errors keep the connection, framing-fatal ones
-//!   close it (see `pts_util::protocol` for the normative
-//!   classification).
+//!   protocol-recoverable errors (unknown namespaces included) keep the
+//!   connection, framing-fatal ones close it (see `pts_util::protocol`
+//!   for the normative classification).
 //! * **[`Client`]** is the matching multiplexed client: the familiar
 //!   blocking methods (ingest / sample / snapshot / stats / checkpoint /
-//!   restore / shutdown) are sugar over one in-flight request, and the
-//!   `submit_*` twins return [`Pending`] handles so one connection can
-//!   hold up to [`ClientConfig::max_in_flight`] requests in flight with
-//!   out-of-order completion.
+//!   restore / shutdown) are sugar over one in-flight request against
+//!   namespace 0, the `_ns` twins address any tenant, and the `submit_*`
+//!   twins return [`Pending`] handles so one connection can hold up to
+//!   [`ClientConfig::max_in_flight`] requests in flight with
+//!   out-of-order completion. `create_namespace` / `drop_namespace` /
+//!   `list_namespaces` manage the tenant set.
 //! * **[`serve`]** is the one-call entry point `examples/serve_demo.rs`
 //!   uses.
 //!
@@ -81,4 +90,4 @@ mod obs;
 pub mod server;
 
 pub use client::{Client, ClientConfig, ClientError, Pending, DEFAULT_MAX_IN_FLIGHT};
-pub use server::{serve, Server};
+pub use server::{serve, serve_with_spawner, Server};

@@ -30,6 +30,16 @@ pub(crate) struct ServerObs {
     pub checkpoint: ReqObs,
     pub restore: ReqObs,
     pub shutdown: ReqObs,
+    pub create_namespace: ReqObs,
+    pub drop_namespace: ReqObs,
+    pub list_namespaces: ReqObs,
+    /// `server.tenants.active` — namespaces currently hosted (the
+    /// default tenant included).
+    pub tenants_active: Gauge,
+    /// `server.tenant.bytes` — per-tenant checkpoint sizes: the
+    /// serialized full-state footprint observed whenever a tenant is
+    /// checkpointed (the bytes/tenant distribution `mt1` records).
+    pub tenant_bytes: Histogram,
     /// `server.conn.opened` / `server.conn.closed` — connection lifecycle.
     pub conn_opened: Counter,
     pub conn_closed: Counter,
@@ -63,6 +73,9 @@ impl ServerObs {
             Request::Checkpoint => self.checkpoint,
             Request::Restore(_) => self.restore,
             Request::Shutdown => self.shutdown,
+            Request::CreateNamespace => self.create_namespace,
+            Request::DropNamespace => self.drop_namespace,
+            Request::ListNamespaces => self.list_namespaces,
         }
     }
 }
@@ -88,6 +101,11 @@ pub(crate) fn obs() -> &'static ServerObs {
             checkpoint: req("checkpoint"),
             restore: req("restore"),
             shutdown: req("shutdown"),
+            create_namespace: req("create_namespace"),
+            drop_namespace: req("drop_namespace"),
+            list_namespaces: req("list_namespaces"),
+            tenants_active: r.gauge("server.tenants.active"),
+            tenant_bytes: r.histogram("server.tenant.bytes"),
             conn_opened: r.counter("server.conn.opened"),
             conn_closed: r.counter("server.conn.closed"),
             conn_active: r.gauge("server.conn.active"),

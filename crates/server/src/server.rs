@@ -1,14 +1,14 @@
 //! The server: accept loop, per-connection demux readers, a bounded
-//! worker pool, and the request dispatcher over a shared
-//! [`SamplingService`].
+//! worker pool, and the request dispatcher over a `TenantMap` of
+//! [`SamplingService`] engines.
 //!
 //! Threading model (wire v3): each accepted connection gets one reader
 //! thread that frames and demuxes requests — peeling the leading varint
-//! request id — into the connection's FIFO queue; a **bounded pool** of
-//! `WORKER_THREADS` workers drains those queues and writes each
-//! response (under the echoed id) through the connection's write lock.
-//! At most one worker owns a connection's FIFO at a time, so one
-//! connection's requests are processed **in submission order** — the
+//! request id and namespace — into the connection's FIFO queue; a
+//! **bounded pool** of `WORKER_THREADS` workers drains those queues and
+//! writes each response (under the echoed id) through the connection's
+//! write lock. At most one worker owns a connection's FIFO at a time, so
+//! one connection's requests are processed **in submission order** — the
 //! ordering the cluster coordinator's pipelined ingest relies on — while
 //! different connections proceed in parallel up to the pool width.
 //! Responses on one connection may still be *observed* out of order by a
@@ -16,13 +16,22 @@
 //! it; this server's per-connection FIFO is an implementation choice,
 //! not a wire guarantee (PROTOCOL.md §4).
 //!
-//! The engine lives in one `Mutex` shared by all workers — requests
-//! serialize at the engine, which is exactly the consistency clients
-//! want (every response reflects all previously *answered* requests,
-//! across connections). Concurrency inside the engine is the engine's
-//! own business: a hosted [`pts_engine::ConcurrentEngine`] still applies
-//! runs on its per-shard worker threads while the mutex only serializes
-//! front-end calls.
+//! Tenancy model (wire v4): the engines live in a `TenantMap` — a
+//! sharded-lock map from namespace id to `Arc<Mutex<engine>>`. A worker
+//! holds a map shard's lock only long enough to clone the tenant's Arc,
+//! then dispatches under that tenant's own mutex, so requests to
+//! *different* tenants proceed in parallel across the pool while
+//! requests to the *same* tenant serialize — per-tenant, every response
+//! reflects all previously answered requests, across connections.
+//! Tenants are cheap lazily-created engines sharing the existing worker
+//! pool: **no per-tenant threads**, which is what makes millions of
+//! namespaces per node viable (the paper's samplers are tiny).
+//! Namespace 0 is the default tenant, created at bind from the engine
+//! passed in; `CreateNamespace` builds additional tenants through the
+//! spawner given to [`Server::bind_with_spawner`]. Concurrency inside an
+//! engine is the engine's own business: a hosted
+//! [`pts_engine::ConcurrentEngine`] still applies runs on its per-shard
+//! worker threads while its mutex only serializes front-end calls.
 //!
 //! Shutdown: a `Shutdown` request (or [`Server::shutdown`]) sets a shared
 //! flag; the accept loop is woken by a loopback connection, joins the
@@ -35,11 +44,11 @@ use pts_engine::SamplingService;
 use pts_obs::{event, CountingWriter, Stopwatch};
 use pts_stream::Update;
 use pts_util::protocol::{
-    read_frame_lenient, split_request_payload, write_response, ErrorCode, FrameError, Request,
-    Response, ServiceError, MAX_FRAME_BYTES,
+    read_frame_lenient, split_namespace, split_request_id, write_response, ErrorCode, FrameError,
+    Request, Response, ServiceError, DEFAULT_NAMESPACE, MAX_FRAME_BYTES,
 };
 use pts_util::wire::{Decode, WireError, KIND_REQUEST};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -119,11 +128,102 @@ impl<R: Read> Read for FrameBodyReader<'_, R> {
     }
 }
 
+/// How many independently locked buckets the [`TenantMap`] spreads
+/// namespaces over. A tenant lookup contends only with lookups hashing
+/// to the same bucket, never with another tenant's *dispatch* (that runs
+/// under the tenant's own mutex after the bucket lock is released).
+const TENANT_SHARDS: usize = 64;
+
+/// The sharded-lock namespace → engine map (wire v4). Engines are held
+/// behind `Arc<Mutex<_>>` so a worker can clone a tenant's handle under
+/// the brief bucket lock and then dispatch without blocking any other
+/// tenant — including a concurrent `DropNamespace`, which merely removes
+/// the map entry (in-flight requests on the dropped tenant finish
+/// against the orphaned Arc; subsequent lookups answer
+/// `unknown-namespace`).
+struct TenantMap<E> {
+    buckets: Vec<Mutex<HashMap<u64, Arc<Mutex<E>>>>>,
+    /// Live tenant count, mirrored into the `server.tenants.active`
+    /// gauge (an atomic because `len` would otherwise need every bucket
+    /// lock).
+    count: AtomicU64,
+}
+
+impl<E> TenantMap<E> {
+    /// A map hosting only the default tenant (namespace 0), built from
+    /// the engine the server was bound with.
+    fn new(default_engine: E) -> Self {
+        let map = Self {
+            buckets: (0..TENANT_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            count: AtomicU64::new(0),
+        };
+        map.insert(DEFAULT_NAMESPACE, default_engine);
+        map
+    }
+
+    fn bucket(&self, ns: u64) -> &Mutex<HashMap<u64, Arc<Mutex<E>>>> {
+        &self.buckets[(ns as usize) & (TENANT_SHARDS - 1)]
+    }
+
+    /// The tenant's engine handle, if the namespace exists.
+    fn get(&self, ns: u64) -> Option<Arc<Mutex<E>>> {
+        self.bucket(ns).lock().ok()?.get(&ns).cloned()
+    }
+
+    /// Inserts a fresh tenant; `false` if the namespace already exists
+    /// (the existing engine is left untouched).
+    fn insert(&self, ns: u64, engine: E) -> bool {
+        let Ok(mut bucket) = self.bucket(ns).lock() else {
+            return false;
+        };
+        if bucket.contains_key(&ns) {
+            return false;
+        }
+        bucket.insert(ns, Arc::new(Mutex::new(engine)));
+        drop(bucket);
+        let live = self.count.fetch_add(1, Ordering::Relaxed) + 1;
+        obs().tenants_active.set(live as i64);
+        true
+    }
+
+    /// Removes a tenant, releasing the map's reference to its engine.
+    fn remove(&self, ns: u64) -> Option<Arc<Mutex<E>>> {
+        let removed = self.bucket(ns).lock().ok()?.remove(&ns)?;
+        let live = self.count.fetch_sub(1, Ordering::Relaxed) - 1;
+        obs().tenants_active.set(live as i64);
+        Some(removed)
+    }
+
+    /// Every live namespace, ascending (the order the wire response
+    /// promises).
+    fn list(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .buckets
+            .iter()
+            .filter_map(|b| b.lock().ok())
+            .flat_map(|b| b.keys().copied().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// The tenant-spawning hook: builds the engine for a newly created
+/// namespace (the namespace id is passed so multi-tenant deployments can
+/// vary configuration per tenant).
+type Spawner<E> = Box<dyn Fn(u64) -> E + Send + Sync>;
+
 /// The state all connection readers and workers share. The shutdown flag
 /// lives in its own `Arc` so the non-generic [`Server`] handle can hold
 /// it too.
 struct Shared<E> {
-    engine: Mutex<E>,
+    tenants: TenantMap<E>,
+    /// How `CreateNamespace` builds a tenant's engine; `None` (plain
+    /// [`Server::bind`]) means the tenant set is fixed at the default
+    /// namespace and creation requests are answered `unsupported`.
+    spawner: Option<Spawner<E>>,
     shutdown: Arc<AtomicBool>,
     /// The listener's address — what a worker pokes to wake a blocking
     /// `accept` after flagging shutdown.
@@ -182,11 +282,57 @@ where
     Server::bind(addr, engine)
 }
 
+/// Binds `addr` and serves a multi-tenant endpoint: `engine` becomes the
+/// default namespace (0) and `spawner` builds the engine for every
+/// namespace a client creates. Equivalent to [`Server::bind_with_spawner`].
+pub fn serve_with_spawner<E, S>(
+    addr: impl ToSocketAddrs,
+    engine: E,
+    spawner: S,
+) -> std::io::Result<Server>
+where
+    E: SamplingService + Send + 'static,
+    S: Fn(u64) -> E + Send + Sync + 'static,
+{
+    Server::bind_with_spawner(addr, engine, spawner)
+}
+
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral loopback port) and starts
     /// the accept loop on a background thread. The engine moves into the
-    /// server; clients observe and mutate it only through the protocol.
+    /// server as the default namespace (0); clients observe and mutate it
+    /// only through the protocol. Without a spawner the tenant set is
+    /// fixed: `CreateNamespace` requests are answered `unsupported` (use
+    /// [`Server::bind_with_spawner`] for a dynamic tenant set).
     pub fn bind<E>(addr: impl ToSocketAddrs, engine: E) -> std::io::Result<Self>
+    where
+        E: SamplingService + Send + 'static,
+    {
+        Self::bind_inner(addr, engine, None)
+    }
+
+    /// Binds `addr` with a dynamic tenant set: `engine` serves namespace
+    /// 0 and `spawner(ns)` builds the engine behind every namespace a
+    /// client creates — the namespace id is passed so deployments can
+    /// vary universe, factory, or seed per tenant. Spawned engines share
+    /// the existing worker pool; creating a tenant spawns no threads.
+    pub fn bind_with_spawner<E, S>(
+        addr: impl ToSocketAddrs,
+        engine: E,
+        spawner: S,
+    ) -> std::io::Result<Self>
+    where
+        E: SamplingService + Send + 'static,
+        S: Fn(u64) -> E + Send + Sync + 'static,
+    {
+        Self::bind_inner(addr, engine, Some(Box::new(spawner)))
+    }
+
+    fn bind_inner<E>(
+        addr: impl ToSocketAddrs,
+        engine: E,
+        spawner: Option<Spawner<E>>,
+    ) -> std::io::Result<Self>
     where
         E: SamplingService + Send + 'static,
     {
@@ -194,7 +340,8 @@ impl Server {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Shared {
-            engine: Mutex::new(engine),
+            tenants: TenantMap::new(engine),
+            spawner,
             shutdown: Arc::clone(&shutdown),
             listen_addr: addr,
             start: Instant::now(),
@@ -312,10 +459,11 @@ where
 }
 
 /// Serves one connection's read half: frames requests, peels each payload
-/// into `(id, body)`, and enqueues decoded requests for the worker pool —
-/// until EOF, a fatal framing error, or shutdown. Frame-level and
-/// id-level failures are answered inline (under id 0 — unattributable);
-/// body decode failures are answered under the request's own id.
+/// into `(id, namespace, body)`, and enqueues decoded requests for the
+/// worker pool — until EOF, a fatal framing error, or shutdown.
+/// Frame-level and id-level failures are answered inline (under id 0 —
+/// unattributable); namespace and body decode failures are answered
+/// under the request's own id, which by then *was* readable.
 fn handle_connection<E: SamplingService>(
     stream: TcpStream,
     shared: Arc<Shared<E>>,
@@ -377,7 +525,7 @@ fn handle_connection<E: SamplingService>(
         let mut src = std::io::Cursor::new([first]).chain(body);
         let outcome = read_frame_lenient(KIND_REQUEST, MAX_FRAME_BYTES, &mut src);
         match outcome {
-            Ok(payload) => match split_request_payload(&payload) {
+            Ok(payload) => match split_request_id(&payload) {
                 // The id itself was unreadable (or the reserved 0):
                 // answer unattributably, keep the connection.
                 Err(err) => {
@@ -387,10 +535,12 @@ fn handle_connection<E: SamplingService>(
                         return;
                     }
                 }
-                Ok((id, body)) => match Request::from_wire_bytes(body) {
-                    // The frame and id were sound but the body was not:
-                    // answer under the request's own id, in queue order
-                    // (errors must not overtake earlier responses).
+                // The id was sound but the namespace varint or the body
+                // was not: answer under the request's own id, in queue
+                // order (errors must not overtake earlier responses).
+                Ok((id, rest)) => match split_namespace(rest)
+                    .and_then(|(ns, body)| Ok((ns, Request::from_wire_bytes(body)?)))
+                {
                     Err(err) => {
                         obs().frame_payload.inc();
                         event("server.frame_error.payload", err.to_string());
@@ -399,8 +549,9 @@ fn handle_connection<E: SamplingService>(
                             return;
                         }
                     }
-                    Ok(request) => {
-                        if enqueue(&conn, &ready, &shared, id, Job::Dispatch(request)).is_err() {
+                    Ok((ns, request)) => {
+                        if enqueue(&conn, &ready, &shared, id, Job::Dispatch(ns, request)).is_err()
+                        {
                             return;
                         }
                     }
@@ -433,10 +584,11 @@ fn handle_connection<E: SamplingService>(
 
 /// One unit of connection work, in FIFO position.
 enum Job {
-    /// A decoded request to run through [`dispatch`].
-    Dispatch(Request),
-    /// A pre-built response (a body decode error) that must keep its
-    /// place in the response order.
+    /// A decoded request, addressed to a namespace, to run through
+    /// [`dispatch`].
+    Dispatch(u64, Request),
+    /// A pre-built response (a namespace or body decode error) that must
+    /// keep its place in the response order.
     Reply(Response),
 }
 
@@ -516,7 +668,7 @@ fn drain_connection<E: SamplingService>(conn: &Conn, shared: &Arc<Shared<E>>) {
         };
         conn.drained.notify_all();
         let (response, wants_shutdown) = match job {
-            Job::Dispatch(request) => dispatch(shared, request),
+            Job::Dispatch(ns, request) => dispatch(shared, ns, request),
             Job::Reply(response) => (response, false),
         };
         let write_ok = respond(conn, id, &response).is_ok();
@@ -599,9 +751,13 @@ fn error_response(code: ErrorCode, err: &dyn std::fmt::Display) -> Response {
     Response::Error(ServiceError::new(code, err.to_string()))
 }
 
-/// Executes one request against the shared engine. Returns the response
-/// plus whether the server should shut down afterwards.
-fn dispatch<E: SamplingService>(shared: &Shared<E>, request: Request) -> (Response, bool) {
+/// Executes one request against its addressee. Server-scoped requests
+/// (`Shutdown` and the namespace-management trio) run against the tenant
+/// map itself; engine-scoped requests resolve their namespace to a
+/// tenant engine first — a missing tenant is the in-band recoverable
+/// `unknown-namespace` error. Returns the response plus whether the
+/// server should shut down afterwards.
+fn dispatch<E: SamplingService>(shared: &Shared<E>, ns: u64, request: Request) -> (Response, bool) {
     // Count the request up front so the Stats arm's local view includes
     // the Stats request itself; time the whole dispatch, lock wait
     // included — that wait is part of what the client experiences.
@@ -609,8 +765,74 @@ fn dispatch<E: SamplingService>(shared: &Shared<E>, request: Request) -> (Respon
     let served = shared.requests.fetch_add(1, Ordering::Relaxed) + 1;
     let req_obs = obs().req(&request);
     req_obs.count.inc();
-    let mut wants_shutdown = false;
-    let Ok(mut engine) = shared.engine.lock() else {
+
+    // Server-scoped requests never touch a tenant engine; `Shutdown` and
+    // `ListNamespaces` ignore their namespace field, while the header
+    // namespace is the create/drop operand (PROTOCOL.md §2).
+    match request {
+        Request::Shutdown => {
+            req_obs.ns.observe_elapsed(sw);
+            return (Response::ShuttingDown, true);
+        }
+        Request::CreateNamespace => {
+            let response = if ns == DEFAULT_NAMESPACE {
+                Response::Error(ServiceError::new(
+                    ErrorCode::Unsupported,
+                    "namespace 0 is the default tenant and always exists",
+                ))
+            } else {
+                match &shared.spawner {
+                    None => Response::Error(ServiceError::new(
+                        ErrorCode::Unsupported,
+                        "this server hosts a fixed tenant set (no spawner)",
+                    )),
+                    Some(spawn) => {
+                        if shared.tenants.insert(ns, spawn(ns)) {
+                            event("server.tenant.create", ns.to_string());
+                            Response::NamespaceCreated
+                        } else {
+                            Response::Error(ServiceError::new(
+                                ErrorCode::Unsupported,
+                                format!("namespace {ns} already exists"),
+                            ))
+                        }
+                    }
+                }
+            };
+            req_obs.ns.observe_elapsed(sw);
+            return (response, false);
+        }
+        Request::DropNamespace => {
+            let response = if ns == DEFAULT_NAMESPACE {
+                Response::Error(ServiceError::new(
+                    ErrorCode::Unsupported,
+                    "namespace 0 is the default tenant and cannot be dropped",
+                ))
+            } else if shared.tenants.remove(ns).is_some() {
+                event("server.tenant.drop", ns.to_string());
+                Response::NamespaceDropped
+            } else {
+                unknown_namespace(ns)
+            };
+            req_obs.ns.observe_elapsed(sw);
+            return (response, false);
+        }
+        Request::ListNamespaces => {
+            let response = Response::Namespaces(shared.tenants.list());
+            req_obs.ns.observe_elapsed(sw);
+            return (response, false);
+        }
+        _ => {}
+    }
+
+    // Engine-scoped: resolve the namespace (brief bucket lock, Arc
+    // clone), then dispatch under the tenant's own mutex — other tenants
+    // proceed in parallel on the remaining workers.
+    let Some(tenant) = shared.tenants.get(ns) else {
+        req_obs.ns.observe_elapsed(sw);
+        return (unknown_namespace(ns), false);
+    };
+    let Ok(mut engine) = tenant.lock() else {
         return (
             Response::Error(ServiceError::new(
                 ErrorCode::Internal,
@@ -665,7 +887,12 @@ fn dispatch<E: SamplingService>(shared: &Shared<E>, request: Request) -> (Respon
             Response::Stats(stats)
         }
         Request::Checkpoint => match engine.checkpoint_bytes() {
-            Ok(bytes) => Response::Checkpoint(bytes),
+            Ok(bytes) => {
+                // The one moment a tenant's full footprint is in hand:
+                // feed the bytes/tenant distribution.
+                obs().tenant_bytes.observe(bytes.len() as u64);
+                Response::Checkpoint(bytes)
+            }
             Err(err) => error_response(checkpoint_error_code(&err), &err),
         },
         Request::Restore(bytes) => match engine.restore_bytes(&bytes) {
@@ -673,13 +900,28 @@ fn dispatch<E: SamplingService>(shared: &Shared<E>, request: Request) -> (Respon
             Err(err @ WireError::Unsupported(_)) => error_response(ErrorCode::Unsupported, &err),
             Err(err) => error_response(ErrorCode::Malformed, &err),
         },
-        Request::Shutdown => {
-            wants_shutdown = true;
-            Response::ShuttingDown
-        }
+        // Server-scoped requests returned above; kept exhaustive without
+        // a wildcard so a new request variant is a compile error here.
+        Request::Shutdown
+        | Request::CreateNamespace
+        | Request::DropNamespace
+        | Request::ListNamespaces => Response::Error(ServiceError::new(
+            ErrorCode::Internal,
+            "server-scoped request reached the engine dispatcher",
+        )),
     };
     req_obs.ns.observe_elapsed(sw);
-    (response, wants_shutdown)
+    (response, false)
+}
+
+/// The in-band answer for an engine-scoped request naming a namespace
+/// this server does not host. Recoverable by design: the client can
+/// create the namespace and retry on the same connection.
+fn unknown_namespace(ns: u64) -> Response {
+    Response::Error(ServiceError::new(
+        ErrorCode::UnknownNamespace,
+        format!("namespace {ns} does not exist on this server"),
+    ))
 }
 
 /// Classifies a checkpoint failure: a factory that cannot cross the wire

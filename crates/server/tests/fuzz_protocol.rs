@@ -5,32 +5,47 @@
 //! normative recoverable/fatal split in `pts_util::protocol`).
 //!
 //! Recoverable (same connection keeps working): byte-soup payloads inside
-//! a valid envelope, truncation at every prefix of a request body *and*
-//! of the request-id varint itself, the reserved id 0, duplicate ids,
+//! a valid envelope, truncation at every prefix of a request body, of the
+//! request-id varint itself, *and* of the namespace varint, the reserved
+//! id 0, duplicate ids, unknown namespaces (dropped-then-used included),
 //! response frames where requests belong, oversized *inner* length
 //! prefixes, checksum flips, version bumps. Fatal (error response, then
 //! the server closes that connection — and only that connection): bad
 //! magic, envelope length over the service cap.
 //!
-//! Wire v3: every request payload is `varint request_id ‖ tag ‖ body`,
-//! and the server echoes the id on the response — or answers under the
-//! reserved id 0 when the failure is unattributable (unreadable id,
-//! frame-level error).
+//! Wire v4: every request payload is `varint request_id ‖ varint
+//! namespace ‖ tag ‖ body`, and the server echoes the id on the response
+//! — or answers under the reserved id 0 when the failure is
+//! unattributable (unreadable id, frame-level error). A readable id with
+//! an unreadable namespace *is* attributable: the error echoes the id.
 
 use pts_engine::{ConcurrentEngine, EngineConfig, L0Factory};
-use pts_server::{serve, Client, ClientError};
+use pts_server::{serve, serve_with_spawner, Client, ClientError};
 use pts_stream::Update;
-use pts_util::protocol::{ErrorCode, Request, Response, ServiceError};
+use pts_util::protocol::{ErrorCode, Request, Response, ServiceError, DEFAULT_NAMESPACE};
 use pts_util::wire::{write_frame, Encode, WireWriter, KIND_REQUEST, WIRE_MAGIC, WIRE_VERSION};
 use pts_util::Xoshiro256pp;
 
+fn small_engine(seed: u64) -> ConcurrentEngine<L0Factory> {
+    ConcurrentEngine::new(
+        EngineConfig::new(64).shards(2).pool_size(1).seed(seed),
+        L0Factory::default(),
+    )
+}
+
 /// A live server over a small L0 engine, plus one connected client.
 fn live_server() -> (pts_server::Server, Client) {
-    let engine = ConcurrentEngine::new(
-        EngineConfig::new(64).shards(2).pool_size(1).seed(13),
-        L0Factory::default(),
-    );
-    let server = serve("127.0.0.1:0", engine).unwrap();
+    let server = serve("127.0.0.1:0", small_engine(13)).unwrap();
+    let client = Client::connect(server.local_addr()).unwrap();
+    (server, client)
+}
+
+/// A live *multi-tenant* server (spawner attached), plus one client.
+fn live_tenant_server() -> (pts_server::Server, Client) {
+    let server = serve_with_spawner("127.0.0.1:0", small_engine(13), |ns| {
+        small_engine(1000 + ns)
+    })
+    .unwrap();
     let client = Client::connect(server.local_addr()).unwrap();
     (server, client)
 }
@@ -43,11 +58,13 @@ fn enveloped(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// A v3 request payload — `varint id ‖ body` — inside a valid envelope,
-/// so only the *body* (or the id value itself) is hostile.
-fn enveloped_v3(id: u64, body: &[u8]) -> Vec<u8> {
+/// A v4 request payload — `varint id ‖ varint ns ‖ body` — inside a valid
+/// envelope, so only the *body* (or the id/namespace values themselves)
+/// is hostile.
+fn enveloped_v4(id: u64, ns: u64, body: &[u8]) -> Vec<u8> {
     let mut w = WireWriter::new();
     w.put_u64(id);
+    w.put_u64(ns);
     let mut payload = w.as_bytes().to_vec();
     payload.extend_from_slice(body);
     enveloped(&payload)
@@ -88,7 +105,9 @@ fn byte_soup_payloads_yield_errors_and_connection_survives() {
         {
             continue;
         }
-        client.send_raw(&enveloped_v3(round + 1, &soup)).unwrap();
+        client
+            .send_raw(&enveloped_v4(round + 1, DEFAULT_NAMESPACE, &soup))
+            .unwrap();
         expect_error(
             &mut client,
             round + 1,
@@ -112,7 +131,9 @@ fn truncation_at_every_prefix_yields_errors_on_one_connection() {
     // time, same connection throughout.
     for cut in 0..payload.len() {
         let id = cut as u64 + 1;
-        client.send_raw(&enveloped_v3(id, &payload[..cut])).unwrap();
+        client
+            .send_raw(&enveloped_v4(id, DEFAULT_NAMESPACE, &payload[..cut]))
+            .unwrap();
         expect_error(&mut client, id, ErrorCode::Malformed, &format!("cut {cut}"));
     }
     assert_usable(&mut client, "after truncation sweep");
@@ -120,9 +141,10 @@ fn truncation_at_every_prefix_yields_errors_on_one_connection() {
     server.join();
 }
 
-/// The v3 twin of the body-truncation sweep: truncation at every prefix
-/// of the *request-id varint itself*. The id is unreadable, so the error
-/// comes back under the reserved id 0 — and the connection survives.
+/// The header twin of the body-truncation sweep: truncation at every
+/// prefix of the *request-id varint itself*. The id is unreadable, so the
+/// error comes back under the reserved id 0 — and the connection
+/// survives.
 #[test]
 fn truncation_at_every_prefix_of_the_id_field_yields_id_zero_errors() {
     let (server, mut client) = live_server();
@@ -142,8 +164,8 @@ fn truncation_at_every_prefix_of_the_id_field_yields_id_zero_errors() {
             &format!("id cut {cut}"),
         );
     }
-    // The full maximal id with no body is a readable id whose *body* is
-    // missing: attributable, so the error echoes u64::MAX.
+    // The full maximal id with nothing after it is a readable id whose
+    // *namespace* is missing: attributable, so the error echoes u64::MAX.
     client.send_raw(&enveloped(&id_bytes)).unwrap();
     expect_error(&mut client, u64::MAX, ErrorCode::Malformed, "empty body");
     assert_usable(&mut client, "after id-truncation sweep");
@@ -158,7 +180,9 @@ fn truncation_at_every_prefix_of_the_id_field_yields_id_zero_errors() {
 fn request_id_zero_is_rejected_in_band() {
     let (server, mut client) = live_server();
     let body = Request::Stats.to_wire_bytes().unwrap();
-    client.send_raw(&enveloped_v3(0, &body)).unwrap();
+    client
+        .send_raw(&enveloped_v4(0, DEFAULT_NAMESPACE, &body))
+        .unwrap();
     expect_error(&mut client, 0, ErrorCode::Malformed, "id 0 request");
     assert_usable(&mut client, "after id-0 request");
     client.shutdown_server().unwrap();
@@ -176,8 +200,8 @@ fn duplicate_and_interleaved_request_ids_are_echoed() {
 
     // Two Stats under the same id, written back-to-back before reading.
     let mut twice = Vec::new();
-    pts_util::protocol::write_request(7, &Request::Stats, &mut twice).unwrap();
-    pts_util::protocol::write_request(7, &Request::Stats, &mut twice).unwrap();
+    pts_util::protocol::write_request(7, DEFAULT_NAMESPACE, &Request::Stats, &mut twice).unwrap();
+    pts_util::protocol::write_request(7, DEFAULT_NAMESPACE, &Request::Stats, &mut twice).unwrap();
     client.send_raw(&twice).unwrap();
     for round in 0..2 {
         match client.recv_response() {
@@ -190,7 +214,8 @@ fn duplicate_and_interleaved_request_ids_are_echoed() {
     let ids: Vec<u64> = (100..132).collect();
     let mut burst = Vec::new();
     for &id in &ids {
-        pts_util::protocol::write_request(id, &Request::Stats, &mut burst).unwrap();
+        pts_util::protocol::write_request(id, DEFAULT_NAMESPACE, &Request::Stats, &mut burst)
+            .unwrap();
     }
     client.send_raw(&burst).unwrap();
     let mut seen = Vec::new();
@@ -218,14 +243,18 @@ fn oversized_inner_length_prefix_is_rejected_without_allocation() {
     w.put_u64(1 << 62);
     w.put_u8(0x00);
     w.put_u8(0x00);
-    client.send_raw(&enveloped_v3(1, w.as_bytes())).unwrap();
+    client
+        .send_raw(&enveloped_v4(1, DEFAULT_NAMESPACE, w.as_bytes()))
+        .unwrap();
     expect_error(&mut client, 1, ErrorCode::Malformed, "oversized count");
 
     // Same attack through the Restore blob length.
     let mut w = WireWriter::new();
     w.put_u8(0x06); // Restore tag
     w.put_u64(u64::MAX); // blob "length"
-    client.send_raw(&enveloped_v3(2, w.as_bytes())).unwrap();
+    client
+        .send_raw(&enveloped_v4(2, DEFAULT_NAMESPACE, w.as_bytes()))
+        .unwrap();
     expect_error(&mut client, 2, ErrorCode::Malformed, "oversized blob");
 
     assert_usable(&mut client, "after oversized-length attacks");
@@ -238,7 +267,7 @@ fn checksum_flip_version_bump_and_wrong_kind_are_recoverable() {
     let (server, mut client) = live_server();
 
     let mut good = Vec::new();
-    pts_util::protocol::write_request(1, &Request::Stats, &mut good).unwrap();
+    pts_util::protocol::write_request(1, DEFAULT_NAMESPACE, &Request::Stats, &mut good).unwrap();
 
     // Flip each payload/checksum byte in turn: every flip is caught by
     // the checksum and answered under id 0 (the frame can't be trusted,
@@ -280,11 +309,15 @@ fn empty_batch_and_zero_sample_count_are_in_band_errors() {
     let (server, mut client) = live_server();
 
     // IngestBatch with count 0 (tag 0x01, varint 0).
-    client.send_raw(&enveloped_v3(1, &[0x01, 0x00])).unwrap();
+    client
+        .send_raw(&enveloped_v4(1, DEFAULT_NAMESPACE, &[0x01, 0x00]))
+        .unwrap();
     expect_error(&mut client, 1, ErrorCode::Malformed, "empty ingest batch");
 
     // Sample with count 0 (tag 0x02, varint 0).
-    client.send_raw(&enveloped_v3(2, &[0x02, 0x00])).unwrap();
+    client
+        .send_raw(&enveloped_v4(2, DEFAULT_NAMESPACE, &[0x02, 0x00]))
+        .unwrap();
     expect_error(&mut client, 2, ErrorCode::Malformed, "zero sample count");
 
     // The typed client surfaces the same rejection in-band.
@@ -369,5 +402,185 @@ fn envelope_length_over_cap_is_too_large_then_close() {
     let mut fresh = Client::connect(server.local_addr()).unwrap();
     assert_usable(&mut fresh, "server after over-cap frame");
     fresh.shutdown_server().unwrap();
+    server.join();
+}
+
+/// An unknown namespace is an in-band *recoverable* error: answered under
+/// the request's own id with `ErrorCode::UnknownNamespace`, connection
+/// intact — both as raw frames and through the typed client. Addressing a
+/// namespace never creates it as a side effect.
+#[test]
+fn unknown_namespace_is_in_band_recoverable() {
+    let (server, mut client) = live_server();
+
+    // Raw frame: Stats addressed to a namespace nobody created.
+    let body = Request::Stats.to_wire_bytes().unwrap();
+    client.send_raw(&enveloped_v4(9, 424242, &body)).unwrap();
+    expect_error(
+        &mut client,
+        9,
+        ErrorCode::UnknownNamespace,
+        "raw unknown ns",
+    );
+
+    // Typed client: the same rejection surfaces as a recoverable server
+    // error, for read-only and mutating kinds alike.
+    let err = client.stats_ns(77).expect_err("stats on unknown ns");
+    match &err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::UnknownNamespace),
+        other => panic!("wanted UnknownNamespace, got {other:?}"),
+    }
+    assert!(
+        err.is_recoverable(),
+        "an unknown namespace is scoped to its request"
+    );
+    let err = client
+        .ingest_batch_ns(77, &[Update::new(1, 1)])
+        .expect_err("ingest on unknown ns");
+    match &err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::UnknownNamespace),
+        other => panic!("wanted UnknownNamespace, got {other:?}"),
+    }
+
+    assert_usable(&mut client, "after unknown-namespace probes");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// Truncation at every prefix of the *namespace varint*: the id before it
+/// was readable, so — unlike id truncation — every error is answered
+/// under the request's own id, and the connection survives.
+#[test]
+fn truncation_at_every_prefix_of_the_namespace_field_echoes_the_id() {
+    let (server, mut client) = live_server();
+    // u64::MAX is the maximal varint: ten bytes, every proper prefix an
+    // unterminated varint.
+    let mut w = WireWriter::new();
+    w.put_u64(u64::MAX);
+    let ns_bytes = w.as_bytes().to_vec();
+    assert_eq!(ns_bytes.len(), 10, "u64::MAX must be the 10-byte varint");
+    for cut in 0..ns_bytes.len() {
+        let id = cut as u64 + 1;
+        let mut w = WireWriter::new();
+        w.put_u64(id);
+        let mut payload = w.as_bytes().to_vec();
+        payload.extend_from_slice(&ns_bytes[..cut]);
+        client.send_raw(&enveloped(&payload)).unwrap();
+        expect_error(
+            &mut client,
+            id,
+            ErrorCode::Malformed,
+            &format!("ns cut {cut}"),
+        );
+    }
+    // The full namespace with nothing after it is a readable header whose
+    // *body* is missing: still Malformed under the id — not
+    // UnknownNamespace, because the request never decoded.
+    let mut w = WireWriter::new();
+    w.put_u64(99);
+    let mut payload = w.as_bytes().to_vec();
+    payload.extend_from_slice(&ns_bytes);
+    client.send_raw(&enveloped(&payload)).unwrap();
+    expect_error(&mut client, 99, ErrorCode::Malformed, "empty body after ns");
+    assert_usable(&mut client, "after ns-truncation sweep");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// Id 0 combined with every namespace flavor — default, unknown, maximal
+/// — is rejected under id 0 before the namespace is even considered, and
+/// a `CreateNamespace` under id 0 creates nothing.
+#[test]
+fn request_id_zero_wins_over_namespace_errors() {
+    let (server, mut client) = live_tenant_server();
+    let body = Request::Stats.to_wire_bytes().unwrap();
+    for ns in [DEFAULT_NAMESPACE, 424242, u64::MAX] {
+        client.send_raw(&enveloped_v4(0, ns, &body)).unwrap();
+        expect_error(
+            &mut client,
+            0,
+            ErrorCode::Malformed,
+            &format!("id 0 ns {ns}"),
+        );
+    }
+    let create = Request::CreateNamespace.to_wire_bytes().unwrap();
+    client.send_raw(&enveloped_v4(0, 31, &create)).unwrap();
+    expect_error(&mut client, 0, ErrorCode::Malformed, "id 0 create");
+    assert_eq!(
+        client.list_namespaces().unwrap(),
+        vec![DEFAULT_NAMESPACE],
+        "a dead-on-arrival create must not leave a tenant behind"
+    );
+    assert_usable(&mut client, "after id-0/namespace sweep");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// Drop-then-use, sequenced and raced. Sequenced on one connection the
+/// outcome is deterministic (per-connection FIFO): requests before the
+/// drop land, requests after answer `UnknownNamespace`, and recreating
+/// the namespace yields a *fresh* engine. Raced from a second connection
+/// the use lands either before or after the drop — both in-band, never a
+/// panic or a poisoned connection.
+#[test]
+fn drop_then_use_is_unknown_namespace_and_race_stays_in_band() {
+    let (server, mut client) = live_tenant_server();
+
+    client.create_namespace(5).unwrap();
+    assert_eq!(client.ingest_batch_ns(5, &[Update::new(3, 5)]).unwrap(), 1);
+
+    // Pipelined on one connection: ingest, drop, ingest — FIFO makes the
+    // first land and the second die.
+    let before = client
+        .submit_ingest_batch_ns(5, &[Update::new(4, 1)])
+        .unwrap();
+    let dropped = client.submit_drop_namespace(5).unwrap();
+    let after = client
+        .submit_ingest_batch_ns(5, &[Update::new(9, 1)])
+        .unwrap();
+    assert_eq!(before.wait().unwrap(), 1, "pre-drop request must land");
+    dropped.wait().unwrap();
+    let err = after.wait().expect_err("post-drop request must fail");
+    match &err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::UnknownNamespace),
+        other => panic!("wanted UnknownNamespace, got {other:?}"),
+    }
+    assert!(
+        err.is_recoverable(),
+        "drop-then-use is scoped to its request"
+    );
+
+    // Recreate: the tenant comes back *empty* (a fresh spawner build, not
+    // the dropped engine).
+    client.create_namespace(5).unwrap();
+    assert_eq!(
+        client.stats_ns(5).unwrap().updates,
+        0,
+        "recreate must yield a fresh engine"
+    );
+
+    // Race from a second connection: landing order is genuinely
+    // nondeterministic, but every outcome is in-band and both connections
+    // survive.
+    let mut racer = Client::connect(server.local_addr()).unwrap();
+    for round in 0..20u64 {
+        let ns = 100 + round;
+        client.create_namespace(ns).unwrap();
+        let use_pending = racer
+            .submit_ingest_batch_ns(ns, &[Update::new(1, 1)])
+            .unwrap();
+        let drop_pending = client.submit_drop_namespace(ns).unwrap();
+        match use_pending.wait() {
+            Ok(1) => {}
+            Err(ClientError::Server(e)) => {
+                assert_eq!(e.code, ErrorCode::UnknownNamespace, "round {round}");
+            }
+            other => panic!("round {round}: raced use must land or miss in-band, got {other:?}"),
+        }
+        drop_pending.wait().unwrap();
+    }
+    assert_usable(&mut racer, "racer after drop races");
+    assert_usable(&mut client, "after drop races");
+    client.shutdown_server().unwrap();
     server.join();
 }

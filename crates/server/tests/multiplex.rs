@@ -1,4 +1,4 @@
-//! Wire v3 multiplexing contract, pinned from the client's side against
+//! Wire v4 multiplexing contract, pinned from the client's side against
 //! **scripted** servers (hand-written frame scripts over a raw listener,
 //! so response order and failure timing are exactly controlled) plus one
 //! live pipelined run over a real server.
@@ -66,7 +66,7 @@ fn sixteen_in_flight_resolve_out_of_order_by_id() {
         // Collect the whole burst before answering anything…
         let mut ids = Vec::new();
         for _ in 0..DEPTH {
-            let (id, _req) = read_request(&mut stream).unwrap();
+            let (id, _ns, _req) = read_request(&mut stream).unwrap();
             ids.push(id);
         }
         // …then answer strictly in reverse: the last-submitted request
@@ -107,7 +107,7 @@ fn recoverable_error_resolves_only_its_own_id() {
     let (addr, server) = scripted_server(|mut stream| {
         let mut ids = Vec::new();
         for _ in 0..3 {
-            let (id, _req) = read_request(&mut stream).unwrap();
+            let (id, _ns, _req) = read_request(&mut stream).unwrap();
             ids.push(id);
         }
         // Fail the middle request in-band; answer its neighbors normally,
@@ -174,12 +174,12 @@ fn fatal_failure_resolves_all_pending() {
 fn max_in_flight_backpressures_submit() {
     const HOLD: Duration = Duration::from_millis(200);
     let (addr, server) = scripted_server(|mut stream| {
-        let (first, _) = read_request(&mut stream).unwrap();
-        let (second, _) = read_request(&mut stream).unwrap();
+        let (first, _, _) = read_request(&mut stream).unwrap();
+        let (second, _, _) = read_request(&mut stream).unwrap();
         // Hold both slots hostage, then release one.
         std::thread::sleep(HOLD);
         write_response(first, &stats_marked(first), &mut stream).unwrap();
-        let (third, _) = read_request(&mut stream).unwrap();
+        let (third, _, _) = read_request(&mut stream).unwrap();
         write_response(second, &stats_marked(second), &mut stream).unwrap();
         write_response(third, &stats_marked(third), &mut stream).unwrap();
     });

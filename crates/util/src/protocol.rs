@@ -14,6 +14,12 @@
 //! and the server may answer them **in any order**. A client that wants
 //! the old lockstep behavior simply keeps one request in flight.
 //!
+//! Since wire version 4 the conversation is **multi-tenant**: every
+//! request also carries a varint `namespace` id (after the request id),
+//! addressing one of many logical tenant engines served by the same
+//! endpoint. Namespace [`DEFAULT_NAMESPACE`] (0) is the default tenant
+//! every server has, so a single-tenant caller simply sends 0 everywhere.
+//!
 //! # Frame layout (normative)
 //!
 //! Every protocol message is one [`crate::wire`] envelope:
@@ -21,10 +27,11 @@
 //! ```text
 //! offset  bytes  field
 //! 0       4      magic        "PTSW" (0x50 0x54 0x53 0x57)
-//! 4       1      version      WIRE_VERSION (currently 0x03)
+//! 4       1      version      WIRE_VERSION (currently 0x04)
 //! 5       1      kind         KIND_REQUEST (0x04) or KIND_RESPONSE (0x05)
 //! 6       1–10   len          payload length, LEB128 varint
-//! 6+|len| len    payload      varint request_id ‖ message body (below)
+//! 6+|len| len    payload      request: varint request_id ‖ varint namespace ‖ body
+//!                             response: varint request_id ‖ body (below)
 //! …       8      checksum     FNV-1a 64 over version ‖ kind ‖ payload,
 //!                             little-endian (see [`crate::wire::fnv1a64`])
 //! ```
@@ -32,7 +39,7 @@
 //! # Request ids (normative)
 //!
 //! Every request and response payload **leads with a varint
-//! `request_id`**, ahead of the tag byte:
+//! `request_id`**, ahead of everything else:
 //!
 //! * A request's id is client-assigned and must be **≥ 1**; a request
 //!   carrying id 0 fails decode (and draws a recoverable `malformed`
@@ -45,6 +52,26 @@
 //!   varint cannot be read (or the framing itself failed), the server
 //!   still answers — with the error response carrying id 0.
 //!
+//! # Namespaces (normative)
+//!
+//! Every request payload carries a varint `namespace` id **between the
+//! request id and the tag byte** (responses carry no namespace — the
+//! echoed request id already identifies the conversation):
+//!
+//! * Namespace [`DEFAULT_NAMESPACE`] (**0**) is the default tenant: it
+//!   exists on every server from startup and cannot be dropped.
+//! * Any other namespace must be created with `CreateNamespace` before
+//!   engine requests can address it; an engine-scoped request naming a
+//!   namespace the server does not host draws a recoverable
+//!   [`ErrorCode::UnknownNamespace`] error response.
+//! * `Shutdown` and `ListNamespaces` are server-scoped: their namespace
+//!   field is carried but ignored. `CreateNamespace` and `DropNamespace`
+//!   take the header namespace as their **operand** (their bodies stay
+//!   empty).
+//! * A namespace field that cannot be read (truncated varint) is a
+//!   payload decode failure: the server answers `malformed` under the
+//!   request's own id, which *was* readable.
+//!
 //! Primitive encodings inside a payload are the wire vocabulary:
 //! `varint` is LEB128 (7 value bits per byte, high bit = continue, max 10
 //! bytes), `zigzag` is a varint of `(v << 1) ^ (v >> 63)`, `f64` is the raw
@@ -54,18 +81,21 @@
 //!
 //! # Request grammar (normative)
 //!
-//! After the leading varint request id, a request payload is a one-byte
-//! request tag followed by the tag's body:
+//! After the leading varint request id and varint namespace, a request
+//! payload is a one-byte request tag followed by the tag's body:
 //!
 //! ```text
-//! 0x01 IngestBatch   varint count (≥ 1), then per update:
-//!                    varint index ‖ zigzag delta
-//! 0x02 Sample        varint count          (1 ..= 65 536)
-//! 0x03 Snapshot      (empty body)
-//! 0x04 Stats         (empty body)
-//! 0x05 Checkpoint    (empty body)
-//! 0x06 Restore       blob                  (a framed KIND_ENGINE payload)
-//! 0x07 Shutdown      (empty body)
+//! 0x01 IngestBatch      varint count (≥ 1), then per update:
+//!                       varint index ‖ zigzag delta
+//! 0x02 Sample           varint count          (1 ..= 65 536)
+//! 0x03 Snapshot         (empty body)
+//! 0x04 Stats            (empty body)
+//! 0x05 Checkpoint       (empty body)
+//! 0x06 Restore          blob                  (a framed KIND_ENGINE payload)
+//! 0x07 Shutdown         (empty body; namespace ignored)
+//! 0x08 CreateNamespace  (empty body; the header namespace is the operand)
+//! 0x09 DropNamespace    (empty body; the header namespace is the operand)
+//! 0x0A ListNamespaces   (empty body; namespace ignored)
 //! ```
 //!
 //! # Response grammar (normative)
@@ -75,18 +105,22 @@
 //! response tag followed by the body:
 //!
 //! ```text
-//! 0x00 Error         u8 code ‖ string message     (codes below)
-//! 0x01 Ingested      varint accepted-update-count
-//! 0x02 Samples       varint count, then per draw:
-//!                    0x00                         (⊥ — the sampler FAILed)
-//!                    0x01 ‖ varint index ‖ f64 estimate
-//! 0x03 Snapshot      blob                         (a framed KIND_SNAPSHOT payload)
-//! 0x04 Stats         varint universe ‖ varint updates ‖ varint batches ‖
-//!                    varint samples ‖ varint fails ‖ varint merges ‖
-//!                    f64 mass ‖ varint support
-//! 0x05 Checkpoint    blob                         (a framed KIND_ENGINE payload)
-//! 0x06 Restored      (empty body)
-//! 0x07 ShuttingDown  (empty body)
+//! 0x00 Error             u8 code ‖ string message     (codes below)
+//! 0x01 Ingested          varint accepted-update-count
+//! 0x02 Samples           varint count, then per draw:
+//!                        0x00                         (⊥ — the sampler FAILed)
+//!                        0x01 ‖ varint index ‖ f64 estimate
+//! 0x03 Snapshot          blob                         (a framed KIND_SNAPSHOT payload)
+//! 0x04 Stats             varint universe ‖ varint updates ‖ varint batches ‖
+//!                        varint samples ‖ varint fails ‖ varint merges ‖
+//!                        f64 mass ‖ varint support
+//! 0x05 Checkpoint        blob                         (a framed KIND_ENGINE payload)
+//! 0x06 Restored          (empty body)
+//! 0x07 ShuttingDown      (empty body)
+//! 0x08 NamespaceCreated  (empty body)
+//! 0x09 NamespaceDropped  (empty body)
+//! 0x0A Namespaces        varint count, then per namespace:
+//!                        varint id                    (strictly ascending)
 //! ```
 //!
 //! # Error-response semantics
@@ -152,6 +186,11 @@ pub const MAX_SAMPLE_COUNT: u64 = 1 << 16;
 /// connection.
 pub const MAX_RESTORE_BYTES: u64 = MAX_FRAME_BYTES - 11;
 
+/// The namespace every server hosts from startup (wire version 4): the
+/// default tenant. It cannot be dropped, so a single-tenant caller that
+/// sends 0 everywhere behaves exactly like a pre-v4 conversation.
+pub const DEFAULT_NAMESPACE: u64 = 0;
+
 /// Request tag: [`Request::IngestBatch`].
 const REQ_INGEST: u8 = 0x01;
 /// Request tag: [`Request::Sample`].
@@ -166,6 +205,12 @@ const REQ_CHECKPOINT: u8 = 0x05;
 const REQ_RESTORE: u8 = 0x06;
 /// Request tag: [`Request::Shutdown`].
 const REQ_SHUTDOWN: u8 = 0x07;
+/// Request tag: [`Request::CreateNamespace`].
+const REQ_CREATE_NS: u8 = 0x08;
+/// Request tag: [`Request::DropNamespace`].
+const REQ_DROP_NS: u8 = 0x09;
+/// Request tag: [`Request::ListNamespaces`].
+const REQ_LIST_NS: u8 = 0x0A;
 
 /// Response tag: [`Response::Error`].
 const RESP_ERROR: u8 = 0x00;
@@ -183,6 +228,12 @@ const RESP_CHECKPOINT: u8 = 0x05;
 const RESP_RESTORED: u8 = 0x06;
 /// Response tag: [`Response::ShuttingDown`].
 const RESP_SHUTDOWN: u8 = 0x07;
+/// Response tag: [`Response::NamespaceCreated`].
+const RESP_NS_CREATED: u8 = 0x08;
+/// Response tag: [`Response::NamespaceDropped`].
+const RESP_NS_DROPPED: u8 = 0x09;
+/// Response tag: [`Response::Namespaces`].
+const RESP_NAMESPACES: u8 = 0x0A;
 
 /// One client→server message.
 ///
@@ -212,8 +263,20 @@ pub enum Request {
     /// (the blob is a full framed `KIND_ENGINE` payload).
     Restore(Vec<u8>),
     /// Stop the server: every connection is answered-then-closed and the
-    /// accept loop exits.
+    /// accept loop exits. Server-scoped — the namespace field is ignored.
     Shutdown,
+    /// Create the tenant engine named by the envelope's namespace field
+    /// (the body is empty — the header namespace is the operand).
+    /// Creating an existing namespace, or namespace 0, is `unsupported`.
+    CreateNamespace,
+    /// Drop the tenant engine named by the envelope's namespace field,
+    /// releasing its state. Dropping namespace 0 is `unsupported`;
+    /// dropping a namespace the server does not host is
+    /// `unknown-namespace`.
+    DropNamespace,
+    /// List every namespace the server currently hosts, in ascending
+    /// order. Server-scoped — the namespace field is ignored.
+    ListNamespaces,
 }
 
 impl Encode for Request {
@@ -239,6 +302,9 @@ impl Encode for Request {
                 w.put_blob(bytes);
             }
             Request::Shutdown => w.put_u8(REQ_SHUTDOWN),
+            Request::CreateNamespace => w.put_u8(REQ_CREATE_NS),
+            Request::DropNamespace => w.put_u8(REQ_DROP_NS),
+            Request::ListNamespaces => w.put_u8(REQ_LIST_NS),
         }
         Ok(())
     }
@@ -274,6 +340,9 @@ impl Decode for Request {
             REQ_CHECKPOINT => Ok(Request::Checkpoint),
             REQ_RESTORE => Ok(Request::Restore(r.get_blob()?)),
             REQ_SHUTDOWN => Ok(Request::Shutdown),
+            REQ_CREATE_NS => Ok(Request::CreateNamespace),
+            REQ_DROP_NS => Ok(Request::DropNamespace),
+            REQ_LIST_NS => Ok(Request::ListNamespaces),
             _ => Err(WireError::Invalid("unknown request tag")),
         }
     }
@@ -298,6 +367,10 @@ pub enum ErrorCode {
     TooLarge = 4,
     /// A server-side failure unrelated to the request bytes.
     Internal = 5,
+    /// An engine-scoped request named a namespace the server does not
+    /// host (wire version 4). Always recoverable: the frame was
+    /// well-formed, only its addressee is missing.
+    UnknownNamespace = 6,
 }
 
 impl ErrorCode {
@@ -308,6 +381,7 @@ impl ErrorCode {
             3 => ErrorCode::Unsupported,
             4 => ErrorCode::TooLarge,
             5 => ErrorCode::Internal,
+            6 => ErrorCode::UnknownNamespace,
             _ => return Err(WireError::Invalid("unknown error code")),
         })
     }
@@ -321,6 +395,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Unsupported => "unsupported",
             ErrorCode::TooLarge => "too-large",
             ErrorCode::Internal => "internal",
+            ErrorCode::UnknownNamespace => "unknown-namespace",
         };
         f.write_str(name)
     }
@@ -453,6 +528,15 @@ pub enum Response {
     /// A [`Request::Shutdown`] was accepted; the server stops accepting
     /// connections and this connection closes after the frame is flushed.
     ShuttingDown,
+    /// A [`Request::CreateNamespace`] succeeded; the namespace named in
+    /// the request's envelope now hosts a fresh engine.
+    NamespaceCreated,
+    /// A [`Request::DropNamespace`] succeeded; the namespace named in
+    /// the request's envelope no longer exists.
+    NamespaceDropped,
+    /// The namespaces the server currently hosts, in ascending order
+    /// (always contains [`DEFAULT_NAMESPACE`]).
+    Namespaces(Vec<u64>),
 }
 
 impl Encode for Response {
@@ -495,6 +579,15 @@ impl Encode for Response {
             }
             Response::Restored => w.put_u8(RESP_RESTORED),
             Response::ShuttingDown => w.put_u8(RESP_SHUTDOWN),
+            Response::NamespaceCreated => w.put_u8(RESP_NS_CREATED),
+            Response::NamespaceDropped => w.put_u8(RESP_NS_DROPPED),
+            Response::Namespaces(ids) => {
+                w.put_u8(RESP_NAMESPACES);
+                w.put_usize(ids.len());
+                for &id in ids {
+                    w.put_u64(id);
+                }
+            }
         }
         Ok(())
     }
@@ -528,51 +621,94 @@ impl Decode for Response {
             RESP_CHECKPOINT => Ok(Response::Checkpoint(r.get_blob()?)),
             RESP_RESTORED => Ok(Response::Restored),
             RESP_SHUTDOWN => Ok(Response::ShuttingDown),
+            RESP_NS_CREATED => Ok(Response::NamespaceCreated),
+            RESP_NS_DROPPED => Ok(Response::NamespaceDropped),
+            RESP_NAMESPACES => {
+                // Each id is at least one byte, so the count is capped by
+                // the bytes actually present.
+                let len = r.get_len(1)?;
+                let mut ids = Vec::with_capacity(len);
+                let mut last: Option<u64> = None;
+                for _ in 0..len {
+                    let id = r.get_u64()?;
+                    if last.is_some_and(|prev| prev >= id) {
+                        return Err(WireError::Invalid("namespace list not ascending"));
+                    }
+                    last = Some(id);
+                    ids.push(id);
+                }
+                Ok(Response::Namespaces(ids))
+            }
             _ => Err(WireError::Invalid("unknown response tag")),
         }
     }
 }
 
-/// Writes one request under `request_id` as a framed `KIND_REQUEST`
-/// envelope: `varint request_id ‖ request body`.
+/// Writes one request under `request_id`, addressed to `namespace`, as a
+/// framed `KIND_REQUEST` envelope:
+/// `varint request_id ‖ varint namespace ‖ request body`.
 ///
 /// `request_id` must be ≥ 1 (id 0 is reserved for unattributable server
 /// error responses — see the module docs); debug builds assert this.
+/// Single-tenant callers pass [`DEFAULT_NAMESPACE`].
 pub fn write_request<W: Write>(
     request_id: u64,
+    namespace: u64,
     req: &Request,
     sink: &mut W,
 ) -> std::io::Result<()> {
     debug_assert!(request_id != 0, "request id 0 is reserved");
     let mut w = WireWriter::new();
     w.put_u64(request_id);
+    w.put_u64(namespace);
     req.encode(&mut w).expect("requests always encode");
     write_frame(KIND_REQUEST, w.as_bytes(), sink)
 }
 
-/// Reads one framed request; returns its id and body (strict: any
-/// malformation is an error; servers wanting to keep the connection
-/// should use [`read_frame_lenient`] and decode the payload themselves
-/// via [`split_request_payload`]).
-pub fn read_request<R: Read>(src: &mut R) -> Result<(u64, Request), WireError> {
+/// Reads one framed request; returns its id, namespace, and body
+/// (strict: any malformation is an error; servers wanting to keep the
+/// connection should use [`read_frame_lenient`] and decode the payload
+/// themselves via [`split_request_id`] / [`split_namespace`]).
+pub fn read_request<R: Read>(src: &mut R) -> Result<(u64, u64, Request), WireError> {
     let payload = read_frame(KIND_REQUEST, src)?;
-    let (id, body) = split_request_payload(&payload)?;
-    Ok((id, Request::from_wire_bytes(body)?))
+    let (id, namespace, body) = split_request_payload(&payload)?;
+    Ok((id, namespace, Request::from_wire_bytes(body)?))
 }
 
-/// Splits a request payload into its leading varint `request_id` and the
-/// remaining body bytes, enforcing the id ≥ 1 rule (a request carrying
-/// id 0 is malformed — id 0 is reserved for unattributable server error
-/// responses). This is the server's demux entry point: it peels the id
-/// *before* decoding the body, so a body decode failure can still be
-/// answered under the request's own id.
-pub fn split_request_payload(payload: &[u8]) -> Result<(u64, &[u8]), WireError> {
+/// Splits a request payload into its leading varint `request_id` and
+/// everything after it (the namespace varint plus the tag'd body),
+/// enforcing the id ≥ 1 rule (a request carrying id 0 is malformed —
+/// id 0 is reserved for unattributable server error responses). This is
+/// the server's demux entry point: it peels the id *before* anything
+/// else, so every later failure — an unreadable namespace varint
+/// included — can still be answered under the request's own id.
+pub fn split_request_id(payload: &[u8]) -> Result<(u64, &[u8]), WireError> {
     let mut r = WireReader::new(payload);
     let id = r.get_u64()?;
     if id == 0 {
         return Err(WireError::Invalid("request id 0 is reserved"));
     }
     Ok((id, &payload[payload.len() - r.remaining()..]))
+}
+
+/// Splits the remainder handed back by [`split_request_id`] into the
+/// varint `namespace` and the tag'd request body behind it. A truncated
+/// namespace varint errors here — an attributable `malformed`, since the
+/// request id was already read.
+pub fn split_namespace(rest: &[u8]) -> Result<(u64, &[u8]), WireError> {
+    let mut r = WireReader::new(rest);
+    let namespace = r.get_u64()?;
+    Ok((namespace, &rest[rest.len() - r.remaining()..]))
+}
+
+/// Splits a request payload into `(request_id, namespace, body)` in one
+/// step — the strict composition of [`split_request_id`] and
+/// [`split_namespace`], for callers that do not need to attribute
+/// partial failures.
+pub fn split_request_payload(payload: &[u8]) -> Result<(u64, u64, &[u8]), WireError> {
+    let (id, rest) = split_request_id(payload)?;
+    let (namespace, body) = split_namespace(rest)?;
+    Ok((id, namespace, body))
 }
 
 /// Writes one response as a framed `KIND_RESPONSE` envelope:
@@ -612,13 +748,16 @@ mod tests {
     use crate::wire::{WIRE_MAGIC, WIRE_VERSION};
 
     fn roundtrip_request(req: Request) {
-        // Ids spanning 1, 2, and 10 varint bytes: the id prefix must
-        // frame and demux identically at every width.
+        // Ids and namespaces spanning 1, 2, and 10 varint bytes: both
+        // prefixes must frame and demux identically at every width
+        // (namespace 0 is the default tenant, so it must roundtrip too).
         for id in [1u64, 7, 300, u64::MAX] {
-            let mut buf = Vec::new();
-            write_request(id, &req, &mut buf).unwrap();
-            let (back_id, back) = read_request(&mut buf.as_slice()).unwrap();
-            assert_eq!((back_id, back), (id, req.clone()));
+            for ns in [DEFAULT_NAMESPACE, 7, 300, u64::MAX] {
+                let mut buf = Vec::new();
+                write_request(id, ns, &req, &mut buf).unwrap();
+                let (back_id, back_ns, back) = read_request(&mut buf.as_slice()).unwrap();
+                assert_eq!((back_id, back_ns, back), (id, ns, req.clone()));
+            }
         }
     }
 
@@ -644,6 +783,9 @@ mod tests {
         roundtrip_request(Request::Checkpoint);
         roundtrip_request(Request::Restore(vec![0xDE, 0xAD, 0xBE, 0xEF]));
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::CreateNamespace);
+        roundtrip_request(Request::DropNamespace);
+        roundtrip_request(Request::ListNamespaces);
     }
 
     #[test]
@@ -678,6 +820,24 @@ mod tests {
         roundtrip_response(Response::Checkpoint(vec![9; 100]));
         roundtrip_response(Response::Restored);
         roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::NamespaceCreated);
+        roundtrip_response(Response::NamespaceDropped);
+        roundtrip_response(Response::Namespaces(vec![0]));
+        roundtrip_response(Response::Namespaces(vec![0, 1, 300, u64::MAX]));
+    }
+
+    #[test]
+    fn namespace_list_must_be_ascending_on_decode() {
+        // The encoder trusts its caller; the decoder enforces the
+        // strictly-ascending rule (duplicates included), so a hostile
+        // response cannot smuggle an unsorted or repeating list.
+        for bad in [vec![1u64, 1], vec![5, 3], vec![0, 2, 2]] {
+            let payload = Response::Namespaces(bad.clone()).to_wire_bytes().unwrap();
+            assert!(
+                Response::from_wire_bytes(&payload).is_err(),
+                "unsorted list {bad:?} decoded"
+            );
+        }
     }
 
     #[test]
@@ -773,14 +933,17 @@ mod tests {
     #[test]
     fn request_id_zero_rejected_everywhere() {
         // A request payload whose leading varint id is 0 must fail both
-        // the demux split and the strict framed read.
+        // the demux split and the strict framed read — whatever the
+        // namespace behind it says.
         let mut w = WireWriter::new();
         w.put_u64(0);
+        w.put_u64(DEFAULT_NAMESPACE);
         Request::Stats.encode(&mut w).unwrap();
         assert!(matches!(
-            split_request_payload(w.as_bytes()),
+            split_request_id(w.as_bytes()),
             Err(WireError::Invalid("request id 0 is reserved"))
         ));
+        assert!(split_request_payload(w.as_bytes()).is_err());
         let mut frame = Vec::new();
         write_frame(KIND_REQUEST, w.as_bytes(), &mut frame).unwrap();
         assert!(read_request(&mut frame.as_slice()).is_err());
@@ -796,37 +959,70 @@ mod tests {
     }
 
     #[test]
-    fn split_request_payload_demuxes_id_from_body() {
-        // A multi-byte varint id: the split must hand back exactly the
-        // body bytes after the id, for any body.
+    fn split_request_payload_demuxes_id_and_namespace_from_body() {
+        // Multi-byte varint id and namespace: the two-stage split must
+        // hand back exactly the body bytes after both prefixes.
         let mut w = WireWriter::new();
         w.put_u64(300); // two varint bytes: 0xAC 0x02
+        w.put_u64(777); // two varint bytes: 0x89 0x06
         w.put_u8(REQ_STATS);
-        let (id, body) = split_request_payload(w.as_bytes()).unwrap();
+        let (id, rest) = split_request_id(w.as_bytes()).unwrap();
         assert_eq!(id, 300);
+        let (ns, body) = split_namespace(rest).unwrap();
+        assert_eq!(ns, 777);
         assert_eq!(body, [REQ_STATS]);
         assert_eq!(Request::from_wire_bytes(body).unwrap(), Request::Stats);
+        // The one-step composition agrees.
+        assert_eq!(
+            split_request_payload(w.as_bytes()).unwrap(),
+            (300, 777, &[REQ_STATS][..])
+        );
     }
 
     #[test]
     fn truncation_at_every_prefix_of_the_id_field_errors() {
         // u64::MAX is a 10-byte varint: every proper prefix of the id
         // field alone must fail the split (never panic, never misdecode),
-        // and so must the id with no body behind it.
+        // and so must the id with no namespace behind it.
         let mut w = WireWriter::new();
         w.put_u64(u64::MAX);
         let id_bytes = w.as_bytes().to_vec();
         assert_eq!(id_bytes.len(), 10);
         for cut in 0..id_bytes.len() {
             assert!(
-                split_request_payload(&id_bytes[..cut]).is_err(),
+                split_request_id(&id_bytes[..cut]).is_err(),
                 "id cut at {cut} split"
             );
         }
-        // The full id with an empty body splits — the *body* decode is
-        // what fails (the demux layer answers under the request's id).
-        let (id, body) = split_request_payload(&id_bytes).unwrap();
+        // The full id with nothing behind it splits — the *namespace*
+        // split is what fails next (the demux layer answers the missing
+        // namespace under the request's id).
+        let (id, rest) = split_request_id(&id_bytes).unwrap();
         assert_eq!(id, u64::MAX);
+        assert!(rest.is_empty());
+        assert!(split_namespace(rest).is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_of_the_namespace_field_errors() {
+        // Same sweep one field later: a readable id followed by every
+        // proper prefix of a 10-byte namespace varint must fail the
+        // namespace split (attributable — the id was already peeled),
+        // and the full namespace with an empty body must fail the *body*
+        // decode, not the split.
+        let mut w = WireWriter::new();
+        w.put_u64(u64::MAX);
+        let ns_bytes = w.as_bytes().to_vec();
+        assert_eq!(ns_bytes.len(), 10);
+        for cut in 0..ns_bytes.len() {
+            assert!(
+                split_namespace(&ns_bytes[..cut]).is_err(),
+                "namespace cut at {cut} split"
+            );
+        }
+        let (ns, body) = split_namespace(&ns_bytes).unwrap();
+        assert_eq!(ns, u64::MAX);
+        assert!(body.is_empty());
         assert!(Request::from_wire_bytes(body).is_err());
     }
 
@@ -834,21 +1030,24 @@ mod tests {
     /// cannot drift from the implementation.
     #[test]
     fn protocol_md_worked_examples_are_exact() {
-        // Example 1: a Stats request under id 1.
+        // Example 1: a Stats request under id 1, namespace 0 (the
+        // default tenant).
         let mut stats = Vec::new();
-        write_request(1, &Request::Stats, &mut stats).unwrap();
+        write_request(1, DEFAULT_NAMESPACE, &Request::Stats, &mut stats).unwrap();
         assert_eq!(
             stats,
             [
-                0x50, 0x54, 0x53, 0x57, 0x03, 0x04, 0x02, 0x01, 0x04, 0x27, 0xB5, 0xA6, 0x07, 0x88,
-                0x78, 0xC9, 0x0F
+                0x50, 0x54, 0x53, 0x57, 0x04, 0x04, 0x03, 0x01, 0x00, 0x04, 0x90, 0x2C, 0xDD, 0x83,
+                0x50, 0xF4, 0x41, 0x29
             ],
             "Stats request frame drifted: {stats:02X?}"
         );
-        // Example 2: IngestBatch [(3, +5), (900, -2)] under id 2.
+        // Example 2: IngestBatch [(3, +5), (900, -2)] under id 2,
+        // addressed to namespace 7 (a created tenant).
         let mut ingest = Vec::new();
         write_request(
             2,
+            7,
             &Request::IngestBatch(vec![(3, 5), (900, -2)]),
             &mut ingest,
         )
@@ -856,10 +1055,22 @@ mod tests {
         assert_eq!(
             ingest,
             [
-                0x50, 0x54, 0x53, 0x57, 0x03, 0x04, 0x08, 0x02, 0x01, 0x02, 0x03, 0x0A, 0x84, 0x07,
-                0x03, 0xB8, 0xA0, 0x40, 0x9D, 0x2E, 0x45, 0x16, 0xEA
+                0x50, 0x54, 0x53, 0x57, 0x04, 0x04, 0x09, 0x02, 0x07, 0x01, 0x02, 0x03, 0x0A, 0x84,
+                0x07, 0x03, 0x1E, 0x3F, 0x7E, 0xCC, 0xF8, 0x54, 0x87, 0xF4
             ],
             "IngestBatch request frame drifted: {ingest:02X?}"
+        );
+        // Example 2b: CreateNamespace under id 3 — the header namespace
+        // (7) is the operand, the body is empty.
+        let mut create = Vec::new();
+        write_request(3, 7, &Request::CreateNamespace, &mut create).unwrap();
+        assert_eq!(
+            create,
+            [
+                0x50, 0x54, 0x53, 0x57, 0x04, 0x04, 0x03, 0x03, 0x07, 0x08, 0x95, 0xCC, 0xB5, 0x8D,
+                0x50, 0x18, 0x9F, 0x3A
+            ],
+            "CreateNamespace request frame drifted: {create:02X?}"
         );
         // Example 3: a Samples response carrying one draw of index 3,
         // estimate 5.0, and one ⊥ — echoing request id 2.
@@ -873,9 +1084,9 @@ mod tests {
         assert_eq!(
             samples,
             [
-                0x50, 0x54, 0x53, 0x57, 0x03, 0x05, 0x0E, 0x02, 0x02, 0x02, 0x01, 0x03, 0x00, 0x00,
-                0x00, 0x00, 0x00, 0x00, 0x14, 0x40, 0x00, 0xFB, 0x5D, 0x5F, 0x05, 0x4B, 0x5B, 0x33,
-                0x0E
+                0x50, 0x54, 0x53, 0x57, 0x04, 0x05, 0x0E, 0x02, 0x02, 0x02, 0x01, 0x03, 0x00, 0x00,
+                0x00, 0x00, 0x00, 0x00, 0x14, 0x40, 0x00, 0x98, 0x61, 0x7D, 0x0B, 0x22, 0x06, 0xB6,
+                0x1E
             ],
             "Samples response frame drifted: {samples:02X?}"
         );
@@ -896,9 +1107,9 @@ mod tests {
         assert_eq!(
             error,
             [
-                0x50, 0x54, 0x53, 0x57, 0x03, 0x05, 0x17, 0x05, 0x00, 0x01, 0x13, 0x75, 0x6E, 0x6B,
+                0x50, 0x54, 0x53, 0x57, 0x04, 0x05, 0x17, 0x05, 0x00, 0x01, 0x13, 0x75, 0x6E, 0x6B,
                 0x6E, 0x6F, 0x77, 0x6E, 0x20, 0x72, 0x65, 0x71, 0x75, 0x65, 0x73, 0x74, 0x20, 0x74,
-                0x61, 0x67, 0xCF, 0x68, 0xDB, 0x64, 0x14, 0x20, 0x28, 0xA6
+                0x61, 0x67, 0xEA, 0x54, 0x28, 0x58, 0x03, 0xAD, 0x2F, 0xDF
             ],
             "Error response frame drifted: {error:02X?}"
         );
@@ -927,9 +1138,9 @@ mod tests {
         assert_eq!(
             report,
             [
-                0x50, 0x54, 0x53, 0x57, 0x03, 0x05, 0x13, 0x01, 0x04, 0x80, 0x20, 0xE8, 0x07, 0x04,
-                0x06, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x5E, 0x40, 0x09, 0xDB, 0xF5,
-                0x10, 0x08, 0x89, 0x92, 0x63, 0x99
+                0x50, 0x54, 0x53, 0x57, 0x04, 0x05, 0x13, 0x01, 0x04, 0x80, 0x20, 0xE8, 0x07, 0x04,
+                0x06, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x5E, 0x40, 0x09, 0xAA, 0x2C,
+                0xA1, 0x00, 0x24, 0x99, 0x24, 0x40
             ],
             "Stats response frame drifted: {report:02X?}"
         );
@@ -938,13 +1149,13 @@ mod tests {
     #[test]
     fn lenient_read_classifies_fatal_vs_recoverable() {
         let mut good = Vec::new();
-        write_request(9, &Request::Stats, &mut good).unwrap();
+        write_request(9, 4, &Request::Stats, &mut good).unwrap();
 
         // Clean read.
         let payload = read_frame_lenient(KIND_REQUEST, MAX_FRAME_BYTES, &mut good.as_slice())
             .expect("well-formed frame reads");
-        let (id, body) = split_request_payload(&payload).unwrap();
-        assert_eq!(id, 9);
+        let (id, ns, body) = split_request_payload(&payload).unwrap();
+        assert_eq!((id, ns), (9, 4));
         assert_eq!(Request::from_wire_bytes(body).unwrap(), Request::Stats);
 
         // Bad magic: fatal.

@@ -53,7 +53,15 @@ pub const WIRE_MAGIC: [u8; 4] = *b"PTSW";
 ///   attributed to a request (the id itself failed to decode). Same rule
 ///   as v2: the payload layout changed, so the version bumps and v2
 ///   endpoints reject v3 frames recoverably (and vice versa).
-pub const WIRE_VERSION: u8 = 3;
+/// * **4** — request payloads carry a varint `namespace` id between the
+///   request id and the request tag, addressing one of many logical
+///   tenant engines served by a single endpoint (namespace 0 is the
+///   default tenant every server has). Three namespace-management
+///   request tags and their responses were added, plus the
+///   `unknown-namespace` error code. Response payloads are unchanged.
+///   As always the layout change bumps the version: v3 endpoints reject
+///   v4 frames recoverably (and vice versa).
+pub const WIRE_VERSION: u8 = 4;
 
 /// Frame kind: a full engine checkpoint (config + factory + RNG + stats +
 /// per-shard state).

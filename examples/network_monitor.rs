@@ -21,6 +21,14 @@
 //! probe and the query burst. The report is identical by the engines'
 //! determinism contract — only the wall-clock changes.
 //!
+//! Pass `--tenants N` for the wire-v4 multi-tenant variant: N routers'
+//! monitors — each with its own attackers and its own traffic — served by
+//! ONE `pts-server` process through one connection, each in its own
+//! namespace. Ingest and draws are interleaved across tenants, and every
+//! tenant's report is checked draw-for-draw against an isolated
+//! in-process control monitor: the reports are independent — one
+//! router's flood never bleeds into another's sampling law.
+//!
 //! New in this version: the monitor **crashes** halfway through the attack.
 //! Right after the mid-stream probe it checkpoints its complete state to a
 //! byte buffer (in production: disk/S3), the engine value is dropped, and a
@@ -94,7 +102,153 @@ impl Monitor {
     }
 }
 
+/// One tenant's scenario: its own attacker pair and turnstile stream over
+/// the shared 96-source universe.
+struct Tenant {
+    ns: u64,
+    attackers: [u64; 2],
+    stream: Stream,
+}
+
+/// Builds tenant `ns`'s monitor engine — a pure function of the
+/// namespace, used by the server's spawner AND for the isolated control
+/// monitors, which is what makes the draw-for-draw independence check
+/// meaningful.
+fn tenant_engine(ns: u64) -> ShardedEngine<PerfectLpFactory> {
+    let n = 96;
+    ShardedEngine::new(
+        EngineConfig::new(n).shards(2).pool_size(2).seed(900 + ns),
+        PerfectLpFactory::for_universe(n, 4.0),
+    )
+}
+
+/// The `--tenants N` mode: N routers monitored by one server process.
+fn run_tenants(count: u64) {
+    let n = 96u64;
+    println!("mode: multi-tenant — {count} routers through one server (wire v4)\n");
+
+    // Each tenant gets its own attackers and its own turnstile stream.
+    let tenants: Vec<Tenant> = (1..=count)
+        .map(|ns| {
+            let a0 = (7 + 17 * ns) % n;
+            let mut a1 = (41 + 29 * ns) % n;
+            if a1 == a0 {
+                a1 = (a1 + 1) % n;
+            }
+            let mut flows = pts_stream::gen::uniform_vector(n as usize, 40, 100 + ns);
+            let mut values = flows.values().to_vec();
+            values[a0 as usize] = 2_500;
+            values[a1 as usize] = 1_800;
+            flows = FrequencyVector::from_values(values);
+            let mut rng = pts_util::Xoshiro256pp::new(1000 + ns);
+            let stream =
+                Stream::from_target(&flows, StreamStyle::Turnstile { churn: 0.5 }, &mut rng);
+            Tenant {
+                ns,
+                attackers: [a0, a1],
+                stream,
+            }
+        })
+        .collect();
+
+    // One server hosts every router's monitor; tenants spawn lazily.
+    let server = serve_with_spawner("127.0.0.1:0", tenant_engine(0), tenant_engine)
+        .expect("bind multi-tenant server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut controls: Vec<ShardedEngine<PerfectLpFactory>> = Vec::new();
+    for t in &tenants {
+        client.create_namespace(t.ns).expect("create tenant");
+        controls.push(tenant_engine(t.ns));
+    }
+
+    // Interleaved ingest: round-robin one batch per tenant per turn, so
+    // every tenant's traffic lands with every other tenant's in between.
+    let mut chunk_iters: Vec<_> = tenants
+        .iter()
+        .map(|t| t.stream.updates().chunks(128))
+        .collect();
+    loop {
+        let mut any = false;
+        for (k, t) in tenants.iter().enumerate() {
+            if let Some(batch) = chunk_iters[k].next() {
+                any = true;
+                client.ingest_batch_ns(t.ns, batch).expect("ingest");
+                controls[k].ingest_batch(batch);
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    let total: usize = tenants.iter().map(|t| t.stream.len()).sum();
+    println!("ingested {total} updates across {count} namespaces, interleaved\n");
+
+    // Interleaved draws: 16 per tenant, each checked draw-for-draw
+    // against that tenant's isolated control monitor.
+    let draws = 16;
+    let mut hits: Vec<HashMap<u64, u32>> = vec![HashMap::new(); tenants.len()];
+    let mut fails = vec![0u32; tenants.len()];
+    for _ in 0..draws {
+        for (k, t) in tenants.iter().enumerate() {
+            let shared = client.sample_ns(t.ns).expect("sample");
+            let isolated = controls[k].sample();
+            assert_eq!(
+                shared, isolated,
+                "tenant {} diverged from its isolated control — tenancy leaked",
+                t.ns
+            );
+            match shared {
+                Some(s) => *hits[k].entry(s.index).or_default() += 1,
+                None => fails[k] += 1,
+            }
+        }
+    }
+
+    // Per-tenant reports: each router catches its OWN attackers.
+    let mut caught_total = 0;
+    for (k, t) in tenants.iter().enumerate() {
+        let caught = t
+            .attackers
+            .iter()
+            .filter(|a| hits[k].get(a).copied().unwrap_or(0) >= 2)
+            .count();
+        caught_total += caught;
+        let top = hits[k]
+            .iter()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(s, c)| format!("top source {s} with {c} hits"))
+            .unwrap_or_else(|| "no successful draws".into());
+        println!(
+            "tenant {}: attackers {:?} — detected {caught}/2 (draws {}/{draws} ok, {}), \
+             0 draws diverged from isolated control",
+            t.ns,
+            t.attackers,
+            draws - fails[k],
+            top
+        );
+    }
+    println!(
+        "\n{caught_total}/{} attackers detected across tenants; every report matched its \
+         isolated control draw for draw — per-tenant independence holds",
+        2 * tenants.len()
+    );
+
+    client.shutdown_server().expect("shutdown");
+    server.join();
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--tenants") {
+        let count: u64 = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3)
+            .max(2);
+        run_tenants(count);
+        return;
+    }
+
     let concurrent = std::env::args().any(|a| a == "--concurrent");
     let n = 96; // source universe (hashed /24s, say)
     let seed = 7u64;

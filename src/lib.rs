@@ -113,7 +113,9 @@ pub mod prelude {
         L0Params, LpLe2Batch, LpLe2Params, PerfectL0Sampler, PerfectLpLe2Sampler, PrecisionParams,
         PrecisionSampler, ReservoirSampler, Sample, TurnstileSampler,
     };
-    pub use pts_server::{serve, Client, ClientConfig, ClientError, Pending, Server};
+    pub use pts_server::{
+        serve, serve_with_spawner, Client, ClientConfig, ClientError, Pending, Server,
+    };
     pub use pts_sketch::LinearSketch;
     pub use pts_stream::{FrequencyVector, Stream, StreamStyle, Update};
     pub use pts_util::protocol::{ErrorCode, ServiceError, ServiceStats};
