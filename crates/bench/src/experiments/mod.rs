@@ -23,13 +23,14 @@ pub mod table1;
 pub mod tenants;
 pub mod throughput;
 pub mod timing;
+pub mod trace;
 pub mod wire;
 
 use pts_util::Table;
 
 /// A runnable experiment.
 pub struct Experiment {
-    /// Identifier (`tab1`, `e1`, …, `s1`, `t1`, `w1`, `n1`, `c1`, `m1`, `mt1`, `o1`, `a3`).
+    /// Identifier (`tab1`, `e1`, …, `s1`, `t1`, `w1`, `n1`, `c1`, `m1`, `mt1`, `o1`, `tr1`, `a3`).
     pub id: &'static str,
     /// What it reproduces.
     pub title: &'static str,
@@ -144,6 +145,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "o1",
             title: "O1 — observability overhead: instrumented vs obs-off builds (pts-obs)",
             run: obs::o1_obs_overhead,
+        },
+        Experiment {
+            id: "tr1",
+            title: "TR1 — tracing overhead: traced 1/256 vs untraced vs obs-off (wire v5)",
+            run: trace::tr1_trace_overhead,
         },
         Experiment {
             id: "a1",

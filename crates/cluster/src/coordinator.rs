@@ -84,17 +84,35 @@
 use crate::config::ClusterConfig;
 use crate::obs::obs;
 use pts_engine::pick_by_mass;
-use pts_obs::{event, Stopwatch};
+use pts_obs::{event, Span, Stopwatch, Tracer};
 use pts_samplers::Sample;
 use pts_server::{Client, ClientConfig, ClientError, Pending};
 use pts_stream::Update;
-use pts_util::protocol::{ServiceStats, DEFAULT_NAMESPACE, MAX_SAMPLE_COUNT};
+use pts_util::protocol::{ServiceStats, TraceContext, DEFAULT_NAMESPACE, MAX_SAMPLE_COUNT};
 use pts_util::Xoshiro256pp;
 use std::collections::{HashMap, VecDeque};
 
 /// Seed stream tag for the coordinator's node-pick RNG (disjoint from the
 /// engine's internal streams by construction — different consumer).
 const NODE_PICK_STREAM: u64 = 0xC157;
+
+/// A child span under `trace` (no-op when the operation is untraced).
+fn child_span(trace: Option<TraceContext>, name: &'static str) -> Span {
+    match trace {
+        Some(ctx) => Span::start(ctx.trace_id, ctx.parent_span_id, name),
+        None => Span::noop(),
+    }
+}
+
+/// The context downstream work should parent to: `span`'s own id while it
+/// records, `None` when it is a no-op (so untraced stays untraced on the
+/// wire).
+fn span_ctx(span: &Span) -> Option<TraceContext> {
+    span.is_recording().then(|| TraceContext {
+        trace_id: span.trace_id(),
+        parent_span_id: span.id(),
+    })
+}
 
 /// Everything a cluster operation can fail with. Transport-level failures
 /// mark the node down ([`NodeHealth::Down`]); the error names the node so
@@ -286,6 +304,12 @@ pub struct Coordinator {
     rng: Xoshiro256pp,
     /// Reusable per-slice scatter buffers for batched ingest.
     plan: Vec<Vec<Update>>,
+    /// Samples whole `sample_many` bursts into distributed traces
+    /// (disabled until [`Coordinator::set_trace_sampling`]).
+    tracer: Tracer,
+    /// The cluster seed, kept so the trace sampler's phase is derived
+    /// from the same value as every other seeded stream.
+    trace_seed: u64,
     samples: u64,
     fails: u64,
     rebalances: u64,
@@ -328,6 +352,8 @@ impl Coordinator {
             client_config: config.client,
             rng: Xoshiro256pp::from_seed_stream(config.seed, NODE_PICK_STREAM),
             plan: (0..active).map(|_| Vec::new()).collect(),
+            tracer: Tracer::disabled(),
+            trace_seed: config.seed,
             samples: 0,
             fails: 0,
             rebalances: 0,
@@ -336,6 +362,18 @@ impl Coordinator {
             coordinator.attach(node, None)?;
         }
         Ok(coordinator)
+    }
+
+    /// Enables wire v5 distributed tracing for coordinator bursts: one
+    /// [`Coordinator::sample_many`] in `every` becomes a trace whose
+    /// context rides the scatter to every node, so the whole fan-out —
+    /// client submits, per-node server stages, gather — lands in one
+    /// span tree. `every = 1` traces every burst, `every = 0` disables
+    /// (the default). Deterministic like every other knob here: which
+    /// bursts are sampled depends only on the cluster seed and the
+    /// burst counter, never on a clock or an RNG.
+    pub fn set_trace_sampling(&mut self, every: u64) {
+        self.tracer = Tracer::new(self.trace_seed, every);
     }
 
     /// The cluster universe bound.
@@ -606,14 +644,28 @@ impl Coordinator {
     /// trip regardless of owner count (the `m1` bench's scatter row
     /// measures exactly this path).
     fn scatter_masses(&mut self, ns: u64) -> Result<(Vec<usize>, Vec<f64>, f64), ClusterError> {
+        self.scatter_masses_traced(ns, None)
+    }
+
+    /// [`Coordinator::scatter_masses`] under a trace: when `trace` is set
+    /// the scatter gets a `cluster.scatter` span and every per-node
+    /// `Stats` submit carries that span's context, so each node's stage
+    /// spans parent to the scatter in the burst's tree.
+    fn scatter_masses_traced(
+        &mut self,
+        ns: u64,
+        trace: Option<TraceContext>,
+    ) -> Result<(Vec<usize>, Vec<f64>, f64), ClusterError> {
         let sw = Stopwatch::start();
+        let scatter_span = child_span(trace, "cluster.scatter");
+        let ctx = span_ctx(&scatter_span);
         let owners = self.owner_nodes(ns);
         let mut pend: Vec<Pending<ServiceStats>> = Vec::with_capacity(owners.len());
         for &node in &owners {
             let submitted = self.nodes[node]
                 .client
                 .as_mut()
-                .map(|client| client.submit_stats_ns(ns));
+                .map(|client| client.submit_stats_ns_traced(ns, ctx));
             match submitted {
                 None => return Err(self.node_down(node)),
                 Some(Err(source)) => return Err(self.fail_node(node, source)),
@@ -627,6 +679,7 @@ impl Coordinator {
             masses.push(stats.mass);
             total += stats.mass;
         }
+        drop(scatter_span);
         obs().scatter_ns.observe_elapsed(sw);
         Ok((owners, masses, total))
     }
@@ -685,7 +738,17 @@ impl Coordinator {
         if count == 0 {
             return Ok(Vec::new());
         }
-        let (owners, masses, total) = self.scatter_masses(ns)?;
+        // The burst's root span: sampled deterministically, the whole
+        // fan-out (scatter + per-node stages + gather) parents under it.
+        let mut root = match self.tracer.sample() {
+            Some(trace_id) => Span::start(trace_id, 0, "cluster.sample_many"),
+            None => Span::noop(),
+        };
+        if root.is_recording() {
+            root.tag(format!("ns={ns} count={count}"));
+        }
+        let trace = span_ctx(&root);
+        let (owners, masses, total) = self.scatter_masses_traced(ns, trace)?;
         if total <= 0.0 {
             // The zero vector: ⊥ without consuming RNG, like the engine.
             return Ok(vec![None; count as usize]);
@@ -699,6 +762,8 @@ impl Coordinator {
             per_owner[p] += 1;
         }
         let sw = Stopwatch::start();
+        let gather_span = child_span(trace, "cluster.gather");
+        let gather_ctx = span_ctx(&gather_span);
         // Submit every node's fetch — chunked into MAX_SAMPLE_COUNT-sized
         // requests, since a coordinator burst may exceed what one Sample
         // request is allowed to carry — before awaiting any draw, so the
@@ -716,7 +781,7 @@ impl Coordinator {
                 let submitted = self.nodes[node]
                     .client
                     .as_mut()
-                    .map(|client| client.submit_sample_many_ns(ns, take));
+                    .map(|client| client.submit_sample_many_ns_traced(ns, take, gather_ctx));
                 match submitted {
                     None => {
                         fetch_err = Some(self.node_down(node));
@@ -759,6 +824,7 @@ impl Coordinator {
         // Picks are counted only for delivered bursts: a rolled-back burst
         // repeats its picks on retry, and double counting would skew the
         // observed node-pick distribution.
+        drop(gather_span);
         obs().gather_ns.observe_elapsed(sw);
         for (o, &node) in owners.iter().enumerate() {
             if per_owner[o] > 0 {

@@ -78,6 +78,10 @@ impl EventRing {
             if state.events.len() == self.capacity {
                 state.events.pop_front();
                 state.dropped += 1;
+                // The same sequence-gap accounting, surfaced on the
+                // scrape endpoint: silent event loss is itself an
+                // observable.
+                dropped_counter().inc();
             }
             state.events.push_back(Event {
                 seq,
@@ -113,6 +117,14 @@ impl EventRing {
         let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         (state.recorded, state.dropped)
     }
+}
+
+/// The `obs.events.dropped` counter handle, cached once: every ring
+/// eviction (any [`EventRing`], not just the global one) bumps it.
+#[cfg(feature = "on")]
+fn dropped_counter() -> crate::Counter {
+    static SITE: std::sync::OnceLock<crate::Counter> = std::sync::OnceLock::new();
+    *SITE.get_or_init(|| crate::registry().counter("obs.events.dropped"))
 }
 
 /// The process-global event ring (capacity [`GLOBAL_RING_CAPACITY`]).

@@ -59,6 +59,7 @@ mod off;
 #[cfg(feature = "on")]
 mod on;
 mod scrape;
+mod trace;
 mod types;
 
 pub use events::{drain_events, event, events, Event, EventRing, GLOBAL_RING_CAPACITY};
@@ -68,6 +69,10 @@ pub use off::{registry, Counter, Gauge, Histogram, MetricsRegistry, Stopwatch};
 #[cfg(feature = "on")]
 pub use on::{registry, Counter, Gauge, Histogram, MetricsRegistry, Stopwatch};
 pub use scrape::{MetricsServer, MetricsServerConfig};
+pub use trace::{
+    render_trace_spans, render_traces, set_slow_span_threshold, traces, Span, SpanRecord,
+    TraceRing, TraceServer, Tracer, DEFAULT_SLOW_SPAN_THRESHOLD, TRACE_RING_CAPACITY,
+};
 pub use types::{
     bucket_bound, bucket_index, escape_label_value, prometheus_name, HistogramSnapshot,
     MetricPoint, MetricValue, MetricsSnapshot, HISTOGRAM_BUCKETS,

@@ -12,6 +12,10 @@
 //! response; nothing the peer sends can change the response grammar,
 //! allocate unboundedly, or pin the handler thread past the deadline.
 //!
+//! The listener/handler machinery is [`TextServer`], shared with the
+//! traces endpoint ([`crate::TraceServer`]) — one render-a-string
+//! contract, two expositions.
+//!
 //! The server compiles in both obs modes so `--metrics-addr` keeps
 //! working under `--no-default-features` — the obs-off exposition is
 //! simply empty.
@@ -47,14 +51,73 @@ impl Default for MetricsServerConfig {
     }
 }
 
+/// The shared drain-then-answer listener: accepts connections, drains
+/// each request without interpreting it, and answers with whatever the
+/// render callback produces at that moment. [`MetricsServer`] and
+/// [`crate::TraceServer`] are this with different callbacks.
+#[derive(Debug)]
+pub(crate) struct TextServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TextServer {
+    pub(crate) fn bind_with<A: ToSocketAddrs, F>(
+        addr: A,
+        config: MetricsServerConfig,
+        render: F,
+    ) -> std::io::Result<TextServer>
+    where
+        F: Fn() -> String + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let render: Arc<dyn Fn() -> String + Send + Sync> = Arc::new(render);
+        let accept = std::thread::Builder::new()
+            .name("pts-obs-scrape".into())
+            .spawn(move || accept_loop(listener, flag, config, render))?;
+        Ok(TextServer {
+            addr,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub(crate) fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    pub(crate) fn join(mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TextServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// A running scrape endpoint. Dropping it (or calling
 /// [`MetricsServer::join`]) shuts the listener down and joins every
 /// handler thread — same teardown discipline as `pts-server`.
 #[derive(Debug)]
 pub struct MetricsServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    inner: TextServer,
 }
 
 impl MetricsServer {
@@ -69,51 +132,40 @@ impl MetricsServer {
         addr: A,
         config: MetricsServerConfig,
     ) -> std::io::Result<MetricsServer> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&shutdown);
-        let accept = std::thread::Builder::new()
-            .name("pts-obs-scrape".into())
-            .spawn(move || accept_loop(listener, flag, config))?;
         Ok(MetricsServer {
-            addr,
-            shutdown,
-            accept: Some(accept),
+            inner: TextServer::bind_with(addr, config, || {
+                let obs = scrape_obs();
+                obs.scrapes.inc();
+                let body = registry().render_prometheus();
+                obs.bytes_out.add(body.len() as u64);
+                body
+            })?,
         })
     }
 
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.local_addr()
     }
 
     /// Flags shutdown and wakes the blocking accept. Returns
     /// immediately; use [`MetricsServer::join`] to wait.
     pub fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
+        self.inner.shutdown();
     }
 
     /// Blocks until the accept loop and every handler have exited.
-    pub fn join(mut self) {
-        self.shutdown();
-        if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
-        }
+    pub fn join(self) {
+        self.inner.join();
     }
 }
 
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        self.shutdown();
-        if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
-        }
-    }
-}
-
-fn accept_loop(listener: TcpListener, shutdown: Arc<AtomicBool>, config: MetricsServerConfig) {
+fn accept_loop(
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    config: MetricsServerConfig,
+    render: Arc<dyn Fn() -> String + Send + Sync>,
+) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     loop {
         let conn = listener.accept();
@@ -122,9 +174,10 @@ fn accept_loop(listener: TcpListener, shutdown: Arc<AtomicBool>, config: Metrics
         }
         match conn {
             Ok((stream, _peer)) => {
+                let render = Arc::clone(&render);
                 if let Ok(handle) = std::thread::Builder::new()
                     .name("pts-obs-conn".into())
-                    .spawn(move || serve_scrape(stream, config))
+                    .spawn(move || serve_text(stream, config, &*render))
                 {
                     handlers.push(handle);
                 }
@@ -138,23 +191,20 @@ fn accept_loop(listener: TcpListener, shutdown: Arc<AtomicBool>, config: Metrics
     }
 }
 
-/// Serves one scrape connection (see the module docs for the contract).
-fn serve_scrape(mut stream: TcpStream, config: MetricsServerConfig) {
-    let obs = scrape_obs();
-    obs.scrapes.inc();
+/// Serves one connection (see the module docs for the contract): drain
+/// without parsing, then answer with one fixed `HTTP/1.0 200` carrying
+/// the rendered exposition.
+fn serve_text(mut stream: TcpStream, config: MetricsServerConfig, render: &dyn Fn() -> String) {
     drain_request(&mut stream, config);
-    let body = registry().render_prometheus();
+    let body = render();
     let header = format!(
         "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
-    let served = stream
+    let _ = stream
         .write_all(header.as_bytes())
         .and_then(|()| stream.write_all(body.as_bytes()))
         .and_then(|()| stream.flush());
-    if served.is_ok() {
-        obs.bytes_out.add((header.len() + body.len()) as u64);
-    }
     let _ = stream.shutdown(Shutdown::Both);
 }
 

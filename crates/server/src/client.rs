@@ -46,11 +46,14 @@
 //! and [`pts_samplers::Sample`]s on the way back, snapshot bytes decode
 //! into [`pts_engine::EngineSnapshot`].
 
+use crate::obs::{kind_name, obs};
 use pts_engine::EngineSnapshot;
+use pts_obs::{Span, Stopwatch, Tracer};
 use pts_samplers::Sample;
 use pts_stream::Update;
 use pts_util::protocol::{
-    read_response, write_request, Request, Response, ServiceError, ServiceStats, DEFAULT_NAMESPACE,
+    read_response, write_request_traced, Request, Response, ServiceError, ServiceStats,
+    TraceContext, DEFAULT_NAMESPACE,
 };
 use pts_util::wire::WireError;
 use std::collections::{HashMap, VecDeque};
@@ -113,6 +116,15 @@ pub struct ClientConfig {
     /// this connection before `submit_*` blocks for a slot. Minimum 1
     /// (a zero is treated as 1 — lockstep).
     pub max_in_flight: usize,
+    /// Trace sampling rate (wire v5): a `submit_*` call with no explicit
+    /// parent trace starts a fresh distributed trace on every
+    /// `trace_every`-th request. 0 (the default) disables sampling; in
+    /// the obs-off build nothing is ever sampled regardless.
+    pub trace_every: u64,
+    /// Phase shift for the deterministic trace sampler (see
+    /// [`pts_obs::Tracer`]): with `trace_every = N`, request `k` is
+    /// sampled iff `k ≡ trace_seed (mod N)`.
+    pub trace_seed: u64,
 }
 
 impl Default for ClientConfig {
@@ -122,6 +134,8 @@ impl Default for ClientConfig {
             read_timeout: None,
             write_timeout: None,
             max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+            trace_every: 0,
+            trace_seed: 0,
         }
     }
 }
@@ -156,6 +170,20 @@ impl ClientConfig {
     /// Sets the pipelining window (clamped to ≥ 1; 1 = lockstep).
     pub fn max_in_flight(mut self, depth: usize) -> Self {
         self.max_in_flight = depth.max(1);
+        self
+    }
+
+    /// Enables trace sampling: one in `every` submitted requests starts
+    /// a distributed trace (0 disables — the default).
+    pub fn trace_sampling(mut self, every: u64) -> Self {
+        self.trace_every = every;
+        self
+    }
+
+    /// Sets the trace sampler's phase shift (see
+    /// [`ClientConfig::trace_seed`]).
+    pub fn trace_seed(mut self, seed: u64) -> Self {
+        self.trace_seed = seed;
         self
     }
 }
@@ -362,6 +390,12 @@ pub struct Pending<T> {
     id: u64,
     decode: fn(Response) -> Result<T, ClientError>,
     done: bool,
+    /// The `client.submit` span covering submit→resolve (a no-op handle
+    /// for untraced requests); records when this handle resolves or is
+    /// abandoned.
+    span: Span,
+    /// Feeds the `server.client.resolve.ns` submit→resolve histogram.
+    sw: Stopwatch,
 }
 
 impl<T> Pending<T> {
@@ -376,12 +410,31 @@ impl<T> Pending<T> {
     /// error response resolves as [`ClientError::Server`] — scoped to
     /// this request only; a connection-level failure resolves every
     /// outstanding `Pending` as [`ClientError::Io`].
-    pub fn wait(mut self) -> Result<T, ClientError> {
+    pub fn wait(self) -> Result<T, ClientError> {
+        self.wait_deadline(None)
+            .map(|resolved| resolved.expect("no deadline: wait_deadline resolves or errors"))
+    }
+
+    /// [`Pending::wait`] with a per-call deadline: `Ok(Some(value))` when
+    /// the response arrives in time, `Ok(None)` when the deadline expires
+    /// first, `Err` exactly like [`Pending::wait`].
+    ///
+    /// Expiry abandons **this request only** — identical to dropping the
+    /// handle: the slot is released, the **connection stays usable** (the
+    /// late response, if it ever arrives, lands in the bounded stray
+    /// buffer and is discarded), and nothing is cancelled server-side.
+    /// This is scoped backpressure, not failure detection — for declaring
+    /// a connection dead use [`ClientConfig::read_timeout`], which fails
+    /// every outstanding request when no frame arrives in the window.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Option<T>, ClientError> {
+        self.wait_deadline(Some(Instant::now() + timeout))
+    }
+
+    fn wait_deadline(mut self, deadline: Option<Instant>) -> Result<Option<T>, ClientError> {
         self.done = true;
+        let poisoned = || ClientError::Io(std::io::Error::other("client demux poisoned"));
         let Ok(mut s) = self.demux.state.lock() else {
-            return Err(ClientError::Io(std::io::Error::other(
-                "client demux poisoned",
-            )));
+            return Err(poisoned());
         };
         let resp = loop {
             match s.slots.remove(&self.id) {
@@ -402,21 +455,44 @@ impl<T> Pending<T> {
                 self.demux.cv.notify_all();
                 return Err(err);
             }
-            s = match self.demux.cv.wait(s) {
-                Ok(guard) => guard,
-                Err(_) => {
-                    return Err(ClientError::Io(std::io::Error::other(
-                        "client demux poisoned",
-                    )))
+            s = match deadline {
+                None => match self.demux.cv.wait(s) {
+                    Ok(guard) => guard,
+                    Err(_) => return Err(poisoned()),
+                },
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        // Expired: release the slot exactly like Drop
+                        // does, so the connection keeps working and the
+                        // late response becomes a bounded stray.
+                        if matches!(s.slots.remove(&self.id), Some(Slot::Waiting)) {
+                            s.waiting -= 1;
+                            if s.waiting == 0 {
+                                s.pending_since = None;
+                            }
+                        }
+                        drop(s);
+                        self.demux.cv.notify_all();
+                        return Ok(None);
+                    }
+                    match self.demux.cv.wait_timeout(s, d - now) {
+                        Ok((guard, _)) => guard,
+                        Err(_) => return Err(poisoned()),
+                    }
                 }
             };
         };
         drop(s);
         // A slot freed: a submit blocked on the in-flight cap can run.
         self.demux.cv.notify_all();
+        // Resolved: close the submit→resolve span and record the latency
+        // before decoding (decode cost is the caller's, not the wire's).
+        obs().client_resolve.observe_elapsed(self.sw);
+        std::mem::take(&mut self.span).finish();
         match resp {
             Response::Error(e) => Err(ClientError::Server(e)),
-            other => (self.decode)(other),
+            other => (self.decode)(other).map(Some),
         }
     }
 }
@@ -457,6 +533,19 @@ pub struct Client {
     /// reserved on the wire).
     next_id: u64,
     max_in_flight: usize,
+    /// Starts a fresh trace on every [`ClientConfig::trace_every`]-th
+    /// submit that carries no explicit parent context (disabled by
+    /// default — and always in the obs-off build).
+    tracer: Tracer,
+}
+
+/// A successfully written request: the assigned id plus the client-side
+/// span and stopwatch that travel into the [`Pending`] and resolve with
+/// its response.
+struct Submitted {
+    id: u64,
+    span: Span,
+    sw: Stopwatch,
 }
 
 impl Client {
@@ -525,15 +614,43 @@ impl Client {
             reader: Some(reader),
             next_id: 1,
             max_in_flight: config.max_in_flight.max(1),
+            tracer: Tracer::new(config.trace_seed, config.trace_every),
         })
+    }
+
+    /// [`Client::submit_traced`] with no explicit parent — the
+    /// connection's own sampler decides whether a trace starts here.
+    fn submit_raw(&mut self, ns: u64, request: &Request) -> Result<Submitted, ClientError> {
+        self.submit_traced(ns, None, request)
     }
 
     /// Assigns an id, registers its slot (blocking while the connection
     /// is at [`ClientConfig::max_in_flight`]), and writes one request
-    /// frame addressed to `ns`. A write failure is fatal: the stream
+    /// frame addressed to `ns` carrying the request's trace context
+    /// (wire v5). An explicit `parent` — the coordinator propagating its
+    /// scatter trace — wins; otherwise the connection's own
+    /// [`Tracer`] may start a fresh trace; untraced requests carry the
+    /// `0` marker and a no-op span. A write failure is fatal: the stream
     /// position is torn, so the connection is poisoned and every
     /// outstanding request fails.
-    fn submit_raw(&mut self, ns: u64, request: &Request) -> Result<u64, ClientError> {
+    fn submit_traced(
+        &mut self,
+        ns: u64,
+        parent: Option<TraceContext>,
+        request: &Request,
+    ) -> Result<Submitted, ClientError> {
+        let mut span = match parent {
+            Some(ctx) => Span::start(ctx.trace_id, ctx.parent_span_id, "client.submit"),
+            None => match self.tracer.sample() {
+                Some(trace_id) => Span::start(trace_id, 0, "client.submit"),
+                None => Span::noop(),
+            },
+        };
+        let trace = span.is_recording().then(|| TraceContext {
+            trace_id: span.trace_id(),
+            parent_span_id: span.id(),
+        });
+        let sw = Stopwatch::start();
         let id = {
             let Ok(mut s) = self.demux.state.lock() else {
                 return Err(ClientError::Io(std::io::Error::other(
@@ -570,8 +687,13 @@ impl Client {
             }
             id
         };
-        match write_request(id, ns, request, &mut self.writer).and_then(|()| self.writer.flush()) {
-            Ok(()) => Ok(id),
+        if span.is_recording() {
+            span.tag(format!("kind={} ns={ns} id={id}", kind_name(request)));
+        }
+        match write_request_traced(id, ns, trace, request, &mut self.writer)
+            .and_then(|()| self.writer.flush())
+        {
+            Ok(()) => Ok(Submitted { id, span, sw }),
             Err(e) => {
                 if let Ok(mut s) = self.demux.state.lock() {
                     if matches!(s.slots.remove(&id), Some(Slot::Waiting)) {
@@ -585,13 +707,19 @@ impl Client {
         }
     }
 
-    /// Builds the typed handle for a registered id.
-    fn pending<T>(&self, id: u64, decode: fn(Response) -> Result<T, ClientError>) -> Pending<T> {
+    /// Builds the typed handle for a written request.
+    fn pending<T>(
+        &self,
+        sub: Submitted,
+        decode: fn(Response) -> Result<T, ClientError>,
+    ) -> Pending<T> {
         Pending {
             demux: Arc::clone(&self.demux),
-            id,
+            id: sub.id,
             decode,
             done: false,
+            span: sub.span,
+            sw: sub.sw,
         }
     }
 
@@ -613,8 +741,8 @@ impl Client {
         batch: &[Update],
     ) -> Result<Pending<u64>, ClientError> {
         let pairs = batch.iter().map(|u| (u.index, u.delta)).collect();
-        let id = self.submit_raw(ns, &Request::IngestBatch(pairs))?;
-        Ok(self.pending(id, decode_ingested))
+        let sub = self.submit_raw(ns, &Request::IngestBatch(pairs))?;
+        Ok(self.pending(sub, decode_ingested))
     }
 
     /// Submits a `count`-draw sample request without waiting; resolves to
@@ -632,8 +760,21 @@ impl Client {
         ns: u64,
         count: u64,
     ) -> Result<Pending<Vec<Option<Sample>>>, ClientError> {
-        let id = self.submit_raw(ns, &Request::Sample { count })?;
-        Ok(self.pending(id, decode_samples))
+        self.submit_sample_many_ns_traced(ns, count, None)
+    }
+
+    /// [`Client::submit_sample_many_ns`] carrying an explicit parent
+    /// trace context — how the coordinator's gather propagates its trace
+    /// into per-node fetches; `None` falls back to this connection's own
+    /// sampler.
+    pub fn submit_sample_many_ns_traced(
+        &mut self,
+        ns: u64,
+        count: u64,
+        parent: Option<TraceContext>,
+    ) -> Result<Pending<Vec<Option<Sample>>>, ClientError> {
+        let sub = self.submit_traced(ns, parent, &Request::Sample { count })?;
+        Ok(self.pending(sub, decode_samples))
     }
 
     /// Submits a snapshot request without waiting.
@@ -643,8 +784,8 @@ impl Client {
 
     /// [`Client::submit_snapshot`] addressed to namespace `ns`.
     pub fn submit_snapshot_ns(&mut self, ns: u64) -> Result<Pending<EngineSnapshot>, ClientError> {
-        let id = self.submit_raw(ns, &Request::Snapshot)?;
-        Ok(self.pending(id, decode_snapshot))
+        let sub = self.submit_raw(ns, &Request::Snapshot)?;
+        Ok(self.pending(sub, decode_snapshot))
     }
 
     /// Submits a stats request without waiting — the building block of
@@ -656,8 +797,20 @@ impl Client {
     /// [`Client::submit_stats`] addressed to namespace `ns` — stats are
     /// per-tenant (each namespace has its own counters, mass, support).
     pub fn submit_stats_ns(&mut self, ns: u64) -> Result<Pending<ServiceStats>, ClientError> {
-        let id = self.submit_raw(ns, &Request::Stats)?;
-        Ok(self.pending(id, decode_stats))
+        self.submit_stats_ns_traced(ns, None)
+    }
+
+    /// [`Client::submit_stats_ns`] carrying an explicit parent trace
+    /// context — how the coordinator's mass scatter propagates its trace
+    /// into per-node queries; `None` falls back to this connection's own
+    /// sampler.
+    pub fn submit_stats_ns_traced(
+        &mut self,
+        ns: u64,
+        parent: Option<TraceContext>,
+    ) -> Result<Pending<ServiceStats>, ClientError> {
+        let sub = self.submit_traced(ns, parent, &Request::Stats)?;
+        Ok(self.pending(sub, decode_stats))
     }
 
     /// Submits a checkpoint pull without waiting.
@@ -669,8 +822,8 @@ impl Client {
     /// checkpoints are per-tenant, which is what makes individual tenants
     /// migratable.
     pub fn submit_checkpoint_ns(&mut self, ns: u64) -> Result<Pending<Vec<u8>>, ClientError> {
-        let id = self.submit_raw(ns, &Request::Checkpoint)?;
-        Ok(self.pending(id, decode_checkpoint))
+        let sub = self.submit_raw(ns, &Request::Checkpoint)?;
+        Ok(self.pending(sub, decode_checkpoint))
     }
 
     /// Submits a restore without waiting (the [`Client::restore`] size
@@ -690,38 +843,38 @@ impl Client {
                 bytes: checkpoint.len(),
             });
         }
-        let id = self.submit_raw(ns, &Request::Restore(checkpoint.to_vec()))?;
-        Ok(self.pending(id, decode_restored))
+        let sub = self.submit_raw(ns, &Request::Restore(checkpoint.to_vec()))?;
+        Ok(self.pending(sub, decode_restored))
     }
 
     /// Submits a server shutdown request without waiting (server-scoped:
     /// no namespace to address).
     pub fn submit_shutdown(&mut self) -> Result<Pending<()>, ClientError> {
-        let id = self.submit_raw(DEFAULT_NAMESPACE, &Request::Shutdown)?;
-        Ok(self.pending(id, decode_shutdown))
+        let sub = self.submit_raw(DEFAULT_NAMESPACE, &Request::Shutdown)?;
+        Ok(self.pending(sub, decode_shutdown))
     }
 
     /// Submits a namespace creation without waiting. The server builds
     /// the tenant's engine through its spawner; creating an existing
     /// namespace (or 0) resolves as a recoverable server error.
     pub fn submit_create_namespace(&mut self, ns: u64) -> Result<Pending<()>, ClientError> {
-        let id = self.submit_raw(ns, &Request::CreateNamespace)?;
-        Ok(self.pending(id, decode_ns_created))
+        let sub = self.submit_raw(ns, &Request::CreateNamespace)?;
+        Ok(self.pending(sub, decode_ns_created))
     }
 
     /// Submits a namespace drop without waiting. Dropping namespace 0 or
     /// a namespace the server does not host resolves as a recoverable
     /// server error.
     pub fn submit_drop_namespace(&mut self, ns: u64) -> Result<Pending<()>, ClientError> {
-        let id = self.submit_raw(ns, &Request::DropNamespace)?;
-        Ok(self.pending(id, decode_ns_dropped))
+        let sub = self.submit_raw(ns, &Request::DropNamespace)?;
+        Ok(self.pending(sub, decode_ns_dropped))
     }
 
     /// Submits a namespace listing without waiting; resolves to the
     /// hosted namespaces in ascending order.
     pub fn submit_list_namespaces(&mut self) -> Result<Pending<Vec<u64>>, ClientError> {
-        let id = self.submit_raw(DEFAULT_NAMESPACE, &Request::ListNamespaces)?;
-        Ok(self.pending(id, decode_namespaces))
+        let sub = self.submit_raw(DEFAULT_NAMESPACE, &Request::ListNamespaces)?;
+        Ok(self.pending(sub, decode_namespaces))
     }
 
     // ---- blocking API (sugar: one in-flight request) ------------------

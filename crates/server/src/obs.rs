@@ -60,6 +60,19 @@ pub(crate) struct ServerObs {
     /// response bytes flushed.
     pub bytes_in: Counter,
     pub bytes_out: Counter,
+    /// `server.stage.ns{stage=…}` — per-stage latency split of one
+    /// request's server-side journey (wire v5 tracing's histogram view):
+    /// time queued behind the connection's FIFO, time waiting on the
+    /// tenant's engine lock, time doing engine work, time writing the
+    /// response.
+    pub stage_queue_wait: Histogram,
+    pub stage_lock_wait: Histogram,
+    pub stage_engine: Histogram,
+    pub stage_write: Histogram,
+    /// `server.client.resolve.ns` — the client-side submit→resolve
+    /// latency per pending id (registered here because the reference
+    /// client lives in this crate).
+    pub client_resolve: Histogram,
 }
 
 impl ServerObs {
@@ -77,6 +90,24 @@ impl ServerObs {
             Request::DropNamespace => self.drop_namespace,
             Request::ListNamespaces => self.list_namespaces,
         }
+    }
+}
+
+/// A request kind's label value — the same strings the labeled series
+/// are registered with, reused as span tags (`kind=…`) so the trace and
+/// metric views of one request agree.
+pub(crate) fn kind_name(request: &Request) -> &'static str {
+    match request {
+        Request::IngestBatch(_) => "ingest",
+        Request::Sample { .. } => "sample",
+        Request::Snapshot => "snapshot",
+        Request::Stats => "stats",
+        Request::Checkpoint => "checkpoint",
+        Request::Restore(_) => "restore",
+        Request::Shutdown => "shutdown",
+        Request::CreateNamespace => "create_namespace",
+        Request::DropNamespace => "drop_namespace",
+        Request::ListNamespaces => "list_namespaces",
     }
 }
 
@@ -117,6 +148,11 @@ pub(crate) fn obs() -> &'static ServerObs {
             frame_payload: r.counter_labeled("server.frame_errors", "class", "payload"),
             bytes_in: r.counter("server.bytes.in"),
             bytes_out: r.counter("server.bytes.out"),
+            stage_queue_wait: r.histogram_labeled("server.stage.ns", "stage", "queue_wait"),
+            stage_lock_wait: r.histogram_labeled("server.stage.ns", "stage", "lock_wait"),
+            stage_engine: r.histogram_labeled("server.stage.ns", "stage", "engine"),
+            stage_write: r.histogram_labeled("server.stage.ns", "stage", "write"),
+            client_resolve: r.histogram("server.client.resolve.ns"),
         }
     })
 }

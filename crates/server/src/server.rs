@@ -39,13 +39,13 @@
 //! drops the job channel so the workers exit, and joins those too.
 //! [`Server::join`] then completes once everything has returned.
 
-use crate::obs::obs;
+use crate::obs::{kind_name, obs};
 use pts_engine::SamplingService;
-use pts_obs::{event, CountingWriter, Stopwatch};
+use pts_obs::{event, CountingWriter, Span, Stopwatch};
 use pts_stream::Update;
 use pts_util::protocol::{
-    read_frame_lenient, split_namespace, split_request_id, write_response, ErrorCode, FrameError,
-    Request, Response, ServiceError, DEFAULT_NAMESPACE, MAX_FRAME_BYTES,
+    read_frame_lenient, split_namespace, split_request_id, split_trace, write_response, ErrorCode,
+    FrameError, Request, Response, ServiceError, TraceContext, DEFAULT_NAMESPACE, MAX_FRAME_BYTES,
 };
 use pts_util::wire::{Decode, WireError, KIND_REQUEST};
 use std::collections::{HashMap, VecDeque};
@@ -535,12 +535,14 @@ fn handle_connection<E: SamplingService>(
                         return;
                     }
                 }
-                // The id was sound but the namespace varint or the body
-                // was not: answer under the request's own id, in queue
-                // order (errors must not overtake earlier responses).
-                Ok((id, rest)) => match split_namespace(rest)
-                    .and_then(|(ns, body)| Ok((ns, Request::from_wire_bytes(body)?)))
-                {
+                // The id was sound but the namespace varint, the trace
+                // context, or the body was not: answer under the
+                // request's own id, in queue order (errors must not
+                // overtake earlier responses).
+                Ok((id, rest)) => match split_namespace(rest).and_then(|(ns, rest)| {
+                    let (trace, body) = split_trace(rest)?;
+                    Ok((ns, trace, Request::from_wire_bytes(body)?))
+                }) {
                     Err(err) => {
                         obs().frame_payload.inc();
                         event("server.frame_error.payload", err.to_string());
@@ -549,9 +551,17 @@ fn handle_connection<E: SamplingService>(
                             return;
                         }
                     }
-                    Ok((ns, request)) => {
-                        if enqueue(&conn, &ready, &shared, id, Job::Dispatch(ns, request)).is_err()
-                        {
+                    Ok((ns, trace, request)) => {
+                        let queue_span =
+                            stage_span(trace, "server.queue_wait", kind_name(&request), ns);
+                        let job = Job::Dispatch(DispatchJob {
+                            ns,
+                            trace,
+                            request,
+                            queue_span,
+                            queued: Stopwatch::start(),
+                        });
+                        if enqueue(&conn, &ready, &shared, id, job).is_err() {
                             return;
                         }
                     }
@@ -586,10 +596,40 @@ fn handle_connection<E: SamplingService>(
 enum Job {
     /// A decoded request, addressed to a namespace, to run through
     /// [`dispatch`].
-    Dispatch(u64, Request),
-    /// A pre-built response (a namespace or body decode error) that must
-    /// keep its place in the response order.
+    Dispatch(DispatchJob),
+    /// A pre-built response (a namespace, trace, or body decode error)
+    /// that must keep its place in the response order.
     Reply(Response),
+}
+
+/// A decoded request in flight between the reader and a worker: its
+/// namespace, wire trace context, and the queue-wait stage span opened
+/// at enqueue time (closed when a worker pops the job).
+struct DispatchJob {
+    ns: u64,
+    trace: Option<TraceContext>,
+    request: Request,
+    queue_span: Span,
+    queued: Stopwatch,
+}
+
+/// Opens one server-side stage span of a traced request, tagged
+/// `kind=… ns=…`. Untraced requests (and every request in the obs-off
+/// build) get a free no-op handle — the tag string is never even built.
+fn stage_span(
+    trace: Option<TraceContext>,
+    name: &'static str,
+    kind: &'static str,
+    ns: u64,
+) -> Span {
+    let Some(ctx) = trace else {
+        return Span::noop();
+    };
+    let mut span = Span::start(ctx.trace_id, ctx.parent_span_id, name);
+    if span.is_recording() {
+        span.tag(format!("kind={kind} ns={ns}"));
+    }
+    span
 }
 
 /// Appends a job to the connection FIFO (blocking at
@@ -667,11 +707,23 @@ fn drain_connection<E: SamplingService>(conn: &Conn, shared: &Arc<Shared<E>>) {
             }
         };
         conn.drained.notify_all();
-        let (response, wants_shutdown) = match job {
-            Job::Dispatch(ns, request) => dispatch(shared, ns, request),
-            Job::Reply(response) => (response, false),
+        let (response, wants_shutdown, trace, kind, ns) = match job {
+            Job::Dispatch(job) => {
+                // The queue-wait stage ends here: a worker owns the job.
+                obs().stage_queue_wait.observe_elapsed(job.queued);
+                drop(job.queue_span);
+                let (trace, ns) = (job.trace, job.ns);
+                let kind = kind_name(&job.request);
+                let (response, wants_shutdown) = dispatch(shared, ns, trace, job.request);
+                (response, wants_shutdown, trace, kind, ns)
+            }
+            Job::Reply(response) => (response, false, None, "error", 0),
         };
+        let write_sw = Stopwatch::start();
+        let write_span = stage_span(trace, "server.write", kind, ns);
         let write_ok = respond(conn, id, &response).is_ok();
+        drop(write_span);
+        obs().stage_write.observe_elapsed(write_sw);
         obs().inflight.add(-1);
         if wants_shutdown {
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -755,9 +807,17 @@ fn error_response(code: ErrorCode, err: &dyn std::fmt::Display) -> Response {
 /// (`Shutdown` and the namespace-management trio) run against the tenant
 /// map itself; engine-scoped requests resolve their namespace to a
 /// tenant engine first — a missing tenant is the in-band recoverable
-/// `unknown-namespace` error. Returns the response plus whether the
-/// server should shut down afterwards.
-fn dispatch<E: SamplingService>(shared: &Shared<E>, ns: u64, request: Request) -> (Response, bool) {
+/// `unknown-namespace` error. A traced request (wire v5) additionally
+/// records its lock-wait and engine-work stage spans here (queue-wait
+/// and response-write bracket this call in [`drain_connection`]).
+/// Returns the response plus whether the server should shut down
+/// afterwards.
+fn dispatch<E: SamplingService>(
+    shared: &Shared<E>,
+    ns: u64,
+    trace: Option<TraceContext>,
+    request: Request,
+) -> (Response, bool) {
     // Count the request up front so the Stats arm's local view includes
     // the Stats request itself; time the whole dispatch, lock wait
     // included — that wait is part of what the client experiences.
@@ -765,16 +825,20 @@ fn dispatch<E: SamplingService>(shared: &Shared<E>, ns: u64, request: Request) -
     let served = shared.requests.fetch_add(1, Ordering::Relaxed) + 1;
     let req_obs = obs().req(&request);
     req_obs.count.inc();
+    let kind = kind_name(&request);
 
     // Server-scoped requests never touch a tenant engine; `Shutdown` and
     // `ListNamespaces` ignore their namespace field, while the header
-    // namespace is the create/drop operand (PROTOCOL.md §2).
+    // namespace is the create/drop operand (PROTOCOL.md §2). There is no
+    // lock wait, so the whole arm is the engine-work stage.
     match request {
         Request::Shutdown => {
+            let _stage = stage_span(trace, "server.engine", kind, ns);
             req_obs.ns.observe_elapsed(sw);
             return (Response::ShuttingDown, true);
         }
         Request::CreateNamespace => {
+            let _stage = stage_span(trace, "server.engine", kind, ns);
             let response = if ns == DEFAULT_NAMESPACE {
                 Response::Error(ServiceError::new(
                     ErrorCode::Unsupported,
@@ -803,6 +867,7 @@ fn dispatch<E: SamplingService>(shared: &Shared<E>, ns: u64, request: Request) -
             return (response, false);
         }
         Request::DropNamespace => {
+            let _stage = stage_span(trace, "server.engine", kind, ns);
             let response = if ns == DEFAULT_NAMESPACE {
                 Response::Error(ServiceError::new(
                     ErrorCode::Unsupported,
@@ -818,6 +883,7 @@ fn dispatch<E: SamplingService>(shared: &Shared<E>, ns: u64, request: Request) -
             return (response, false);
         }
         Request::ListNamespaces => {
+            let _stage = stage_span(trace, "server.engine", kind, ns);
             let response = Response::Namespaces(shared.tenants.list());
             req_obs.ns.observe_elapsed(sw);
             return (response, false);
@@ -827,8 +893,14 @@ fn dispatch<E: SamplingService>(shared: &Shared<E>, ns: u64, request: Request) -
 
     // Engine-scoped: resolve the namespace (brief bucket lock, Arc
     // clone), then dispatch under the tenant's own mutex — other tenants
-    // proceed in parallel on the remaining workers.
+    // proceed in parallel on the remaining workers. The lock-wait stage
+    // covers both waits; the engine-work stage starts once the tenant
+    // mutex is held.
+    let lock_sw = Stopwatch::start();
+    let lock_span = stage_span(trace, "server.lock_wait", kind, ns);
     let Some(tenant) = shared.tenants.get(ns) else {
+        drop(lock_span);
+        obs().stage_lock_wait.observe_elapsed(lock_sw);
         req_obs.ns.observe_elapsed(sw);
         return (unknown_namespace(ns), false);
     };
@@ -841,6 +913,10 @@ fn dispatch<E: SamplingService>(shared: &Shared<E>, ns: u64, request: Request) -
             false,
         );
     };
+    drop(lock_span);
+    obs().stage_lock_wait.observe_elapsed(lock_sw);
+    let engine_sw = Stopwatch::start();
+    let engine_span = stage_span(trace, "server.engine", kind, ns);
     let response = match request {
         // Unreachable through the wire (the decoder rejects an empty
         // batch), but the dispatcher is also reachable by in-process
@@ -910,6 +986,8 @@ fn dispatch<E: SamplingService>(shared: &Shared<E>, ns: u64, request: Request) -
             "server-scoped request reached the engine dispatcher",
         )),
     };
+    drop(engine_span);
+    obs().stage_engine.observe_elapsed(engine_sw);
     req_obs.ns.observe_elapsed(sw);
     (response, false)
 }

@@ -6,23 +6,28 @@
 //!
 //! Recoverable (same connection keeps working): byte-soup payloads inside
 //! a valid envelope, truncation at every prefix of a request body, of the
-//! request-id varint itself, *and* of the namespace varint, the reserved
-//! id 0, duplicate ids, unknown namespaces (dropped-then-used included),
-//! response frames where requests belong, oversized *inner* length
-//! prefixes, checksum flips, version bumps. Fatal (error response, then
-//! the server closes that connection — and only that connection): bad
-//! magic, envelope length over the service cap.
+//! request-id varint itself, of the namespace varint, *and* of the trace
+//! field, the reserved id 0, duplicate ids, unknown namespaces
+//! (dropped-then-used included), response frames where requests belong,
+//! oversized *inner* length prefixes, checksum flips, version bumps.
+//! Fatal (error response, then the server closes that connection — and
+//! only that connection): bad magic, envelope length over the service
+//! cap.
 //!
-//! Wire v4: every request payload is `varint request_id ‖ varint
-//! namespace ‖ tag ‖ body`, and the server echoes the id on the response
-//! — or answers under the reserved id 0 when the failure is
-//! unattributable (unreadable id, frame-level error). A readable id with
-//! an unreadable namespace *is* attributable: the error echoes the id.
+//! Wire v5: every request payload is `varint request_id ‖ varint
+//! namespace ‖ trace ‖ tag ‖ body` (`trace := 0 | trace_id ‖
+//! parent_span_id`), and the server echoes the id on the response — or
+//! answers under the reserved id 0 when the failure is unattributable
+//! (unreadable id, frame-level error). A readable id with an unreadable
+//! namespace or trace field *is* attributable: the error echoes the id.
 
 use pts_engine::{ConcurrentEngine, EngineConfig, L0Factory};
 use pts_server::{serve, serve_with_spawner, Client, ClientError};
 use pts_stream::Update;
-use pts_util::protocol::{ErrorCode, Request, Response, ServiceError, DEFAULT_NAMESPACE};
+use pts_util::protocol::{
+    write_request_traced, ErrorCode, Request, Response, ServiceError, TraceContext,
+    DEFAULT_NAMESPACE,
+};
 use pts_util::wire::{write_frame, Encode, WireWriter, KIND_REQUEST, WIRE_MAGIC, WIRE_VERSION};
 use pts_util::Xoshiro256pp;
 
@@ -58,16 +63,26 @@ fn enveloped(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// A v4 request payload — `varint id ‖ varint ns ‖ body` — inside a valid
-/// envelope, so only the *body* (or the id/namespace values themselves)
-/// is hostile.
-fn enveloped_v4(id: u64, ns: u64, body: &[u8]) -> Vec<u8> {
+/// A v5 request payload — `varint id ‖ varint ns ‖ trace 0 ‖ body` —
+/// inside a valid envelope, so only the *body* (or the id/namespace
+/// values themselves) is hostile. The trace field is the untraced
+/// marker; `traced_frame` below builds the traced flavor.
+fn enveloped_v5(id: u64, ns: u64, body: &[u8]) -> Vec<u8> {
     let mut w = WireWriter::new();
     w.put_u64(id);
     w.put_u64(ns);
+    w.put_u64(0); // untraced
     let mut payload = w.as_bytes().to_vec();
     payload.extend_from_slice(body);
     enveloped(&payload)
+}
+
+/// A well-formed *traced* request frame: the v5 trace field populated
+/// with `trace_id ‖ parent_span_id`.
+fn traced_frame(id: u64, ns: u64, trace: TraceContext, request: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_request_traced(id, ns, Some(trace), request, &mut out).unwrap();
+    out
 }
 
 /// Asserts the next response is an in-band error of `code` carried under
@@ -106,7 +121,7 @@ fn byte_soup_payloads_yield_errors_and_connection_survives() {
             continue;
         }
         client
-            .send_raw(&enveloped_v4(round + 1, DEFAULT_NAMESPACE, &soup))
+            .send_raw(&enveloped_v5(round + 1, DEFAULT_NAMESPACE, &soup))
             .unwrap();
         expect_error(
             &mut client,
@@ -132,7 +147,7 @@ fn truncation_at_every_prefix_yields_errors_on_one_connection() {
     for cut in 0..payload.len() {
         let id = cut as u64 + 1;
         client
-            .send_raw(&enveloped_v4(id, DEFAULT_NAMESPACE, &payload[..cut]))
+            .send_raw(&enveloped_v5(id, DEFAULT_NAMESPACE, &payload[..cut]))
             .unwrap();
         expect_error(&mut client, id, ErrorCode::Malformed, &format!("cut {cut}"));
     }
@@ -181,7 +196,7 @@ fn request_id_zero_is_rejected_in_band() {
     let (server, mut client) = live_server();
     let body = Request::Stats.to_wire_bytes().unwrap();
     client
-        .send_raw(&enveloped_v4(0, DEFAULT_NAMESPACE, &body))
+        .send_raw(&enveloped_v5(0, DEFAULT_NAMESPACE, &body))
         .unwrap();
     expect_error(&mut client, 0, ErrorCode::Malformed, "id 0 request");
     assert_usable(&mut client, "after id-0 request");
@@ -244,7 +259,7 @@ fn oversized_inner_length_prefix_is_rejected_without_allocation() {
     w.put_u8(0x00);
     w.put_u8(0x00);
     client
-        .send_raw(&enveloped_v4(1, DEFAULT_NAMESPACE, w.as_bytes()))
+        .send_raw(&enveloped_v5(1, DEFAULT_NAMESPACE, w.as_bytes()))
         .unwrap();
     expect_error(&mut client, 1, ErrorCode::Malformed, "oversized count");
 
@@ -253,7 +268,7 @@ fn oversized_inner_length_prefix_is_rejected_without_allocation() {
     w.put_u8(0x06); // Restore tag
     w.put_u64(u64::MAX); // blob "length"
     client
-        .send_raw(&enveloped_v4(2, DEFAULT_NAMESPACE, w.as_bytes()))
+        .send_raw(&enveloped_v5(2, DEFAULT_NAMESPACE, w.as_bytes()))
         .unwrap();
     expect_error(&mut client, 2, ErrorCode::Malformed, "oversized blob");
 
@@ -310,13 +325,13 @@ fn empty_batch_and_zero_sample_count_are_in_band_errors() {
 
     // IngestBatch with count 0 (tag 0x01, varint 0).
     client
-        .send_raw(&enveloped_v4(1, DEFAULT_NAMESPACE, &[0x01, 0x00]))
+        .send_raw(&enveloped_v5(1, DEFAULT_NAMESPACE, &[0x01, 0x00]))
         .unwrap();
     expect_error(&mut client, 1, ErrorCode::Malformed, "empty ingest batch");
 
     // Sample with count 0 (tag 0x02, varint 0).
     client
-        .send_raw(&enveloped_v4(2, DEFAULT_NAMESPACE, &[0x02, 0x00]))
+        .send_raw(&enveloped_v5(2, DEFAULT_NAMESPACE, &[0x02, 0x00]))
         .unwrap();
     expect_error(&mut client, 2, ErrorCode::Malformed, "zero sample count");
 
@@ -415,7 +430,7 @@ fn unknown_namespace_is_in_band_recoverable() {
 
     // Raw frame: Stats addressed to a namespace nobody created.
     let body = Request::Stats.to_wire_bytes().unwrap();
-    client.send_raw(&enveloped_v4(9, 424242, &body)).unwrap();
+    client.send_raw(&enveloped_v5(9, 424242, &body)).unwrap();
     expect_error(
         &mut client,
         9,
@@ -495,7 +510,7 @@ fn request_id_zero_wins_over_namespace_errors() {
     let (server, mut client) = live_tenant_server();
     let body = Request::Stats.to_wire_bytes().unwrap();
     for ns in [DEFAULT_NAMESPACE, 424242, u64::MAX] {
-        client.send_raw(&enveloped_v4(0, ns, &body)).unwrap();
+        client.send_raw(&enveloped_v5(0, ns, &body)).unwrap();
         expect_error(
             &mut client,
             0,
@@ -504,7 +519,7 @@ fn request_id_zero_wins_over_namespace_errors() {
         );
     }
     let create = Request::CreateNamespace.to_wire_bytes().unwrap();
-    client.send_raw(&enveloped_v4(0, 31, &create)).unwrap();
+    client.send_raw(&enveloped_v5(0, 31, &create)).unwrap();
     expect_error(&mut client, 0, ErrorCode::Malformed, "id 0 create");
     assert_eq!(
         client.list_namespaces().unwrap(),
@@ -512,6 +527,141 @@ fn request_id_zero_wins_over_namespace_errors() {
         "a dead-on-arrival create must not leave a tenant behind"
     );
     assert_usable(&mut client, "after id-0/namespace sweep");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// Truncation at every prefix of the *trace field* (wire v5): the id
+/// before it was readable, so every error is answered under the
+/// request's own id — and the connection survives, because each hostile
+/// frame is still a sound envelope (the stream stays at a frame
+/// boundary).
+#[test]
+fn truncation_at_every_prefix_of_the_trace_field_echoes_the_id() {
+    let (server, mut client) = live_server();
+    // A maximal trace field: trace_id and parent_span_id both u64::MAX,
+    // ten continuation-flagged bytes each — every proper prefix either
+    // tears a varint or loses the parent outright.
+    let mut w = WireWriter::new();
+    w.put_u64(u64::MAX);
+    w.put_u64(u64::MAX);
+    let trace_bytes = w.as_bytes().to_vec();
+    assert_eq!(trace_bytes.len(), 20, "maximal trace must be 20 bytes");
+    for cut in 0..trace_bytes.len() {
+        let id = cut as u64 + 1;
+        let mut w = WireWriter::new();
+        w.put_u64(id);
+        w.put_u64(DEFAULT_NAMESPACE);
+        let mut payload = w.as_bytes().to_vec();
+        payload.extend_from_slice(&trace_bytes[..cut]);
+        client.send_raw(&enveloped(&payload)).unwrap();
+        expect_error(
+            &mut client,
+            id,
+            ErrorCode::Malformed,
+            &format!("trace cut {cut}"),
+        );
+    }
+    // The full trace field with nothing after it is a readable header
+    // whose *body* is missing: still Malformed, still under the id.
+    let mut w = WireWriter::new();
+    w.put_u64(99);
+    w.put_u64(DEFAULT_NAMESPACE);
+    let mut payload = w.as_bytes().to_vec();
+    payload.extend_from_slice(&trace_bytes);
+    client.send_raw(&enveloped(&payload)).unwrap();
+    expect_error(
+        &mut client,
+        99,
+        ErrorCode::Malformed,
+        "empty body after trace",
+    );
+    assert_usable(&mut client, "after trace-truncation sweep");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// The trace field composes with **every** request tag: a populated
+/// `trace_id ‖ parent_span_id` in front of each request kind decodes and
+/// dispatches exactly like its untraced twin — no kind is allowed to
+/// misparse the trace bytes as part of its body.
+#[test]
+fn trace_field_rides_every_request_kind() {
+    let (server, mut client) = live_tenant_server();
+    let ctx = TraceContext {
+        trace_id: 0xDECAF,
+        parent_span_id: 7,
+    };
+    let checkpoint = client.checkpoint().unwrap();
+    let script: Vec<(u64, u64, Request)> = vec![
+        (1, 9, Request::CreateNamespace),
+        (2, 9, Request::IngestBatch(vec![(3, 5), (9, -2)])),
+        (3, 9, Request::Sample { count: 2 }),
+        (4, 9, Request::Snapshot),
+        (5, 9, Request::Stats),
+        (6, 9, Request::Checkpoint),
+        (7, DEFAULT_NAMESPACE, Request::Restore(checkpoint)),
+        (8, DEFAULT_NAMESPACE, Request::ListNamespaces),
+        (9, 9, Request::DropNamespace),
+    ];
+    for (id, ns, request) in script {
+        client
+            .send_raw(&traced_frame(id, ns, ctx, &request))
+            .unwrap();
+        match client.recv_response() {
+            Ok((got_id, Response::Error(e))) => {
+                panic!("traced {request:?} (id {id}) errored under {got_id}: {e:?}")
+            }
+            Ok((got_id, _)) => assert_eq!(got_id, id, "traced {request:?}: wrong response id"),
+            Err(e) => panic!("traced {request:?} (id {id}) failed: {e}"),
+        }
+    }
+    assert_usable(&mut client, "after traced sweep of every kind");
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+/// Untraced and traced requests interleave freely on one connection: a
+/// pipelined burst alternating the two flavors echoes every id exactly
+/// once, all Stats, nothing cross-resolved.
+#[test]
+fn untraced_and_traced_requests_interleave_on_one_connection() {
+    let (server, mut client) = live_server();
+    let ids: Vec<u64> = (1..=16).collect();
+    let mut burst = Vec::new();
+    for &id in &ids {
+        if id % 2 == 0 {
+            let ctx = TraceContext {
+                trace_id: 0x1000 + id,
+                parent_span_id: id,
+            };
+            write_request_traced(
+                id,
+                DEFAULT_NAMESPACE,
+                Some(ctx),
+                &Request::Stats,
+                &mut burst,
+            )
+            .unwrap();
+        } else {
+            pts_util::protocol::write_request(id, DEFAULT_NAMESPACE, &Request::Stats, &mut burst)
+                .unwrap();
+        }
+    }
+    client.send_raw(&burst).unwrap();
+    let mut seen = Vec::new();
+    for _ in &ids {
+        match client.recv_response() {
+            Ok((id, Response::Stats(_))) => seen.push(id),
+            other => panic!("interleaved trace burst: got {other:?}"),
+        }
+    }
+    seen.sort_unstable();
+    assert_eq!(
+        seen, ids,
+        "every interleaved id must be echoed exactly once"
+    );
+    assert_usable(&mut client, "after traced/untraced interleave");
     client.shutdown_server().unwrap();
     server.join();
 }

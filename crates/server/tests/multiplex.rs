@@ -201,6 +201,47 @@ fn max_in_flight_backpressures_submit() {
     server.join().unwrap();
 }
 
+/// `Pending::wait_timeout` gives up cleanly: an expiry returns
+/// `Ok(None)` without poisoning the connection — the late response is
+/// absorbed as a stray, and later requests on the same connection still
+/// resolve (including through `wait_timeout` itself).
+#[test]
+fn wait_timeout_expires_cleanly_and_connection_survives() {
+    const HOLD: Duration = Duration::from_millis(200);
+    let (addr, server) = scripted_server(move |mut stream| {
+        let (slow, _, _) = read_request(&mut stream).unwrap();
+        // Let the client's deadline expire before anything is answered.
+        std::thread::sleep(HOLD);
+        let (fast, _, _) = read_request(&mut stream).unwrap();
+        // The expired request's response arrives late — it must be
+        // swallowed as a stray, not resolve the later handle.
+        write_response(slow, &stats_marked(slow), &mut stream).unwrap();
+        write_response(fast, &stats_marked(fast), &mut stream).unwrap();
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let slow = client.submit_stats().unwrap();
+    let started = Instant::now();
+    assert!(
+        slow.wait_timeout(Duration::from_millis(25))
+            .unwrap()
+            .is_none(),
+        "no response inside the deadline must resolve to None"
+    );
+    assert!(
+        started.elapsed() < HOLD,
+        "wait_timeout must return at its own deadline, not the response's"
+    );
+    let fast = client.submit_stats().unwrap();
+    let fast_id = fast.id();
+    let stats = fast
+        .wait_timeout(Duration::from_secs(5))
+        .unwrap()
+        .expect("an answered request resolves within a generous deadline");
+    assert_eq!(stats.universe, 1000 + fast_id);
+    drop(client);
+    server.join().unwrap();
+}
+
 /// Pipelining against a **real** server: a burst of ingests and a burst
 /// of sample fetches all in flight at once, every ack correct, totals
 /// exactly right afterwards.

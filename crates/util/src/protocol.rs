@@ -20,6 +20,12 @@
 //! endpoint. Namespace [`DEFAULT_NAMESPACE`] (0) is the default tenant
 //! every server has, so a single-tenant caller simply sends 0 everywhere.
 //!
+//! Since wire version 5 the conversation is **traceable**: every request
+//! also carries a varint-framed *trace context* (after the namespace) —
+//! a single `0` varint for untraced requests, or `trace_id ‖
+//! parent_span_id` for requests sampled into a distributed trace
+//! ([`TraceContext`]). Responses are unchanged.
+//!
 //! # Frame layout (normative)
 //!
 //! Every protocol message is one [`crate::wire`] envelope:
@@ -27,10 +33,11 @@
 //! ```text
 //! offset  bytes  field
 //! 0       4      magic        "PTSW" (0x50 0x54 0x53 0x57)
-//! 4       1      version      WIRE_VERSION (currently 0x04)
+//! 4       1      version      WIRE_VERSION (currently 0x05)
 //! 5       1      kind         KIND_REQUEST (0x04) or KIND_RESPONSE (0x05)
 //! 6       1–10   len          payload length, LEB128 varint
-//! 6+|len| len    payload      request: varint request_id ‖ varint namespace ‖ body
+//! 6+|len| len    payload      request: varint request_id ‖ varint namespace ‖
+//!                                      trace ‖ body
 //!                             response: varint request_id ‖ body (below)
 //! …       8      checksum     FNV-1a 64 over version ‖ kind ‖ payload,
 //!                             little-endian (see [`crate::wire::fnv1a64`])
@@ -72,6 +79,34 @@
 //!   payload decode failure: the server answers `malformed` under the
 //!   request's own id, which *was* readable.
 //!
+//! # Trace context (normative)
+//!
+//! Every request payload carries a varint-framed trace context **between
+//! the namespace and the tag byte** (responses carry none — a response
+//! is correlated by its echoed request id):
+//!
+//! ```text
+//! trace := varint 0                                  (untraced)
+//!        | varint trace_id (≥ 1) ‖ varint parent_span_id
+//! ```
+//!
+//! * Trace id **0** means *untraced* — the field is exactly one `0x00`
+//!   byte and no span ids follow. An untraced v5 request behaves exactly
+//!   like a v4 request did.
+//! * A nonzero leading varint **is** the `trace_id`, and a
+//!   `parent_span_id` varint must follow: the request was sampled into a
+//!   distributed trace, and any spans the server records for it attach
+//!   under `parent_span_id` within `trace_id`. Both ids are opaque to
+//!   the protocol — the server never interprets them beyond propagation.
+//! * The trace context carries no protocol semantics: traced and
+//!   untraced requests are answered identically, and servers must accept
+//!   both interleaved freely on one connection.
+//! * A trace field that cannot be read (a truncated varint, or a nonzero
+//!   trace id with no parent span id behind it) is a payload decode
+//!   failure: the server answers `malformed` under the request's own id,
+//!   which was already readable — same attribution rule as the
+//!   namespace.
+//!
 //! Primitive encodings inside a payload are the wire vocabulary:
 //! `varint` is LEB128 (7 value bits per byte, high bit = continue, max 10
 //! bytes), `zigzag` is a varint of `(v << 1) ^ (v >> 63)`, `f64` is the raw
@@ -81,8 +116,9 @@
 //!
 //! # Request grammar (normative)
 //!
-//! After the leading varint request id and varint namespace, a request
-//! payload is a one-byte request tag followed by the tag's body:
+//! After the leading varint request id, varint namespace, and trace
+//! context, a request payload is a one-byte request tag followed by the
+//! tag's body:
 //!
 //! ```text
 //! 0x01 IngestBatch      varint count (≥ 1), then per update:
@@ -190,6 +226,21 @@ pub const MAX_RESTORE_BYTES: u64 = MAX_FRAME_BYTES - 11;
 /// default tenant. It cannot be dropped, so a single-tenant caller that
 /// sends 0 everywhere behaves exactly like a pre-v4 conversation.
 pub const DEFAULT_NAMESPACE: u64 = 0;
+
+/// The trace context a sampled request carries on the wire (wire
+/// version 5): which distributed trace it belongs to and which span to
+/// attach server-side spans under. Both ids are opaque varints; trace
+/// id 0 is reserved to mean *untraced* (encoded as a single `0` varint
+/// with no parent span id), so a [`TraceContext`] always has
+/// `trace_id ≥ 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The distributed trace this request belongs to (≥ 1).
+    pub trace_id: u64,
+    /// The caller's span: spans recorded while serving this request
+    /// attach under it (0 = the trace root itself submitted this).
+    pub parent_span_id: u64,
+}
 
 /// Request tag: [`Request::IngestBatch`].
 const REQ_INGEST: u8 = 0x01;
@@ -644,16 +695,34 @@ impl Decode for Response {
     }
 }
 
-/// Writes one request under `request_id`, addressed to `namespace`, as a
-/// framed `KIND_REQUEST` envelope:
-/// `varint request_id ‖ varint namespace ‖ request body`.
+/// Writes one untraced request under `request_id`, addressed to
+/// `namespace`, as a framed `KIND_REQUEST` envelope:
+/// `varint request_id ‖ varint namespace ‖ 0 ‖ request body` (the lone
+/// `0` varint is the wire-version-5 *untraced* trace context).
 ///
 /// `request_id` must be ≥ 1 (id 0 is reserved for unattributable server
 /// error responses — see the module docs); debug builds assert this.
-/// Single-tenant callers pass [`DEFAULT_NAMESPACE`].
+/// Single-tenant callers pass [`DEFAULT_NAMESPACE`]. Callers sampled
+/// into a distributed trace use [`write_request_traced`].
 pub fn write_request<W: Write>(
     request_id: u64,
     namespace: u64,
+    req: &Request,
+    sink: &mut W,
+) -> std::io::Result<()> {
+    write_request_traced(request_id, namespace, None, req, sink)
+}
+
+/// Writes one request carrying an explicit trace context:
+/// `varint request_id ‖ varint namespace ‖ trace ‖ request body`, where
+/// `trace` is a lone `0` varint for `None` or
+/// `varint trace_id ‖ varint parent_span_id` for `Some`. A
+/// [`TraceContext`] with trace id 0 would be indistinguishable from
+/// untraced; debug builds assert against it.
+pub fn write_request_traced<W: Write>(
+    request_id: u64,
+    namespace: u64,
+    trace: Option<TraceContext>,
     req: &Request,
     sink: &mut W,
 ) -> std::io::Result<()> {
@@ -661,18 +730,38 @@ pub fn write_request<W: Write>(
     let mut w = WireWriter::new();
     w.put_u64(request_id);
     w.put_u64(namespace);
+    match trace {
+        None => w.put_u64(0),
+        Some(ctx) => {
+            debug_assert!(ctx.trace_id != 0, "trace id 0 means untraced");
+            w.put_u64(ctx.trace_id);
+            w.put_u64(ctx.parent_span_id);
+        }
+    }
     req.encode(&mut w).expect("requests always encode");
     write_frame(KIND_REQUEST, w.as_bytes(), sink)
 }
 
-/// Reads one framed request; returns its id, namespace, and body
-/// (strict: any malformation is an error; servers wanting to keep the
-/// connection should use [`read_frame_lenient`] and decode the payload
-/// themselves via [`split_request_id`] / [`split_namespace`]).
+/// Reads one framed request; returns its id, namespace, and body, with
+/// the trace context (if any) discarded (strict: any malformation is an
+/// error; servers wanting to keep the connection should use
+/// [`read_frame_lenient`] and decode the payload themselves via
+/// [`split_request_id`] / [`split_namespace`] / [`split_trace`]).
 pub fn read_request<R: Read>(src: &mut R) -> Result<(u64, u64, Request), WireError> {
+    let (id, namespace, _, req) = read_request_traced(src)?;
+    Ok((id, namespace, req))
+}
+
+/// Reads one framed request like [`read_request`], but also hands back
+/// the trace context the request carried (`None` = untraced).
+pub fn read_request_traced<R: Read>(
+    src: &mut R,
+) -> Result<(u64, u64, Option<TraceContext>, Request), WireError> {
     let payload = read_frame(KIND_REQUEST, src)?;
-    let (id, namespace, body) = split_request_payload(&payload)?;
-    Ok((id, namespace, Request::from_wire_bytes(body)?))
+    let (id, rest) = split_request_id(&payload)?;
+    let (namespace, rest) = split_namespace(rest)?;
+    let (trace, body) = split_trace(rest)?;
+    Ok((id, namespace, trace, Request::from_wire_bytes(body)?))
 }
 
 /// Splits a request payload into its leading varint `request_id` and
@@ -692,22 +781,44 @@ pub fn split_request_id(payload: &[u8]) -> Result<(u64, &[u8]), WireError> {
 }
 
 /// Splits the remainder handed back by [`split_request_id`] into the
-/// varint `namespace` and the tag'd request body behind it. A truncated
-/// namespace varint errors here — an attributable `malformed`, since the
-/// request id was already read.
+/// varint `namespace` and everything behind it (the trace context plus
+/// the tag'd request body). A truncated namespace varint errors here —
+/// an attributable `malformed`, since the request id was already read.
 pub fn split_namespace(rest: &[u8]) -> Result<(u64, &[u8]), WireError> {
     let mut r = WireReader::new(rest);
     let namespace = r.get_u64()?;
     Ok((namespace, &rest[rest.len() - r.remaining()..]))
 }
 
+/// Splits the remainder handed back by [`split_namespace`] into the
+/// trace context (`None` = the untraced `0` varint) and the tag'd
+/// request body behind it. A truncated trace varint — or a nonzero
+/// trace id with no parent span id behind it — errors here, which is an
+/// attributable `malformed` exactly like a bad namespace: the request
+/// id was already peeled.
+pub fn split_trace(rest: &[u8]) -> Result<(Option<TraceContext>, &[u8]), WireError> {
+    let mut r = WireReader::new(rest);
+    let trace_id = r.get_u64()?;
+    let trace = if trace_id == 0 {
+        None
+    } else {
+        Some(TraceContext {
+            trace_id,
+            parent_span_id: r.get_u64()?,
+        })
+    };
+    Ok((trace, &rest[rest.len() - r.remaining()..]))
+}
+
 /// Splits a request payload into `(request_id, namespace, body)` in one
-/// step — the strict composition of [`split_request_id`] and
-/// [`split_namespace`], for callers that do not need to attribute
-/// partial failures.
+/// step — the strict composition of [`split_request_id`],
+/// [`split_namespace`], and [`split_trace`] (the trace context is
+/// validated but discarded), for callers that do not need to attribute
+/// partial failures or follow traces.
 pub fn split_request_payload(payload: &[u8]) -> Result<(u64, u64, &[u8]), WireError> {
     let (id, rest) = split_request_id(payload)?;
-    let (namespace, body) = split_namespace(rest)?;
+    let (namespace, rest) = split_namespace(rest)?;
+    let (_, body) = split_trace(rest)?;
     Ok((id, namespace, body))
 }
 
@@ -757,7 +868,25 @@ mod tests {
                 write_request(id, ns, &req, &mut buf).unwrap();
                 let (back_id, back_ns, back) = read_request(&mut buf.as_slice()).unwrap();
                 assert_eq!((back_id, back_ns, back), (id, ns, req.clone()));
+                // The untraced write really carried the untraced marker.
+                let mut buf2 = buf.as_slice();
+                let (_, _, trace, _) = read_request_traced(&mut buf2).unwrap();
+                assert_eq!(trace, None);
             }
+        }
+        // Trace contexts spanning 1, 2, and 10 varint bytes per field
+        // must roundtrip too, and the trace-blind read must still agree.
+        for (trace_id, parent) in [(1u64, 0u64), (300, 7), (u64::MAX, u64::MAX)] {
+            let ctx = TraceContext {
+                trace_id,
+                parent_span_id: parent,
+            };
+            let mut buf = Vec::new();
+            write_request_traced(9, 4, Some(ctx), &req, &mut buf).unwrap();
+            let (id, ns, trace, back) = read_request_traced(&mut buf.as_slice()).unwrap();
+            assert_eq!((id, ns, trace, back), (9, 4, Some(ctx), req.clone()));
+            let (id, ns, back) = read_request(&mut buf.as_slice()).unwrap();
+            assert_eq!((id, ns, back), (9, 4, req.clone()));
         }
     }
 
@@ -938,6 +1067,7 @@ mod tests {
         let mut w = WireWriter::new();
         w.put_u64(0);
         w.put_u64(DEFAULT_NAMESPACE);
+        w.put_u64(0); // untraced
         Request::Stats.encode(&mut w).unwrap();
         assert!(matches!(
             split_request_id(w.as_bytes()),
@@ -960,23 +1090,38 @@ mod tests {
 
     #[test]
     fn split_request_payload_demuxes_id_and_namespace_from_body() {
-        // Multi-byte varint id and namespace: the two-stage split must
-        // hand back exactly the body bytes after both prefixes.
+        // Multi-byte varint id, namespace, and trace fields: the staged
+        // split must hand back exactly the body bytes after every prefix.
         let mut w = WireWriter::new();
         w.put_u64(300); // two varint bytes: 0xAC 0x02
         w.put_u64(777); // two varint bytes: 0x89 0x06
+        w.put_u64(200); // trace id, two varint bytes: 0xC8 0x01
+        w.put_u64(150); // parent span id, two varint bytes: 0x96 0x01
         w.put_u8(REQ_STATS);
         let (id, rest) = split_request_id(w.as_bytes()).unwrap();
         assert_eq!(id, 300);
-        let (ns, body) = split_namespace(rest).unwrap();
+        let (ns, rest) = split_namespace(rest).unwrap();
         assert_eq!(ns, 777);
+        let (trace, body) = split_trace(rest).unwrap();
+        assert_eq!(
+            trace,
+            Some(TraceContext {
+                trace_id: 200,
+                parent_span_id: 150
+            })
+        );
         assert_eq!(body, [REQ_STATS]);
         assert_eq!(Request::from_wire_bytes(body).unwrap(), Request::Stats);
-        // The one-step composition agrees.
+        // The one-step composition agrees (trace validated, discarded).
         assert_eq!(
             split_request_payload(w.as_bytes()).unwrap(),
             (300, 777, &[REQ_STATS][..])
         );
+        // And the untraced marker splits to None without consuming body.
+        let untraced = [0x00, REQ_STATS];
+        let (trace, body) = split_trace(&untraced).unwrap();
+        assert_eq!(trace, None);
+        assert_eq!(body, [REQ_STATS]);
     }
 
     #[test]
@@ -1008,8 +1153,8 @@ mod tests {
         // Same sweep one field later: a readable id followed by every
         // proper prefix of a 10-byte namespace varint must fail the
         // namespace split (attributable — the id was already peeled),
-        // and the full namespace with an empty body must fail the *body*
-        // decode, not the split.
+        // and the full namespace with nothing behind it must fail the
+        // *trace* split, not the namespace split.
         let mut w = WireWriter::new();
         w.put_u64(u64::MAX);
         let ns_bytes = w.as_bytes().to_vec();
@@ -1020,10 +1165,44 @@ mod tests {
                 "namespace cut at {cut} split"
             );
         }
-        let (ns, body) = split_namespace(&ns_bytes).unwrap();
+        let (ns, rest) = split_namespace(&ns_bytes).unwrap();
         assert_eq!(ns, u64::MAX);
+        assert!(rest.is_empty());
+        assert!(split_trace(rest).is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_of_the_trace_field_errors() {
+        // Same sweep one field later again: every proper prefix of a
+        // maximal 20-byte trace context (10-byte trace id ‖ 10-byte
+        // parent span id) must fail the trace split — a cut inside the
+        // trace id is a truncated varint, a cut at or after the full
+        // trace id is a nonzero trace id with a missing/truncated parent
+        // span id. Attribution is the namespace rule: the request id was
+        // already peeled, so the failure answers under it.
+        let mut w = WireWriter::new();
+        w.put_u64(u64::MAX);
+        w.put_u64(u64::MAX);
+        let trace_bytes = w.as_bytes().to_vec();
+        assert_eq!(trace_bytes.len(), 20);
+        for cut in 0..trace_bytes.len() {
+            assert!(
+                split_trace(&trace_bytes[..cut]).is_err(),
+                "trace cut at {cut} split"
+            );
+        }
+        let (trace, body) = split_trace(&trace_bytes).unwrap();
+        assert_eq!(
+            trace,
+            Some(TraceContext {
+                trace_id: u64::MAX,
+                parent_span_id: u64::MAX
+            })
+        );
         assert!(body.is_empty());
-        assert!(Request::from_wire_bytes(body).is_err());
+        // The untraced marker is never truncatable: one byte, zero.
+        assert_eq!(split_trace(&[0x00]).unwrap(), (None, &[][..]));
+        assert!(split_trace(&[]).is_err());
     }
 
     /// The PROTOCOL.md §"Worked examples" hex bytes, pinned so the document
@@ -1037,8 +1216,8 @@ mod tests {
         assert_eq!(
             stats,
             [
-                0x50, 0x54, 0x53, 0x57, 0x04, 0x04, 0x03, 0x01, 0x00, 0x04, 0x90, 0x2C, 0xDD, 0x83,
-                0x50, 0xF4, 0x41, 0x29
+                0x50, 0x54, 0x53, 0x57, 0x05, 0x04, 0x04, 0x01, 0x00, 0x00, 0x04, 0x71, 0xF1, 0x57,
+                0xCF, 0xAD, 0x3C, 0xAB, 0x5B
             ],
             "Stats request frame drifted: {stats:02X?}"
         );
@@ -1055,8 +1234,8 @@ mod tests {
         assert_eq!(
             ingest,
             [
-                0x50, 0x54, 0x53, 0x57, 0x04, 0x04, 0x09, 0x02, 0x07, 0x01, 0x02, 0x03, 0x0A, 0x84,
-                0x07, 0x03, 0x1E, 0x3F, 0x7E, 0xCC, 0xF8, 0x54, 0x87, 0xF4
+                0x50, 0x54, 0x53, 0x57, 0x05, 0x04, 0x0A, 0x02, 0x07, 0x00, 0x01, 0x02, 0x03, 0x0A,
+                0x84, 0x07, 0x03, 0x9F, 0x63, 0x62, 0xEE, 0x13, 0xD3, 0xC3, 0xAD
             ],
             "IngestBatch request frame drifted: {ingest:02X?}"
         );
@@ -1067,10 +1246,32 @@ mod tests {
         assert_eq!(
             create,
             [
-                0x50, 0x54, 0x53, 0x57, 0x04, 0x04, 0x03, 0x03, 0x07, 0x08, 0x95, 0xCC, 0xB5, 0x8D,
-                0x50, 0x18, 0x9F, 0x3A
+                0x50, 0x54, 0x53, 0x57, 0x05, 0x04, 0x04, 0x03, 0x07, 0x00, 0x08, 0xC6, 0x67, 0x0B,
+                0x6D, 0xBE, 0x1F, 0xA4, 0x81
             ],
             "CreateNamespace request frame drifted: {create:02X?}"
+        );
+        // Example 2c: a traced Sample request — id 4, namespace 0,
+        // sampled into trace 9 under parent span 1, asking for 2 draws.
+        let mut traced = Vec::new();
+        write_request_traced(
+            4,
+            DEFAULT_NAMESPACE,
+            Some(TraceContext {
+                trace_id: 9,
+                parent_span_id: 1,
+            }),
+            &Request::Sample { count: 2 },
+            &mut traced,
+        )
+        .unwrap();
+        assert_eq!(
+            traced,
+            [
+                0x50, 0x54, 0x53, 0x57, 0x05, 0x04, 0x06, 0x04, 0x00, 0x09, 0x01, 0x02, 0x02, 0x1A,
+                0x10, 0x90, 0x20, 0x28, 0x79, 0x47, 0x48
+            ],
+            "traced Sample request frame drifted: {traced:02X?}"
         );
         // Example 3: a Samples response carrying one draw of index 3,
         // estimate 5.0, and one ⊥ — echoing request id 2.
@@ -1084,9 +1285,9 @@ mod tests {
         assert_eq!(
             samples,
             [
-                0x50, 0x54, 0x53, 0x57, 0x04, 0x05, 0x0E, 0x02, 0x02, 0x02, 0x01, 0x03, 0x00, 0x00,
-                0x00, 0x00, 0x00, 0x00, 0x14, 0x40, 0x00, 0x98, 0x61, 0x7D, 0x0B, 0x22, 0x06, 0xB6,
-                0x1E
+                0x50, 0x54, 0x53, 0x57, 0x05, 0x05, 0x0E, 0x02, 0x02, 0x02, 0x01, 0x03, 0x00, 0x00,
+                0x00, 0x00, 0x00, 0x00, 0x14, 0x40, 0x00, 0xF5, 0x79, 0xB7, 0xAE, 0xE2, 0xB0, 0x0F,
+                0xFE
             ],
             "Samples response frame drifted: {samples:02X?}"
         );
@@ -1107,9 +1308,9 @@ mod tests {
         assert_eq!(
             error,
             [
-                0x50, 0x54, 0x53, 0x57, 0x04, 0x05, 0x17, 0x05, 0x00, 0x01, 0x13, 0x75, 0x6E, 0x6B,
+                0x50, 0x54, 0x53, 0x57, 0x05, 0x05, 0x17, 0x05, 0x00, 0x01, 0x13, 0x75, 0x6E, 0x6B,
                 0x6E, 0x6F, 0x77, 0x6E, 0x20, 0x72, 0x65, 0x71, 0x75, 0x65, 0x73, 0x74, 0x20, 0x74,
-                0x61, 0x67, 0xEA, 0x54, 0x28, 0x58, 0x03, 0xAD, 0x2F, 0xDF
+                0x61, 0x67, 0xCD, 0xBA, 0x7A, 0x5D, 0x39, 0xD3, 0xCC, 0x20
             ],
             "Error response frame drifted: {error:02X?}"
         );
@@ -1138,9 +1339,9 @@ mod tests {
         assert_eq!(
             report,
             [
-                0x50, 0x54, 0x53, 0x57, 0x04, 0x05, 0x13, 0x01, 0x04, 0x80, 0x20, 0xE8, 0x07, 0x04,
-                0x06, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x5E, 0x40, 0x09, 0xAA, 0x2C,
-                0xA1, 0x00, 0x24, 0x99, 0x24, 0x40
+                0x50, 0x54, 0x53, 0x57, 0x05, 0x05, 0x13, 0x01, 0x04, 0x80, 0x20, 0xE8, 0x07, 0x04,
+                0x06, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x5E, 0x40, 0x09, 0x7D, 0x09,
+                0xFF, 0x9C, 0xFD, 0x31, 0xDC, 0xB7
             ],
             "Stats response frame drifted: {report:02X?}"
         );

@@ -61,7 +61,14 @@ pub const WIRE_MAGIC: [u8; 4] = *b"PTSW";
 ///   `unknown-namespace` error code. Response payloads are unchanged.
 ///   As always the layout change bumps the version: v3 endpoints reject
 ///   v4 frames recoverably (and vice versa).
-pub const WIRE_VERSION: u8 = 4;
+/// * **5** — request payloads carry a varint-framed *trace context*
+///   between the namespace and the request tag: a single `0` varint for
+///   untraced requests, or a nonzero `trace_id` varint followed by a
+///   `parent_span_id` varint for requests sampled into a distributed
+///   trace. Response payloads are unchanged. Same never-extend-in-place
+///   rule: the layout changed, so the version bumps and v4 endpoints
+///   reject v5 frames recoverably (and vice versa).
+pub const WIRE_VERSION: u8 = 5;
 
 /// Frame kind: a full engine checkpoint (config + factory + RNG + stats +
 /// per-shard state).
